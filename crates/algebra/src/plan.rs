@@ -1,0 +1,575 @@
+//! Logical plans: multiset relational algebra plus the temporal operators
+//! of the paper's implementation layer.
+
+use crate::{AggExpr, Expr};
+use std::fmt;
+use storage::{Column, Row, Schema, SqlType};
+
+/// A logical plan node. See [`Plan`] for construction; every constructor
+/// computes and validates the output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Scan of a catalog table.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+    },
+    /// Inline constant relation.
+    Values {
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// `σ_pred(input)`.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// `Π_exprs(input)` (multiset projection, no dedup).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Projection expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Inner join with arbitrary condition over the concatenated schema.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Condition over `left.schema ++ right.schema` column positions.
+        condition: Expr,
+    },
+    /// `UNION ALL`.
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input (schema must be union-compatible).
+        right: Box<Plan>,
+    },
+    /// `EXCEPT ALL` (bag difference).
+    ExceptAll {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input (schema must be union-compatible).
+        right: Box<Plan>,
+    },
+    /// Hash aggregation: group columns by position, aggregates over rows.
+    /// With `group_cols` empty this is global aggregation producing exactly
+    /// one row (even for empty input).
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns (positions in the input).
+        group_cols: Vec<usize>,
+        /// Aggregate calls.
+        aggs: Vec<AggExpr>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Sort (top-level only; snapshot queries do not support ORDER BY, per
+    /// paper Section 10.1).
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(expression, ascending)` keys.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// Multiset temporal coalescing `C` (Def. 8.2): period = last two
+    /// columns, all other columns are the value-equivalence key.
+    Coalesce {
+        /// Input plan (period-last convention).
+        input: Box<Plan>,
+    },
+    /// The split operator `N_G(left, right)` (Def. 8.3): refines the
+    /// intervals of `left` rows at all endpoints of `left ∪ right` rows in
+    /// the same group. Output schema = left schema.
+    Split {
+        /// The relation whose rows are split.
+        left: Box<Plan>,
+        /// The partner providing additional endpoints.
+        right: Box<Plan>,
+        /// Group columns (positions valid in both inputs).
+        group_cols: Vec<usize>,
+    },
+    /// Fused snapshot aggregation with pre-aggregation (Section 9): splits
+    /// and aggregates in one operator. With `add_gap_neutral` (global
+    /// aggregation), gaps produce rows — `count` yields 0, other functions
+    /// yield NULL — exactly the `∪ {(null, Tmin, Tmax)}` rewrite of Fig. 4.
+    TemporalAggregate {
+        /// Input plan (period-last convention).
+        input: Box<Plan>,
+        /// Grouping columns (positions in the input, excluding period).
+        group_cols: Vec<usize>,
+        /// Aggregate calls (arguments positional in the input).
+        aggs: Vec<AggExpr>,
+        /// Whether to produce rows for gaps over `[Tmin, Tmax)`.
+        add_gap_neutral: bool,
+        /// `Tmin`/`Tmax` of the time domain (needed for gap rows).
+        domain: (i64, i64),
+    },
+    /// Fused snapshot bag difference (Section 9): aligns both sides on their
+    /// common refinement and applies the monus per elementary interval.
+    TemporalExceptAll {
+        /// Left input (period-last convention).
+        left: Box<Plan>,
+        /// Right input (union-compatible).
+        right: Box<Plan>,
+    },
+}
+
+/// A logical plan: a node plus its computed output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The operator.
+    pub node: PlanNode,
+    /// The output schema.
+    pub schema: Schema,
+}
+
+impl Plan {
+    /// Scan of a named table with the given schema (captured at bind time).
+    pub fn scan(table: impl Into<String>, schema: Schema) -> Plan {
+        Plan {
+            node: PlanNode::Scan {
+                table: table.into(),
+            },
+            schema,
+        }
+    }
+
+    /// Constant relation.
+    pub fn values(schema: Schema, rows: Vec<Row>) -> Plan {
+        for r in &rows {
+            assert_eq!(r.arity(), schema.arity(), "Values row arity mismatch");
+        }
+        Plan {
+            node: PlanNode::Values { rows },
+            schema,
+        }
+    }
+
+    /// Filter.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::Filter {
+                input: Box::new(self),
+                predicate,
+            },
+            schema,
+        }
+    }
+
+    /// Projection; output columns named by `names` (or synthesized).
+    pub fn project(self, exprs: Vec<Expr>, names: Vec<String>) -> Result<Plan, String> {
+        assert_eq!(exprs.len(), names.len(), "one name per projection");
+        let mut cols = Vec::with_capacity(exprs.len());
+        for (e, n) in exprs.iter().zip(&names) {
+            let ty = e.infer_type(&self.schema)?;
+            cols.push(Column::new(n.clone(), ty));
+        }
+        Ok(Plan {
+            node: PlanNode::Project {
+                input: Box::new(self),
+                exprs,
+            },
+            schema: Schema::new(cols),
+        })
+    }
+
+    /// Projection keeping input column names where the expression is a bare
+    /// column reference.
+    pub fn project_cols(self, indices: &[usize]) -> Plan {
+        let schema = Schema::new(
+            indices
+                .iter()
+                .map(|&i| self.schema.column(i).clone())
+                .collect(),
+        );
+        Plan {
+            node: PlanNode::Project {
+                input: Box::new(self),
+                exprs: indices.iter().map(|&i| Expr::Col(i)).collect(),
+            },
+            schema,
+        }
+    }
+
+    /// Inner join; `condition` refers to the concatenated schema.
+    pub fn join(self, right: Plan, condition: Expr) -> Plan {
+        let schema = self.schema.concat(&right.schema);
+        Plan {
+            node: PlanNode::Join {
+                left: Box::new(self),
+                right: Box::new(right),
+                condition,
+            },
+            schema,
+        }
+    }
+
+    /// `UNION ALL`; schemas must have equal arity and column types.
+    pub fn union(self, right: Plan) -> Result<Plan, String> {
+        check_union_compatible(&self.schema, &right.schema)?;
+        let schema = self.schema.clone();
+        Ok(Plan {
+            node: PlanNode::Union {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// `EXCEPT ALL`.
+    pub fn except_all(self, right: Plan) -> Result<Plan, String> {
+        check_union_compatible(&self.schema, &right.schema)?;
+        let schema = self.schema.clone();
+        Ok(Plan {
+            node: PlanNode::ExceptAll {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// Hash aggregation.
+    pub fn aggregate(self, group_cols: Vec<usize>, aggs: Vec<AggExpr>) -> Result<Plan, String> {
+        let mut cols: Vec<Column> = group_cols
+            .iter()
+            .map(|&i| self.schema.column(i).clone())
+            .collect();
+        for a in &aggs {
+            cols.push(Column::new(a.name.clone(), a.output_type(&self.schema)?));
+        }
+        Ok(Plan {
+            node: PlanNode::Aggregate {
+                input: Box::new(self),
+                group_cols,
+                aggs,
+            },
+            schema: Schema::new(cols),
+        })
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(self) -> Plan {
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::Distinct {
+                input: Box::new(self),
+            },
+            schema,
+        }
+    }
+
+    /// Sort.
+    pub fn sort(self, keys: Vec<(Expr, bool)>) -> Plan {
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::Sort {
+                input: Box::new(self),
+                keys,
+            },
+            schema,
+        }
+    }
+
+    /// Temporal multiset coalescing (period-last convention).
+    pub fn coalesce(self) -> Plan {
+        assert_period_last(&self.schema);
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::Coalesce {
+                input: Box::new(self),
+            },
+            schema,
+        }
+    }
+
+    /// The split operator `N_G`.
+    pub fn split(self, right: Plan, group_cols: Vec<usize>) -> Result<Plan, String> {
+        assert_period_last(&self.schema);
+        check_union_compatible(&self.schema, &right.schema)?;
+        let schema = self.schema.clone();
+        Ok(Plan {
+            node: PlanNode::Split {
+                left: Box::new(self),
+                right: Box::new(right),
+                group_cols,
+            },
+            schema,
+        })
+    }
+
+    /// Fused snapshot aggregation (see [`PlanNode::TemporalAggregate`]).
+    /// Output schema: group columns, aggregate outputs, then the period.
+    pub fn temporal_aggregate(
+        self,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        add_gap_neutral: bool,
+        domain: (i64, i64),
+    ) -> Result<Plan, String> {
+        assert_period_last(&self.schema);
+        let mut cols: Vec<Column> = group_cols
+            .iter()
+            .map(|&i| self.schema.column(i).clone())
+            .collect();
+        for a in &aggs {
+            cols.push(Column::new(a.name.clone(), a.output_type(&self.schema)?));
+        }
+        cols.push(Column::new("__ts", SqlType::Int));
+        cols.push(Column::new("__te", SqlType::Int));
+        Ok(Plan {
+            node: PlanNode::TemporalAggregate {
+                input: Box::new(self),
+                group_cols,
+                aggs,
+                add_gap_neutral,
+                domain,
+            },
+            schema: Schema::new(cols),
+        })
+    }
+
+    /// Fused snapshot bag difference.
+    pub fn temporal_except_all(self, right: Plan) -> Result<Plan, String> {
+        assert_period_last(&self.schema);
+        check_union_compatible(&self.schema, &right.schema)?;
+        let schema = self.schema.clone();
+        Ok(Plan {
+            node: PlanNode::TemporalExceptAll {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// Renders the plan as an indented tree (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match &self.node {
+            PlanNode::Scan { table } => format!("Scan {table} {}", self.schema),
+            PlanNode::Values { rows } => format!("Values ({} rows)", rows.len()),
+            PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PlanNode::Project { exprs, .. } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project [{}]", es.join(", "))
+            }
+            PlanNode::Join { condition, .. } => format!("Join on {condition}"),
+            PlanNode::Union { .. } => "UnionAll".to_string(),
+            PlanNode::ExceptAll { .. } => "ExceptAll".to_string(),
+            PlanNode::Aggregate {
+                group_cols, aggs, ..
+            } => {
+                let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
+                let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                format!("Aggregate group=[{}] aggs=[{}]", gs.join(","), as_.join(","))
+            }
+            PlanNode::Distinct { .. } => "Distinct".to_string(),
+            PlanNode::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                format!("Sort [{}]", ks.join(", "))
+            }
+            PlanNode::Coalesce { .. } => "Coalesce (multiset temporal)".to_string(),
+            PlanNode::Split { group_cols, .. } => {
+                let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
+                format!("Split N_G group=[{}]", gs.join(","))
+            }
+            PlanNode::TemporalAggregate {
+                group_cols,
+                aggs,
+                add_gap_neutral,
+                ..
+            } => {
+                let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
+                let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                format!(
+                    "TemporalAggregate group=[{}] aggs=[{}]{}",
+                    gs.join(","),
+                    as_.join(","),
+                    if *add_gap_neutral { " with-gaps" } else { "" }
+                )
+            }
+            PlanNode::TemporalExceptAll { .. } => "TemporalExceptAll".to_string(),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        match &self.node {
+            PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Coalesce { input }
+            | PlanNode::TemporalAggregate { input, .. } => input.explain_into(out, depth + 1),
+            PlanNode::Join { left, right, .. }
+            | PlanNode::Union { left, right }
+            | PlanNode::ExceptAll { left, right }
+            | PlanNode::Split { left, right, .. }
+            | PlanNode::TemporalExceptAll { left, right } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+fn check_union_compatible(a: &Schema, b: &Schema) -> Result<(), String> {
+    if a.arity() != b.arity() {
+        return Err(format!(
+            "inputs are not union-compatible: arity {} vs {}",
+            a.arity(),
+            b.arity()
+        ));
+    }
+    for i in 0..a.arity() {
+        let (ta, tb) = (a.column(i).ty, b.column(i).ty);
+        let numeric =
+            |t: SqlType| matches!(t, SqlType::Int | SqlType::Double);
+        if ta != tb && !(numeric(ta) && numeric(tb)) {
+            return Err(format!(
+                "inputs are not union-compatible: column {i} has type {ta} vs {tb}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn assert_period_last(schema: &Schema) {
+    let n = schema.arity();
+    assert!(
+        n >= 2
+            && schema.column(n - 2).ty == SqlType::Int
+            && schema.column(n - 1).ty == SqlType::Int,
+        "temporal operator requires the period (two INT columns) as the last two columns, got {schema}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggFunc, BinOp};
+    use storage::row;
+
+    fn works_schema() -> Schema {
+        Schema::of(&[
+            ("name", SqlType::Str),
+            ("skill", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ])
+    }
+
+    #[test]
+    fn scan_filter_project_schema() {
+        let p = Plan::scan("works", works_schema())
+            .filter(Expr::col(1).eq(Expr::lit("SP")))
+            .project(vec![Expr::col(0)], vec!["name".into()])
+            .unwrap();
+        assert_eq!(p.schema.arity(), 1);
+        assert_eq!(p.schema.column(0).name, "name");
+    }
+
+    #[test]
+    fn join_concatenates_schema() {
+        let l = Plan::scan("a", works_schema());
+        let r = Plan::scan("b", works_schema());
+        let j = l.join(r, Expr::col(1).eq(Expr::col(5)));
+        assert_eq!(j.schema.arity(), 8);
+    }
+
+    #[test]
+    fn union_compatibility_enforced() {
+        let l = Plan::scan("a", works_schema());
+        let bad = Plan::scan("b", Schema::of(&[("x", SqlType::Int)]));
+        assert!(l.clone().union(bad).is_err());
+        let ok = Plan::scan("b", works_schema());
+        assert!(l.union(ok).is_ok());
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let p = Plan::scan("works", works_schema())
+            .aggregate(
+                vec![1],
+                vec![
+                    AggExpr::count_star("cnt"),
+                    AggExpr::new(AggFunc::Min, Expr::col(2), "first_ts"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(p.schema.arity(), 3);
+        assert_eq!(p.schema.column(0).name, "skill");
+        assert_eq!(p.schema.column(1).ty, SqlType::Int);
+    }
+
+    #[test]
+    fn temporal_aggregate_schema_has_period_last() {
+        let p = Plan::scan("works", works_schema())
+            .temporal_aggregate(vec![1], vec![AggExpr::count_star("cnt")], false, (0, 24))
+            .unwrap();
+        let names: Vec<&str> = p
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["skill", "cnt", "__ts", "__te"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn coalesce_requires_period_columns() {
+        let _ = Plan::scan("x", Schema::of(&[("a", SqlType::Str)])).coalesce();
+    }
+
+    #[test]
+    fn values_arity_checked() {
+        let res = std::panic::catch_unwind(|| {
+            Plan::values(Schema::of(&[("a", SqlType::Int)]), vec![row![1, 2]])
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = Plan::scan("works", works_schema())
+            .filter(Expr::binary(
+                BinOp::Eq,
+                Expr::col(1),
+                Expr::lit("SP"),
+            ))
+            .coalesce();
+        let text = p.explain();
+        assert!(text.contains("Coalesce"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan works"));
+    }
+}

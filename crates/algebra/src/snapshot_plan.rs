@@ -1,0 +1,304 @@
+//! Snapshot-semantics logical plans: the temporal algebra that `REWR`
+//! (paper Figure 4) rewrites into executable plans.
+//!
+//! Inside a `SEQ VT (...)` block the query is an ordinary non-temporal
+//! query: the period attributes of the accessed tables are *not* visible to
+//! it (they are managed by the system, per Section 9). A [`SnapshotPlan`]
+//! therefore carries data-only schemas; each [`SnapshotNode::Access`] leaf
+//! remembers which stored columns are data and which two hold the period.
+
+use crate::{AggExpr, Expr};
+use storage::{Column, Schema};
+
+/// A node of a snapshot-semantics plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotNode {
+    /// Access to a stored period table.
+    Access {
+        /// Catalog table name.
+        table: String,
+        /// Positions of the data columns within the stored schema.
+        data_cols: Vec<usize>,
+        /// Positions of the period begin/end columns within the stored
+        /// schema.
+        period: (usize, usize),
+    },
+    /// Snapshot selection.
+    Filter {
+        /// Input.
+        input: Box<SnapshotPlan>,
+        /// Predicate over the data schema.
+        predicate: Expr,
+    },
+    /// Snapshot projection (multiset, no dedup).
+    Project {
+        /// Input.
+        input: Box<SnapshotPlan>,
+        /// Projection expressions over the data schema.
+        exprs: Vec<Expr>,
+    },
+    /// Snapshot inner join.
+    Join {
+        /// Left input.
+        left: Box<SnapshotPlan>,
+        /// Right input.
+        right: Box<SnapshotPlan>,
+        /// Condition over the concatenated data schemas.
+        condition: Expr,
+    },
+    /// Snapshot `UNION ALL`.
+    Union {
+        /// Left input.
+        left: Box<SnapshotPlan>,
+        /// Right input.
+        right: Box<SnapshotPlan>,
+    },
+    /// Snapshot `EXCEPT ALL` (bag difference — the monus of `N^T`).
+    ExceptAll {
+        /// Left input.
+        left: Box<SnapshotPlan>,
+        /// Right input.
+        right: Box<SnapshotPlan>,
+    },
+    /// Snapshot aggregation (Definition 7.1 semantics).
+    Aggregate {
+        /// Input.
+        input: Box<SnapshotPlan>,
+        /// Grouping columns (positions in the data schema).
+        group_cols: Vec<usize>,
+        /// Aggregate calls.
+        aggs: Vec<AggExpr>,
+    },
+}
+
+/// A snapshot-semantics plan with its (data-only) output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPlan {
+    /// The operator.
+    pub node: SnapshotNode,
+    /// Output schema as seen by the snapshot query (no period columns).
+    pub schema: Schema,
+}
+
+impl SnapshotPlan {
+    /// Access to a period table. `data_schema` is the visible schema
+    /// (stored schema minus period columns, in `data_cols` order).
+    pub fn access(
+        table: impl Into<String>,
+        data_cols: Vec<usize>,
+        period: (usize, usize),
+        data_schema: Schema,
+    ) -> SnapshotPlan {
+        assert_eq!(data_cols.len(), data_schema.arity());
+        SnapshotPlan {
+            node: SnapshotNode::Access {
+                table: table.into(),
+                data_cols,
+                period,
+            },
+            schema: data_schema,
+        }
+    }
+
+    /// Snapshot selection.
+    pub fn filter(self, predicate: Expr) -> SnapshotPlan {
+        let schema = self.schema.clone();
+        SnapshotPlan {
+            node: SnapshotNode::Filter {
+                input: Box::new(self),
+                predicate,
+            },
+            schema,
+        }
+    }
+
+    /// Snapshot projection with output column names.
+    pub fn project(self, exprs: Vec<Expr>, names: Vec<String>) -> Result<SnapshotPlan, String> {
+        assert_eq!(exprs.len(), names.len());
+        let mut cols = Vec::with_capacity(exprs.len());
+        for (e, n) in exprs.iter().zip(&names) {
+            cols.push(Column::new(n.clone(), e.infer_type(&self.schema)?));
+        }
+        Ok(SnapshotPlan {
+            node: SnapshotNode::Project {
+                input: Box::new(self),
+                exprs,
+            },
+            schema: Schema::new(cols),
+        })
+    }
+
+    /// Snapshot join.
+    pub fn join(self, right: SnapshotPlan, condition: Expr) -> SnapshotPlan {
+        let schema = self.schema.concat(&right.schema);
+        SnapshotPlan {
+            node: SnapshotNode::Join {
+                left: Box::new(self),
+                right: Box::new(right),
+                condition,
+            },
+            schema,
+        }
+    }
+
+    /// Snapshot `UNION ALL`.
+    pub fn union(self, right: SnapshotPlan) -> Result<SnapshotPlan, String> {
+        if self.schema.arity() != right.schema.arity() {
+            return Err("UNION ALL inputs must have equal arity".into());
+        }
+        let schema = self.schema.clone();
+        Ok(SnapshotPlan {
+            node: SnapshotNode::Union {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// Snapshot `EXCEPT ALL`.
+    pub fn except_all(self, right: SnapshotPlan) -> Result<SnapshotPlan, String> {
+        if self.schema.arity() != right.schema.arity() {
+            return Err("EXCEPT ALL inputs must have equal arity".into());
+        }
+        let schema = self.schema.clone();
+        Ok(SnapshotPlan {
+            node: SnapshotNode::ExceptAll {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// Snapshot aggregation.
+    pub fn aggregate(
+        self,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<SnapshotPlan, String> {
+        let mut cols: Vec<Column> = group_cols
+            .iter()
+            .map(|&i| self.schema.column(i).clone())
+            .collect();
+        for a in &aggs {
+            cols.push(Column::new(a.name.clone(), a.output_type(&self.schema)?));
+        }
+        Ok(SnapshotPlan {
+            node: SnapshotNode::Aggregate {
+                input: Box::new(self),
+                group_cols,
+                aggs,
+            },
+            schema: Schema::new(cols),
+        })
+    }
+
+    /// Indented tree rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match &self.node {
+            SnapshotNode::Access { table, period, .. } => {
+                format!("Access {table} PERIOD(#{}, #{})", period.0, period.1)
+            }
+            SnapshotNode::Filter { predicate, .. } => format!("SnapshotFilter {predicate}"),
+            SnapshotNode::Project { exprs, .. } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("SnapshotProject [{}]", es.join(", "))
+            }
+            SnapshotNode::Join { condition, .. } => format!("SnapshotJoin on {condition}"),
+            SnapshotNode::Union { .. } => "SnapshotUnionAll".to_string(),
+            SnapshotNode::ExceptAll { .. } => "SnapshotExceptAll".to_string(),
+            SnapshotNode::Aggregate {
+                group_cols, aggs, ..
+            } => {
+                let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
+                let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                format!(
+                    "SnapshotAggregate group=[{}] aggs=[{}]",
+                    gs.join(","),
+                    as_.join(",")
+                )
+            }
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        match &self.node {
+            SnapshotNode::Access { .. } => {}
+            SnapshotNode::Filter { input, .. }
+            | SnapshotNode::Project { input, .. }
+            | SnapshotNode::Aggregate { input, .. } => input.explain_into(out, depth + 1),
+            SnapshotNode::Join { left, right, .. }
+            | SnapshotNode::Union { left, right }
+            | SnapshotNode::ExceptAll { left, right } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggFunc;
+    use storage::SqlType;
+
+    fn works_access() -> SnapshotPlan {
+        SnapshotPlan::access(
+            "works",
+            vec![0, 1],
+            (2, 3),
+            Schema::of(&[("name", SqlType::Str), ("skill", SqlType::Str)]),
+        )
+    }
+
+    #[test]
+    fn q_onduty_shape() {
+        // SELECT count(*) FROM works WHERE skill = 'SP' under SEQ VT.
+        let plan = works_access()
+            .filter(Expr::col(1).eq(Expr::lit("SP")))
+            .aggregate(vec![], vec![AggExpr::count_star("cnt")])
+            .unwrap();
+        assert_eq!(plan.schema.arity(), 1);
+        assert_eq!(plan.schema.column(0).name, "cnt");
+        let text = plan.explain();
+        assert!(text.contains("SnapshotAggregate"));
+        assert!(text.contains("Access works PERIOD(#2, #3)"));
+    }
+
+    #[test]
+    fn q_skillreq_shape() {
+        let assign = SnapshotPlan::access(
+            "assign",
+            vec![0, 1],
+            (2, 3),
+            Schema::of(&[("mach", SqlType::Str), ("skill", SqlType::Str)]),
+        );
+        let plan = assign
+            .project(vec![Expr::col(1)], vec!["skill".into()])
+            .unwrap()
+            .except_all(
+                works_access()
+                    .project(vec![Expr::col(1)], vec!["skill".into()])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(plan.schema.arity(), 1);
+    }
+
+    #[test]
+    fn union_arity_checked() {
+        let one_col = works_access()
+            .project(vec![Expr::col(0)], vec!["n".into()])
+            .unwrap();
+        assert!(works_access().union(one_col).is_err());
+    }
+}

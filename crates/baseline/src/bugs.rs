@@ -1,0 +1,132 @@
+//! Bug detection: comparing an approach's output against the oracle.
+//!
+//! The harness uses these helpers to fill in Table 1 (which approaches are
+//! AG-/BD-bug free, which have a unique encoding) and the "Bug" column of
+//! Table 3 *experimentally*: instead of asserting what the paper claims, we
+//! run each approach and diff it against the point-wise oracle.
+
+use rewrite::periodenc::decode_rows;
+use storage::Row;
+use timeline::TimeDomain;
+
+/// The outcome of diffing an approach against the oracle on one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Distinct tuples whose temporal annotation is missing or too small in
+    /// the approach's output (e.g. gap rows the AG bug drops, multiplicity
+    /// the BD bug swallows).
+    pub missing: Vec<Row>,
+    /// Distinct tuples the approach reports but the oracle does not (or
+    /// with too large an annotation).
+    pub spurious: Vec<Row>,
+}
+
+impl Discrepancy {
+    /// Whether the approach matched the oracle exactly (up to snapshot
+    /// equivalence).
+    pub fn is_clean(&self) -> bool {
+        self.missing.is_empty() && self.spurious.is_empty()
+    }
+}
+
+/// Compares two `PERIODENC`-encoded results (period = last two columns)
+/// for *snapshot equivalence* and reports per-tuple discrepancies.
+pub fn diff_against_oracle(
+    approach: &[Row],
+    oracle: &[Row],
+    arity: usize,
+    domain: TimeDomain,
+) -> Discrepancy {
+    let a = decode_rows(approach, arity, domain);
+    let o = decode_rows(oracle, arity, domain);
+    let mut missing = Vec::new();
+    let mut spurious = Vec::new();
+    for (tuple, ann) in o.iter() {
+        if &a.annotation(tuple) != ann {
+            let approx = a.annotation(tuple);
+            // Tuple underrepresented in the approach?
+            if !semiring::NaturallyOrdered::natural_leq(ann, &approx) {
+                missing.push(tuple.clone());
+            }
+        }
+    }
+    for (tuple, ann) in a.iter() {
+        let oracle_ann = o.annotation(tuple);
+        if !semiring::NaturallyOrdered::natural_leq(ann, &oracle_ann) {
+            spurious.push(tuple.clone());
+        }
+    }
+    Discrepancy { missing, spurious }
+}
+
+/// Whether two encodings denote the same snapshot history.
+pub fn snapshot_equivalent(a: &[Row], b: &[Row], arity: usize, domain: TimeDomain) -> bool {
+    decode_rows(a, arity, domain) == decode_rows(b, arity, domain)
+}
+
+/// Whether an approach produced a *unique* (coalesced, canonical) encoding:
+/// re-encoding its decoded logical content reproduces the rows exactly.
+pub fn encoding_is_unique(rows: &[Row], arity: usize, domain: TimeDomain) -> bool {
+    let mut sorted = rows.to_vec();
+    sorted.sort_unstable();
+    rewrite::periodenc::encode_relation(&decode_rows(rows, arity, domain)) == sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::row;
+
+    #[test]
+    fn clean_diff_on_identical_histories() {
+        let domain = TimeDomain::new(0, 24);
+        let a = vec![row!["x", 0, 10]];
+        let b = vec![row!["x", 0, 5], row!["x", 5, 10]];
+        let d = diff_against_oracle(&a, &b, 3, domain);
+        assert!(d.is_clean());
+        assert!(snapshot_equivalent(&a, &b, 3, domain));
+    }
+
+    #[test]
+    fn missing_gap_rows_detected() {
+        let domain = TimeDomain::new(0, 24);
+        // Oracle has a count-0 row over [0,3); the approach misses it.
+        let oracle = vec![row![0, 0, 3], row![1, 3, 10]];
+        let approach = vec![row![1, 3, 10]];
+        let d = diff_against_oracle(&approach, &oracle, 3, domain);
+        assert_eq!(d.missing, vec![row![0]]);
+        assert!(d.spurious.is_empty());
+    }
+
+    #[test]
+    fn swallowed_multiplicity_detected() {
+        let domain = TimeDomain::new(0, 24);
+        // Oracle keeps 2 copies; the BD-buggy approach returns none.
+        let oracle = vec![row!["SP", 6, 8], row!["SP", 6, 8]];
+        let approach: Vec<Row> = vec![];
+        let d = diff_against_oracle(&approach, &oracle, 3, domain);
+        assert_eq!(d.missing, vec![row!["SP"]]);
+    }
+
+    #[test]
+    fn spurious_rows_detected() {
+        let domain = TimeDomain::new(0, 24);
+        let oracle = vec![row!["x", 0, 5]];
+        let approach = vec![row!["x", 0, 5], row!["y", 0, 5]];
+        let d = diff_against_oracle(&approach, &oracle, 3, domain);
+        assert_eq!(d.spurious, vec![row!["y"]]);
+    }
+
+    #[test]
+    fn uniqueness_check() {
+        let domain = TimeDomain::new(0, 24);
+        // Coalesced + sorted: unique.
+        assert!(encoding_is_unique(&[row!["x", 0, 10]], 3, domain));
+        // Split encoding of the same content: not the canonical form.
+        assert!(!encoding_is_unique(
+            &[row!["x", 0, 5], row!["x", 5, 10]],
+            3,
+            domain
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Section 9 ablations: the two optimizations of the rewriting, toggled
+//! independently (single final coalesce vs per-operator coalescing; fused
+//! pre-aggregating split vs materialized split).
+
+use bench_harness::{run_approach, Approach};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewrite::RewriteOptions;
+
+fn bench_ablation(c: &mut Criterion) {
+    let catalog = datagen::employees::generate(0.002, 42);
+    let domain = datagen::employees::domain();
+    let queries: Vec<(&str, &str)> = datagen::employees::queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "agg-1" | "diff-2"))
+        .collect();
+    let configs = [
+        ("optimized", true, true),
+        ("per-op-coalesce", false, true),
+        ("unfused-split", true, false),
+        ("naive", false, false),
+    ];
+
+    let mut group = c.benchmark_group("section9_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, sql_text) in queries {
+        for (label, fc, fs) in configs {
+            let options = RewriteOptions {
+                final_coalesce_only: fc,
+                fused_split: fs,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, label),
+                &(sql_text, options),
+                |b, (sql_text, options)| {
+                    b.iter(|| {
+                        run_approach(Approach::SeqHash, sql_text, &catalog, domain, *options)
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

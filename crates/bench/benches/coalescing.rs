@@ -1,0 +1,37 @@
+//! Figure 5: multiset coalescing runtime vs input size.
+//!
+//! The paper varies a materialized selection from 1k to 3M rows and shows
+//! linear scaling. We bench the engine's sweep-based operator (the analogue
+//! of the paper's analytic-window SQL implementation) on the same shape of
+//! input: low-cardinality values with many overlapping validity periods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use engine::coalesce::coalesce_rows;
+use timeline::TimeDomain;
+
+fn bench_coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_multiset_coalescing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000, 100_000, 300_000] {
+        let spec = datagen::random::RandomTableSpec {
+            rows: n,
+            int_cols: 1,
+            str_cols: 0,
+            cardinality: (n as u64 / 50).max(4),
+            domain: TimeDomain::new(0, 10_000),
+            max_len: 800,
+        };
+        let table = datagen::random::random_period_table(&spec, 99);
+        let arity = table.schema().arity();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
+            b.iter(|| coalesce_rows(t.rows(), arity));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalescing);
+criterion_main!(benches);

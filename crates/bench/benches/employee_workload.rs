@@ -1,0 +1,45 @@
+//! Table 3 (top): the Employee snapshot workload, Seq vs native baselines.
+
+use bench_harness::{run_approach, Approach};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewrite::RewriteOptions;
+
+fn bench_employee(c: &mut Criterion) {
+    let catalog = datagen::employees::generate(0.002, 42);
+    let domain = datagen::employees::domain();
+    // A representative subset: one join, two aggregations, one difference —
+    // the query classes where Table 3 sees the interesting gaps.
+    let queries: Vec<(&str, &str)> = datagen::employees::queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "join-1" | "join-3" | "agg-1" | "agg-2" | "diff-1"))
+        .collect();
+
+    let mut group = c.benchmark_group("table3_employee");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, sql_text) in queries {
+        for approach in Approach::all() {
+            group.bench_with_input(
+                BenchmarkId::new(name, approach.name()),
+                &(approach, sql_text),
+                |b, (approach, sql_text)| {
+                    b.iter(|| {
+                        run_approach(
+                            *approach,
+                            sql_text,
+                            &catalog,
+                            domain,
+                            RewriteOptions::default(),
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_employee);
+criterion_main!(benches);

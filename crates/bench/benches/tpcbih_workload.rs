@@ -1,0 +1,44 @@
+//! Table 3 (bottom): TPC-BiH snapshot queries, Seq vs the alignment
+//! baseline (the paper times PG-Seq/PG-Nat/DBY-Seq on this workload).
+
+use bench_harness::{run_approach, Approach};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewrite::RewriteOptions;
+
+fn bench_tpcbih(c: &mut Criterion) {
+    let catalog = datagen::tpcbih::generate(0.001, 7);
+    let domain = datagen::tpcbih::domain();
+    let queries: Vec<(&str, &str)> = datagen::tpcbih::table3_queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "Q1" | "Q5" | "Q6" | "Q12" | "Q14"))
+        .collect();
+
+    let mut group = c.benchmark_group("table3_tpcbih");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, sql_text) in queries {
+        for approach in [Approach::SeqHash, Approach::NatAlignment] {
+            group.bench_with_input(
+                BenchmarkId::new(name, approach.name()),
+                &(approach, sql_text),
+                |b, (approach, sql_text)| {
+                    b.iter(|| {
+                        run_approach(
+                            *approach,
+                            sql_text,
+                            &catalog,
+                            domain,
+                            RewriteOptions::default(),
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcbih);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! K-relations and relational algebra over them (paper Section 4.1).
+//!
+//! An n-ary K-relation maps tuples to annotations from a commutative
+//! semiring `K`, with tuples mapped to `0K` considered absent. Tuples are
+//! generic here (`Tup: Ord + Clone + ...`): the math layer does not care
+//! whether a tuple is a `(String, u32)` pair in a unit test or a full
+//! engine row. Storage uses a `BTreeMap` so that iteration order — and hence
+//! every derived encoding — is canonical.
+
+use semiring::{CommutativeSemiring, MSemiring, Natural, SemiringHomomorphism};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Bound on tuple types usable in K-relations.
+pub trait KTuple: Clone + Eq + Ord + Hash + Debug {}
+impl<T: Clone + Eq + Ord + Hash + Debug> KTuple for T {}
+
+/// A K-relation: a finite map from tuples to non-zero annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KRelation<Tup, K> {
+    tuples: BTreeMap<Tup, K>,
+}
+
+impl<Tup: KTuple, K: CommutativeSemiring> Default for KRelation<Tup, K> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<Tup: KTuple, K: CommutativeSemiring> KRelation<Tup, K> {
+    /// The empty K-relation.
+    pub fn empty() -> Self {
+        KRelation {
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a relation from tuple/annotation pairs, summing duplicates.
+    pub fn from_pairs<I: IntoIterator<Item = (Tup, K)>>(pairs: I) -> Self {
+        let mut rel = Self::empty();
+        for (t, k) in pairs {
+            rel.add(t, k);
+        }
+        rel
+    }
+
+    /// Adds annotation `k` to tuple `t` (semiring addition; removes the
+    /// tuple if the sum becomes zero).
+    pub fn add(&mut self, t: Tup, k: K) {
+        if k.is_zero() {
+            return;
+        }
+        match self.tuples.entry(t) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(k);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().plus_assign(&k);
+                if e.get().is_zero() {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    /// The annotation of `t` (`0K` when absent).
+    pub fn get(&self, t: &Tup, ctx: &K::Ctx) -> K {
+        self.tuples.get(t).cloned().unwrap_or_else(|| K::zero(ctx))
+    }
+
+    /// Whether the tuple has a non-zero annotation.
+    pub fn contains(&self, t: &Tup) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    /// Number of tuples with non-zero annotations.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over `(tuple, annotation)` pairs in canonical (tuple) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tup, &K)> {
+        self.tuples.iter()
+    }
+
+    /// Selection `σ_θ(R)(t) = R(t) · θ(t)` with a boolean predicate
+    /// (the paper's `θ(t)` returns `1K`/`0K`).
+    pub fn select(&self, theta: impl Fn(&Tup) -> bool) -> Self {
+        KRelation {
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|(t, _)| theta(t))
+                .map(|(t, k)| (t.clone(), k.clone()))
+                .collect(),
+        }
+    }
+
+    /// Projection `Π_A(R)(t) = Σ_{u: u.A = t} R(u)`.
+    pub fn project<Out: KTuple>(&self, f: impl Fn(&Tup) -> Out) -> KRelation<Out, K> {
+        let mut out = KRelation::empty();
+        for (t, k) in &self.tuples {
+            out.add(f(t), k.clone());
+        }
+        out
+    }
+
+    /// Join `(R ⋈ S)(t) = R(t[R]) · S(t[S])`.
+    ///
+    /// `combine` returns the joined tuple for a pair, or `None` when the
+    /// pair does not satisfy the join condition. This is the general
+    /// (nested-loop) form; the engine crate provides hash-based joins for
+    /// the implementation layer.
+    pub fn join<Tup2: KTuple, Out: KTuple>(
+        &self,
+        other: &KRelation<Tup2, K>,
+        combine: impl Fn(&Tup, &Tup2) -> Option<Out>,
+    ) -> KRelation<Out, K> {
+        let mut out = KRelation::empty();
+        for (t1, k1) in &self.tuples {
+            for (t2, k2) in &other.tuples {
+                if let Some(t) = combine(t1, t2) {
+                    out.add(t, k1.times(k2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Union `(R ∪ S)(t) = R(t) + S(t)`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (t, k) in &other.tuples {
+            out.add(t.clone(), k.clone());
+        }
+        out
+    }
+
+    /// Difference via the monus (Section 7.1): `(R − S)(t) = R(t) −K S(t)`.
+    pub fn difference(&self, other: &Self) -> Self
+    where
+        K: MSemiring,
+    {
+        let mut out = BTreeMap::new();
+        for (t, k) in &self.tuples {
+            let k = match other.tuples.get(t) {
+                Some(k2) => k.monus(k2),
+                None => k.clone(),
+            };
+            if !k.is_zero() {
+                out.insert(t.clone(), k);
+            }
+        }
+        KRelation { tuples: out }
+    }
+
+    /// Applies a semiring homomorphism to every annotation. Homomorphisms
+    /// commute with all of the operations above (Green et al., Prop. 3.5) —
+    /// the property tests exercise this.
+    pub fn map_annotations<K2: CommutativeSemiring>(
+        &self,
+        h: &impl SemiringHomomorphism<K, K2>,
+    ) -> KRelation<Tup, K2> {
+        let mut out = KRelation::empty();
+        for (t, k) in &self.tuples {
+            out.add(t.clone(), h.apply(k));
+        }
+        out
+    }
+}
+
+impl<Tup: KTuple> KRelation<Tup, Natural> {
+    /// Expands the multiset view: each tuple repeated by its multiplicity.
+    pub fn expand(&self) -> Vec<Tup> {
+        let mut out = Vec::new();
+        for (t, k) in &self.tuples {
+            for _ in 0..k.0 {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Grouped aggregation over a multiset relation.
+    ///
+    /// `group` extracts the grouping key; `agg` receives the group's tuples
+    /// with multiplicities and produces the aggregated output tuple. Each
+    /// group yields exactly one result tuple with multiplicity 1 — matching
+    /// SQL `GROUP BY` over bags and Definition 7.1 applied per snapshot.
+    pub fn aggregate_grouped<G: KTuple, Out: KTuple>(
+        &self,
+        group: impl Fn(&Tup) -> G,
+        agg: impl Fn(&G, &[(&Tup, u64)]) -> Out,
+    ) -> KRelation<Out, Natural> {
+        let mut groups: BTreeMap<G, Vec<(&Tup, u64)>> = BTreeMap::new();
+        for (t, k) in &self.tuples {
+            groups.entry(group(t)).or_default().push((t, k.0));
+        }
+        let mut out = KRelation::empty();
+        for (g, members) in &groups {
+            out.add(agg(g, members), Natural(1));
+        }
+        out
+    }
+
+    /// Aggregation without grouping: always yields exactly one result tuple,
+    /// even over an empty input (e.g. `count(*)` of nothing is 0) — the
+    /// behaviour whose temporal lifting exposes the aggregation-gap bug.
+    pub fn aggregate_global<Out: KTuple>(
+        &self,
+        agg: impl Fn(&[(&Tup, u64)]) -> Out,
+    ) -> KRelation<Out, Natural> {
+        let members: Vec<(&Tup, u64)> = self.tuples.iter().map(|(t, k)| (t, k.0)).collect();
+        let mut out = KRelation::empty();
+        out.add(agg(&members), Natural(1));
+        out
+    }
+}
+
+impl<Tup: KTuple + fmt::Display, K: CommutativeSemiring + fmt::Display> fmt::Display
+    for KRelation<Tup, K>
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, k) in &self.tuples {
+            writeln!(f, "{t} ↦ {k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::{support, Boolean, Natural};
+
+    type Rel = KRelation<(&'static str, &'static str), Natural>;
+
+    fn works() -> Rel {
+        KRelation::from_pairs([
+            (("Pete", "SP"), Natural(1)),
+            (("Bob", "SP"), Natural(1)),
+            (("Alice", "NS"), Natural(1)),
+        ])
+    }
+
+    fn assign() -> KRelation<(&'static str, &'static str), Natural> {
+        KRelation::from_pairs([(("M1", "SP"), Natural(4)), (("M2", "NS"), Natural(5))])
+    }
+
+    #[test]
+    fn example_4_1_join_project() {
+        // Q = Π_mach(works ⋈ assign): M1 -> 8, M2 -> 5.
+        let q = works()
+            .join(&assign(), |w, a| (w.1 == a.1).then_some(a.0))
+            .project(|m| *m);
+        assert_eq!(q.get(&"M1", &()), Natural(8));
+        assert_eq!(q.get(&"M2", &()), Natural(5));
+
+        // Homomorphism to B recovers set semantics.
+        let set = q.map_annotations(&support());
+        assert_eq!(set.get(&"M1", &()), Boolean(true));
+    }
+
+    #[test]
+    fn add_removes_zeros() {
+        let mut r: KRelation<&str, Natural> = KRelation::empty();
+        r.add("a", Natural(0));
+        assert!(r.is_empty());
+        r.add("a", Natural(2));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_project_union() {
+        let w = works();
+        let sp = w.select(|t| t.1 == "SP");
+        assert_eq!(sp.len(), 2);
+        let names = sp.project(|t| t.0);
+        assert_eq!(names.get(&"Pete", &()), Natural(1));
+        let u = w.union(&w);
+        assert_eq!(u.get(&("Pete", "SP"), &()), Natural(2));
+    }
+
+    #[test]
+    fn bag_difference_uses_monus() {
+        let a: KRelation<&str, Natural> =
+            KRelation::from_pairs([("x", Natural(3)), ("y", Natural(1))]);
+        let b: KRelation<&str, Natural> =
+            KRelation::from_pairs([("x", Natural(1)), ("y", Natural(5))]);
+        let d = a.difference(&b);
+        assert_eq!(d.get(&"x", &()), Natural(2));
+        assert!(!d.contains(&"y"));
+    }
+
+    #[test]
+    fn set_difference_via_boolean() {
+        let a: KRelation<&str, Boolean> =
+            KRelation::from_pairs([("x", Boolean(true)), ("y", Boolean(true))]);
+        let b: KRelation<&str, Boolean> = KRelation::from_pairs([("y", Boolean(true))]);
+        let d = a.difference(&b);
+        assert!(d.contains(&"x"));
+        assert!(!d.contains(&"y"));
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let w = KRelation::from_pairs([
+            (("SP", 10u64), Natural(2)),
+            (("SP", 20), Natural(1)),
+            (("NS", 5), Natural(1)),
+        ]);
+        // count(*) per skill, weighted by multiplicity.
+        let counts = w.aggregate_grouped(
+            |t| t.0,
+            |g, members| (*g, members.iter().map(|(_, m)| m).sum::<u64>()),
+        );
+        assert_eq!(counts.get(&("SP", 3), &()), Natural(1));
+        assert_eq!(counts.get(&("NS", 1), &()), Natural(1));
+    }
+
+    #[test]
+    fn global_aggregation_on_empty_input() {
+        let empty: KRelation<(&str, u64), Natural> = KRelation::empty();
+        let count = empty.aggregate_global(|ms| ms.iter().map(|(_, m)| m).sum::<u64>());
+        assert_eq!(count.get(&0u64, &()), Natural(1)); // count(*) = 0, present!
+    }
+
+    #[test]
+    fn expand_multiset_view() {
+        let r: KRelation<&str, Natural> =
+            KRelation::from_pairs([("a", Natural(2)), ("b", Natural(1))]);
+        assert_eq!(r.expand(), vec!["a", "a", "b"]);
+    }
+}

@@ -1,0 +1,460 @@
+//! Period K-relations: the logical model (paper Sections 6.2–6.3 and 7).
+//!
+//! A period K-relation annotates each tuple with a coalesced
+//! [`TemporalElement`] — an element of the period semiring `K^T`. Queries
+//! are *ordinary* K-relational queries instantiated at `K^T`; the encoding
+//! `ENC_K` (Definition 6.3) maps the abstract model into this one, and
+//! Theorem 6.6 / 7.3 state that the triple (period K-relations, `ENC_K⁻¹`,
+//! timeslice) is a representation system. The `repr` module checks those
+//! conditions executably; the property tests in this module exercise them on
+//! random data.
+
+use crate::krelation::{KRelation, KTuple};
+use crate::snapshot::SnapshotRelation;
+use crate::telement::TemporalElement;
+use semiring::{CommutativeSemiring, MSemiring, Natural};
+use std::collections::BTreeMap;
+use std::fmt;
+use timeline::{Interval, TimeDomain, TimePoint};
+
+/// The logical model: tuples annotated with coalesced temporal K-elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodRelation<Tup, K>
+where
+    K: CommutativeSemiring,
+{
+    domain: TimeDomain,
+    tuples: BTreeMap<Tup, TemporalElement<K>>,
+}
+
+impl<Tup, K> PeriodRelation<Tup, K>
+where
+    Tup: KTuple,
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    /// The empty period K-relation over `domain`.
+    pub fn empty(domain: TimeDomain) -> Self {
+        PeriodRelation {
+            domain,
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a relation from `(tuple, interval, annotation)` facts — the
+    /// natural reading of an SQL period relation. Annotation histories are
+    /// coalesced per tuple, so the result is always in normal form.
+    pub fn from_facts<I>(domain: TimeDomain, facts: I) -> Self
+    where
+        I: IntoIterator<Item = (Tup, Interval, K)>,
+    {
+        let mut raw: BTreeMap<Tup, Vec<(Interval, K)>> = BTreeMap::new();
+        for (t, i, k) in facts {
+            assert!(
+                domain.contains_interval(i),
+                "interval {i} outside domain {domain}"
+            );
+            raw.entry(t).or_default().push((i, k));
+        }
+        let mut rel = Self::empty(domain);
+        for (t, pairs) in raw {
+            let e = TemporalElement::from_pairs(pairs);
+            if !e.is_empty() {
+                rel.tuples.insert(t, e);
+            }
+        }
+        rel
+    }
+
+    /// The encoding `ENC_K` of a snapshot K-relation (Definition 6.3):
+    /// each tuple's per-point annotations become singleton intervals, then
+    /// K-coalescing produces the unique normal form. `ENC_K` is bijective
+    /// (Lemma 6.4); [`PeriodRelation::decode`] is its inverse.
+    pub fn encode(snapshot: &SnapshotRelation<Tup, K>) -> Self {
+        let mut raw: BTreeMap<Tup, Vec<(Interval, K)>> = BTreeMap::new();
+        for (t, snap) in snapshot.iter() {
+            for (tuple, k) in snap.iter() {
+                raw.entry(tuple.clone())
+                    .or_default()
+                    .push((Interval::singleton(*t), k.clone()));
+            }
+        }
+        let mut rel = Self::empty(snapshot.domain());
+        for (t, pairs) in raw {
+            let e = TemporalElement::from_pairs(pairs);
+            if !e.is_empty() {
+                rel.tuples.insert(t, e);
+            }
+        }
+        rel
+    }
+
+    /// The inverse of `ENC_K`: reconstructs the snapshot K-relation.
+    pub fn decode(&self) -> SnapshotRelation<Tup, K> {
+        let mut out = SnapshotRelation::empty(self.domain);
+        for (t, e) in &self.tuples {
+            for (i, k) in e.entries() {
+                for p in i.points() {
+                    out.add_at(p, t.clone(), k.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The timeslice operator for `K^T`-relations (Definition 6.2): applies
+    /// `τ_T` to every annotation.
+    pub fn timeslice(&self, t: TimePoint) -> KRelation<Tup, K> {
+        let mut out = KRelation::empty();
+        for (tuple, e) in &self.tuples {
+            out.add(tuple.clone(), e.timeslice(t));
+        }
+        out
+    }
+
+    /// The time domain.
+    pub fn domain(&self) -> TimeDomain {
+        self.domain
+    }
+
+    /// The temporal annotation of a tuple (zero element when absent).
+    pub fn annotation(&self, t: &Tup) -> TemporalElement<K> {
+        self.tuples.get(t).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over `(tuple, annotation)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tup, &TemporalElement<K>)> {
+        self.tuples.iter()
+    }
+
+    /// Whether every annotation is in K-coalesced normal form (condition 1
+    /// of Definition 4.5 — uniqueness of the encoding).
+    pub fn is_normal_form(&self) -> bool {
+        self.tuples
+            .values()
+            .all(|e| e.is_normal_form() && !e.is_empty())
+    }
+
+    /// The underlying K-relation over `K^T` annotations, for running generic
+    /// K-relational operators.
+    fn as_krelation(&self) -> KRelation<Tup, TemporalElement<K>> {
+        KRelation::from_pairs(self.tuples.iter().map(|(t, e)| (t.clone(), e.clone())))
+    }
+
+    fn from_krelation(domain: TimeDomain, rel: KRelation<Tup, TemporalElement<K>>) -> Self {
+        let mut tuples = BTreeMap::new();
+        for (t, e) in rel.iter() {
+            if !e.is_empty() {
+                tuples.insert(t.clone(), e.clone());
+            }
+        }
+        PeriodRelation { domain, tuples }
+    }
+
+    // ---- queries over the logical model (K-relational RA at K^T) -------
+
+    /// Selection.
+    pub fn select(&self, theta: impl Fn(&Tup) -> bool) -> Self {
+        Self::from_krelation(self.domain, self.as_krelation().select(theta))
+    }
+
+    /// Projection (annotations summed in `K^T`, i.e. coalesced point-wise
+    /// sums — Example 6.1).
+    pub fn project<Out: KTuple>(&self, f: impl Fn(&Tup) -> Out) -> PeriodRelation<Out, K> {
+        PeriodRelation::from_krelation(self.domain, self.as_krelation().project(f))
+    }
+
+    /// Join (annotations multiplied in `K^T`: interval intersection).
+    pub fn join<Tup2: KTuple, Out: KTuple>(
+        &self,
+        other: &PeriodRelation<Tup2, K>,
+        combine: impl Fn(&Tup, &Tup2) -> Option<Out>,
+    ) -> PeriodRelation<Out, K> {
+        assert_eq!(self.domain, other.domain);
+        PeriodRelation::from_krelation(
+            self.domain,
+            self.as_krelation().join(&other.as_krelation(), combine),
+        )
+    }
+
+    /// Union (annotations summed in `K^T`).
+    pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(self.domain, other.domain);
+        Self::from_krelation(self.domain, self.as_krelation().union(&other.as_krelation()))
+    }
+
+    /// Difference via the monus of `K^T` (Section 7.1).
+    pub fn difference(&self, other: &Self) -> Self
+    where
+        K: MSemiring,
+    {
+        assert_eq!(self.domain, other.domain);
+        Self::from_krelation(
+            self.domain,
+            self.as_krelation().difference(&other.as_krelation()),
+        )
+    }
+}
+
+impl<Tup: KTuple> PeriodRelation<Tup, Natural> {
+    /// Snapshot aggregation per Definition 7.1 — the *defining*, point-wise
+    /// construction: evaluate the group-by aggregation over every snapshot,
+    /// annotate each produced tuple with 1 at the singleton interval, and
+    /// coalesce. The engine crate implements the efficient split-based
+    /// version; its tests check agreement with this definition.
+    pub fn aggregate_grouped<G: KTuple, Out: KTuple>(
+        &self,
+        group: impl Fn(&Tup) -> G,
+        agg: impl Fn(&G, &[(&Tup, u64)]) -> Out,
+    ) -> PeriodRelation<Out, Natural> {
+        let mut raw: BTreeMap<Out, Vec<(Interval, Natural)>> = BTreeMap::new();
+        for t in self.domain.points() {
+            let snap = self.timeslice(t);
+            let res = snap.aggregate_grouped(&group, &agg);
+            for (tuple, k) in res.iter() {
+                raw.entry(tuple.clone())
+                    .or_default()
+                    .push((Interval::singleton(t), *k));
+            }
+        }
+        let mut out = PeriodRelation::empty(self.domain);
+        for (t, pairs) in raw {
+            let e = TemporalElement::from_pairs(pairs);
+            if !e.is_empty() {
+                out.tuples.insert(t, e);
+            }
+        }
+        out
+    }
+
+    /// Aggregation without grouping per Definition 7.1: every snapshot —
+    /// including empty ones — produces a result tuple, so gaps appear in the
+    /// output with their correct aggregate values (no AG bug).
+    pub fn aggregate_global<Out: KTuple>(
+        &self,
+        agg: impl Fn(&[(&Tup, u64)]) -> Out,
+    ) -> PeriodRelation<Out, Natural> {
+        let mut raw: BTreeMap<Out, Vec<(Interval, Natural)>> = BTreeMap::new();
+        for t in self.domain.points() {
+            let snap = self.timeslice(t);
+            let res = snap.aggregate_global(&agg);
+            for (tuple, k) in res.iter() {
+                raw.entry(tuple.clone())
+                    .or_default()
+                    .push((Interval::singleton(t), *k));
+            }
+        }
+        let mut out = PeriodRelation::empty(self.domain);
+        for (t, pairs) in raw {
+            let e = TemporalElement::from_pairs(pairs);
+            if !e.is_empty() {
+                out.tuples.insert(t, e);
+            }
+        }
+        out
+    }
+}
+
+impl<Tup, K> fmt::Display for PeriodRelation<Tup, K>
+where
+    Tup: KTuple + fmt::Display,
+    K: CommutativeSemiring + fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.tuples {
+            writeln!(f, "{t} ↦ {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::Natural;
+
+    type Tup = (&'static str, &'static str);
+
+    fn domain() -> TimeDomain {
+        TimeDomain::new(0, 24)
+    }
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e)
+    }
+
+    /// works from Figure 1/2.
+    pub fn works() -> PeriodRelation<Tup, Natural> {
+        PeriodRelation::from_facts(
+            domain(),
+            [
+                (("Ann", "SP"), iv(3, 10), Natural(1)),
+                (("Joe", "NS"), iv(8, 16), Natural(1)),
+                (("Sam", "SP"), iv(8, 16), Natural(1)),
+                (("Ann", "SP"), iv(18, 20), Natural(1)),
+            ],
+        )
+    }
+
+    /// assign from Figure 1.
+    pub fn assign() -> PeriodRelation<Tup, Natural> {
+        PeriodRelation::from_facts(
+            domain(),
+            [
+                (("M1", "SP"), iv(3, 12), Natural(1)),
+                (("M2", "SP"), iv(6, 14), Natural(1)),
+                (("M3", "NS"), iv(3, 16), Natural(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure_2_logical_model() {
+        let w = works();
+        // (Ann, SP) merged into one tuple with two intervals.
+        let ann = w.annotation(&("Ann", "SP"));
+        assert_eq!(
+            ann.entries(),
+            &[(iv(3, 10), Natural(1)), (iv(18, 20), Natural(1))]
+        );
+        assert_eq!(w.len(), 3);
+        assert!(w.is_normal_form());
+    }
+
+    #[test]
+    fn timeslice_matches_figure_2() {
+        let w = works();
+        let s8 = w.timeslice(TimePoint::new(8));
+        assert_eq!(s8.len(), 3);
+        let s0 = w.timeslice(TimePoint::new(0));
+        assert!(s0.is_empty());
+    }
+
+    #[test]
+    fn example_6_1_projection() {
+        // Π_skill(works): (SP) annotated with T1 + T2.
+        let skills = works().project(|t| t.1);
+        let sp = skills.annotation(&"SP");
+        assert_eq!(
+            sp.entries(),
+            &[
+                (iv(3, 8), Natural(1)),
+                (iv(8, 10), Natural(2)),
+                (iv(10, 16), Natural(1)),
+                (iv(18, 20), Natural(1)),
+            ]
+        );
+        let ns = skills.annotation(&"NS");
+        assert_eq!(ns.entries(), &[(iv(8, 16), Natural(1))]);
+    }
+
+    #[test]
+    fn q_skillreq_difference_matches_figure_1c() {
+        // Π_skill(assign) − Π_skill(works), Section 7.1 worked example.
+        let lhs = assign().project(|t| t.1);
+        let rhs = works().project(|t| t.1);
+        let diff = lhs.difference(&rhs);
+        assert_eq!(
+            diff.annotation(&"SP").entries(),
+            &[(iv(6, 8), Natural(1)), (iv(10, 12), Natural(1))]
+        );
+        assert_eq!(
+            diff.annotation(&"NS").entries(),
+            &[(iv(3, 8), Natural(1))]
+        );
+        assert_eq!(diff.len(), 2);
+    }
+
+    #[test]
+    fn q_onduty_aggregation_matches_figure_1b() {
+        // count(*) over σ_skill=SP(works) with gap rows (Definition 7.1).
+        let counts = works()
+            .select(|t| t.1 == "SP")
+            .aggregate_global(|ms| ms.iter().map(|(_, m)| m).sum::<u64>());
+        assert_eq!(
+            counts.annotation(&0u64).entries(),
+            &[
+                (iv(0, 3), Natural(1)),
+                (iv(16, 18), Natural(1)),
+                (iv(20, 24), Natural(1)),
+            ]
+        );
+        assert_eq!(
+            counts.annotation(&1u64).entries(),
+            &[
+                (iv(3, 8), Natural(1)),
+                (iv(10, 16), Natural(1)),
+                (iv(18, 20), Natural(1)),
+            ]
+        );
+        assert_eq!(counts.annotation(&2u64).entries(), &[(iv(8, 10), Natural(1))]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let w = works();
+        let snapshot = w.decode();
+        let back = PeriodRelation::encode(&snapshot);
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn encode_coalesces_across_adjacent_points() {
+        // A tuple present at 3,4,5 with multiplicity 2 becomes [3,6) -> 2.
+        let d = TimeDomain::new(0, 10);
+        let mut s: SnapshotRelation<&str, Natural> = SnapshotRelation::empty(d);
+        for t in 3..6 {
+            s.add_at(TimePoint::new(t), "x", Natural(2));
+        }
+        let p = PeriodRelation::encode(&s);
+        assert_eq!(p.annotation(&"x").entries(), &[(iv(3, 6), Natural(2))]);
+    }
+
+    #[test]
+    fn join_intersects_periods() {
+        let w = works();
+        let a = assign();
+        let j = w.join(&a, |wt, at| (wt.1 == at.1).then(|| (wt.0, at.0)));
+        // Ann [3,10) joins M1 [3,12) on SP → [3,10).
+        assert_eq!(
+            j.annotation(&("Ann", "M1")).entries(),
+            &[(iv(3, 10), Natural(1))]
+        );
+        // Sam [8,16) joins M2 [6,14) → [8,14).
+        assert_eq!(
+            j.annotation(&("Sam", "M2")).entries(),
+            &[(iv(8, 14), Natural(1))]
+        );
+    }
+
+    #[test]
+    fn union_sums_histories() {
+        let w = works();
+        let u = w.union(&w);
+        assert_eq!(
+            u.annotation(&("Sam", "SP")).entries(),
+            &[(iv(8, 16), Natural(2))]
+        );
+    }
+
+    #[test]
+    fn facts_outside_domain_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            PeriodRelation::from_facts(
+                TimeDomain::new(0, 10),
+                [(("x", "y"), iv(5, 15), Natural(1))],
+            )
+        });
+        assert!(result.is_err());
+    }
+}

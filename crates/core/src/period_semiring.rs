@@ -1,0 +1,229 @@
+//! The period semiring `K^T` (paper Section 6) and its monus (Section 7.1).
+//!
+//! For any commutative semiring `K` and time domain `T`, the coalesced
+//! temporal K-elements form a commutative semiring
+//! `K^T = (TEC_K, +_{K^T}, ·_{K^T}, 0_{K^T}, 1_{K^T})` (Theorem 6.2):
+//!
+//! * `0` maps every interval to `0K` ([`TemporalElement::empty`]),
+//! * `1` maps `[Tmin, Tmax)` to `1K` — this is why the semiring context of
+//!   `K^T` is the [`TimeDomain`],
+//! * `+`/`·` are the coalesced point-wise operations.
+//!
+//! If `K` is an m-semiring, so is `K^T` (Theorem 7.1), with the point-wise
+//! monus. The timeslice `τ_T : K^T → K` is an (m-)semiring homomorphism
+//! (Theorems 6.3 and 7.2), which is the engine of all snapshot-reducibility
+//! results: homomorphisms commute with K-relational queries.
+
+use crate::telement::TemporalElement;
+use semiring::{CommutativeSemiring, FnHom, MSemiring, NaturallyOrdered, SemiringHomomorphism};
+use timeline::{TimeDomain, TimePoint};
+
+impl<K> CommutativeSemiring for TemporalElement<K>
+where
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    /// The time domain `T`; needed to build `1_{K^T}`.
+    type Ctx = TimeDomain;
+
+    fn zero(_: &TimeDomain) -> Self {
+        TemporalElement::empty()
+    }
+
+    fn one(domain: &TimeDomain) -> Self {
+        TemporalElement::singleton(domain.full_interval(), K::one(&K::Ctx::default()))
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        TemporalElement::plus(self, other)
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        TemporalElement::times(self, other)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl<K> NaturallyOrdered for TemporalElement<K>
+where
+    K: NaturallyOrdered,
+    K::Ctx: Default,
+{
+    /// `k ≤_{K^T} k' ⇔ ∀T: τ_T(k) ≤_K τ_T(k')` (proof of Theorem 7.1).
+    fn natural_leq(&self, other: &Self) -> bool {
+        // It suffices to compare on the union of both elements' changepoints:
+        // between consecutive changepoints both sides are constant.
+        let zero = K::zero(&K::Ctx::default());
+        let mut pts: Vec<TimePoint> = self
+            .changepoints()
+            .into_iter()
+            .chain(other.changepoints())
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        pts.iter().all(|&p| {
+            let a = self.at(p).unwrap_or(&zero);
+            let b = other.at(p).unwrap_or(&zero);
+            a.natural_leq(b)
+        })
+    }
+}
+
+impl<K> MSemiring for TemporalElement<K>
+where
+    K: MSemiring,
+    K::Ctx: Default,
+{
+    /// The point-wise monus, coalesced (Theorem 7.1:
+    /// `k −_{K^T} k' = C_K(k −_{KP} k')`).
+    fn monus(&self, other: &Self) -> Self {
+        TemporalElement::monus(self, other)
+    }
+}
+
+/// The timeslice homomorphism `τ_T : K^T → K` (Theorem 6.3).
+///
+/// Because homomorphisms commute with K-relational queries, evaluating a
+/// query over `K^T`-annotated relations and then slicing at `T` equals
+/// slicing first and evaluating over `K` — snapshot-reducibility.
+pub fn timeslice_hom<K>(t: TimePoint) -> impl SemiringHomomorphism<TemporalElement<K>, K>
+where
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    FnHom(move |e: &TemporalElement<K>| e.timeslice(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use semiring::{laws, Boolean, Lineage, Natural};
+    use timeline::Interval;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e)
+    }
+
+    fn nat(pairs: &[(i64, i64, u64)]) -> TemporalElement<Natural> {
+        TemporalElement::from_pairs(pairs.iter().map(|&(b, e, k)| (iv(b, e), Natural(k))))
+    }
+
+    fn raw_element() -> impl Strategy<Value = TemporalElement<Natural>> {
+        proptest::collection::vec(
+            (0i64..20, 1i64..8, 0u64..4).prop_map(|(b, len, k)| (iv(b, b + len), Natural(k))),
+            0..6,
+        )
+        .prop_map(TemporalElement::from_pairs)
+    }
+
+    #[test]
+    fn neutral_elements() {
+        let d = TimeDomain::new(0, 24);
+        let zero = TemporalElement::<Natural>::zero(&d);
+        let one = TemporalElement::<Natural>::one(&d);
+        assert!(zero.is_empty());
+        assert_eq!(one.entries(), &[(iv(0, 24), Natural(1))]);
+
+        let a = nat(&[(3, 9, 2)]);
+        assert_eq!(a.plus(&zero), a);
+        assert_eq!(CommutativeSemiring::times(&a, &one), a);
+        assert_eq!(CommutativeSemiring::times(&a, &zero), zero);
+    }
+
+    #[test]
+    fn one_is_clipped_to_domain() {
+        // times with 1 restricted to a small domain clips nothing because
+        // all elements live inside the domain by construction.
+        let d = TimeDomain::new(0, 10);
+        let one = TemporalElement::<Natural>::one(&d);
+        let a = nat(&[(2, 8, 3)]);
+        assert_eq!(CommutativeSemiring::times(&a, &one), a);
+    }
+
+    #[test]
+    fn works_for_boolean_and_lineage() {
+        let d = TimeDomain::new(0, 10);
+        let a = TemporalElement::singleton(iv(0, 6), Boolean(true));
+        let b = TemporalElement::singleton(iv(4, 10), Boolean(true));
+        let sum = a.plus(&b);
+        assert_eq!(sum.entries(), &[(iv(0, 10), Boolean(true))]);
+        assert_eq!(
+            TemporalElement::<Boolean>::one(&d).entries(),
+            &[(iv(0, 10), Boolean(true))]
+        );
+
+        let la = TemporalElement::singleton(iv(0, 6), Lineage::of(1));
+        let lb = TemporalElement::singleton(iv(4, 10), Lineage::of(2));
+        let prod = CommutativeSemiring::times(&la, &lb);
+        assert_eq!(prod.entries(), &[(iv(4, 6), Lineage::from_ids([1, 2]))]);
+    }
+
+    #[test]
+    fn timeslice_is_homomorphism_on_examples() {
+        let d = TimeDomain::new(0, 24);
+        let a = nat(&[(3, 10, 1), (18, 20, 1)]);
+        let b = nat(&[(8, 16, 1)]);
+        for t in 0..24 {
+            let h = timeslice_hom::<Natural>(TimePoint::new(t));
+            laws::assert_homomorphism(&h, &d, &(), &a, &b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Theorem 6.2: K^T satisfies the commutative semiring laws.
+        #[test]
+        fn period_semiring_laws(a in raw_element(), b in raw_element(), c in raw_element()) {
+            let d = TimeDomain::new(0, 40);
+            laws::assert_semiring_laws(&d, &a, &b, &c);
+        }
+
+        /// Theorem 7.1: K^T has a well-defined monus satisfying the laws.
+        #[test]
+        fn period_monus_laws(a in raw_element(), b in raw_element()) {
+            let d = TimeDomain::new(0, 40);
+            laws::assert_monus_laws(&d, &a, &b);
+        }
+
+        /// Theorems 6.3 / 7.2: τ_T is an (m-)semiring homomorphism.
+        #[test]
+        fn timeslice_homomorphism(a in raw_element(), b in raw_element(), t in 0i64..30) {
+            let d = TimeDomain::new(0, 40);
+            let h = timeslice_hom::<Natural>(TimePoint::new(t));
+            laws::assert_homomorphism(&h, &d, &(), &a, &b);
+            // monus commutes as well (m-semiring homomorphism)
+            let m = MSemiring::monus(&a, &b);
+            prop_assert_eq!(
+                m.timeslice(TimePoint::new(t)),
+                MSemiring::monus(&a.timeslice(TimePoint::new(t)), &b.timeslice(TimePoint::new(t)))
+            );
+        }
+
+        /// Lemma 6.1: coalescing can be pushed into the point-wise ops —
+        /// operating on coalesced inputs gives the same normal form as
+        /// operating on any equivalent raw inputs.
+        #[test]
+        fn coalesce_pushes_through(raw in proptest::collection::vec(
+            (0i64..20, 1i64..8, 0u64..4).prop_map(|(b, len, k)| (iv(b, b + len), Natural(k))),
+            0..6,
+        ), b in raw_element()) {
+            // Split the raw pairs into two halves; summing the halves after
+            // coalescing each must equal coalescing everything at once.
+            let mid = raw.len() / 2;
+            let left = TemporalElement::from_pairs(raw[..mid].to_vec());
+            let right = TemporalElement::from_pairs(raw[mid..].to_vec());
+            let all = TemporalElement::from_pairs(raw);
+            prop_assert_eq!(left.plus(&right), all.clone());
+            // And products distribute over the decomposition equally.
+            prop_assert_eq!(
+                CommutativeSemiring::times(&all, &b),
+                CommutativeSemiring::times(&left, &b).plus(&CommutativeSemiring::times(&right, &b))
+            );
+        }
+    }
+}

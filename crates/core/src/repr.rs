@@ -1,0 +1,235 @@
+//! Executable checks for the representation-system conditions
+//! (paper Definition 4.5).
+//!
+//! A representation system for snapshot K-databases must satisfy, for every
+//! snapshot database `D`, encoding `E`, time point `T`, and query `Q`:
+//!
+//! 1. **uniqueness** — `ENC(E) = ENC(E') ⇒ E = E'`,
+//! 2. **snapshot-reducibility** — `τ_T(Q(E)) = Q(τ_T(E))`,
+//! 3. **snapshot-preservation** — `ENC(E) = D ⇒ τ_T(E) = τ_T(D)`.
+//!
+//! The paper proves these for period K-relations (Theorem 6.6 for `RA+`,
+//! Theorems 7.1–7.3 for difference and aggregation). This module provides
+//! the corresponding *executable* checks used by the property-test suites:
+//! each function verifies one condition on concrete data and returns a
+//! diagnostic on failure.
+
+use crate::krelation::KTuple;
+use crate::period_relation::PeriodRelation;
+use crate::snapshot::SnapshotRelation;
+use semiring::CommutativeSemiring;
+
+/// Condition 1 (uniqueness): the encoding of a snapshot relation is in
+/// normal form, and re-encoding its decoding reproduces it exactly.
+pub fn check_uniqueness<Tup, K>(rel: &PeriodRelation<Tup, K>) -> Result<(), String>
+where
+    Tup: KTuple,
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    if !rel.is_normal_form() {
+        return Err("encoding is not K-coalesced".into());
+    }
+    let roundtrip = PeriodRelation::encode(&rel.decode());
+    if &roundtrip != rel {
+        return Err("ENC(ENC⁻¹(R)) differs from R: encoding not unique".into());
+    }
+    Ok(())
+}
+
+/// Condition 3 (snapshot-preservation): every timeslice of the encoding
+/// equals the corresponding snapshot of the abstract relation (Lemma 6.5).
+pub fn check_snapshot_preservation<Tup, K>(
+    abstract_rel: &SnapshotRelation<Tup, K>,
+    encoded: &PeriodRelation<Tup, K>,
+) -> Result<(), String>
+where
+    Tup: KTuple,
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    for t in abstract_rel.domain().points() {
+        if encoded.timeslice(t) != abstract_rel.timeslice(t) {
+            return Err(format!("snapshot at {t} not preserved by encoding"));
+        }
+    }
+    Ok(())
+}
+
+/// Condition 2 (snapshot-reducibility) for a unary query: evaluating over
+/// the encoding and slicing equals slicing and evaluating per snapshot.
+///
+/// `logical_query` runs on the period relation (annotations in `K^T`);
+/// `snapshot_query` is the corresponding non-temporal query on K-relations.
+pub fn check_snapshot_reducibility<Tup, Out, K>(
+    input: &PeriodRelation<Tup, K>,
+    logical_query: impl Fn(&PeriodRelation<Tup, K>) -> PeriodRelation<Out, K>,
+    snapshot_query: impl Fn(
+        &crate::krelation::KRelation<Tup, K>,
+    ) -> crate::krelation::KRelation<Out, K>,
+) -> Result<(), String>
+where
+    Tup: KTuple,
+    Out: KTuple,
+    K: CommutativeSemiring,
+    K::Ctx: Default,
+{
+    let logical_result = logical_query(input);
+    for t in input.domain().points() {
+        let sliced_then_queried = snapshot_query(&input.timeslice(t));
+        let queried_then_sliced = logical_result.timeslice(t);
+        if sliced_then_queried != queried_then_sliced {
+            return Err(format!(
+                "snapshot-reducibility violated at {t}: τ(Q(R)) ≠ Q(τ(R))"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use semiring::Natural;
+    use timeline::{Interval, TimeDomain};
+
+    type Tup = (u8, u8);
+
+    fn arb_period_relation() -> impl Strategy<Value = PeriodRelation<Tup, Natural>> {
+        proptest::collection::vec(
+            (0u8..4, 0u8..4, 0i64..16, 1i64..8, 1u64..3),
+            0..10,
+        )
+        .prop_map(|facts| {
+            PeriodRelation::from_facts(
+                TimeDomain::new(0, 24),
+                facts.into_iter().map(|(a, b, s, len, m)| {
+                    ((a, b), Interval::new(s, s + len), Natural(m))
+                }),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn uniqueness_holds(rel in arb_period_relation()) {
+            prop_assert!(check_uniqueness(&rel).is_ok());
+        }
+
+        #[test]
+        fn snapshot_preservation_holds(rel in arb_period_relation()) {
+            let abstract_rel = rel.decode();
+            let encoded = PeriodRelation::encode(&abstract_rel);
+            prop_assert!(check_snapshot_preservation(&abstract_rel, &encoded).is_ok());
+        }
+
+        #[test]
+        fn reducibility_selection(rel in arb_period_relation()) {
+            prop_assert!(check_snapshot_reducibility(
+                &rel,
+                |r| r.select(|t| t.0 % 2 == 0),
+                |s| s.select(|t| t.0 % 2 == 0),
+            ).is_ok());
+        }
+
+        #[test]
+        fn reducibility_projection(rel in arb_period_relation()) {
+            prop_assert!(check_snapshot_reducibility(
+                &rel,
+                |r| r.project(|t| t.0),
+                |s| s.project(|t| t.0),
+            ).is_ok());
+        }
+
+        #[test]
+        fn reducibility_self_join(rel in arb_period_relation()) {
+            prop_assert!(check_snapshot_reducibility(
+                &rel,
+                |r| r.join(r, |t1, t2| (t1.1 == t2.0).then_some((t1.0, t2.1))),
+                |s| s.join(s, |t1, t2| (t1.1 == t2.0).then_some((t1.0, t2.1))),
+            ).is_ok());
+        }
+
+        #[test]
+        fn reducibility_union(rel in arb_period_relation(), rel2 in arb_period_relation()) {
+            let logical = rel.union(&rel2);
+            for t in rel.domain().points() {
+                let expect = rel.timeslice(t).union(&rel2.timeslice(t));
+                prop_assert_eq!(logical.timeslice(t), expect);
+            }
+        }
+
+        #[test]
+        fn reducibility_difference(rel in arb_period_relation(), rel2 in arb_period_relation()) {
+            let logical = rel.difference(&rel2);
+            for t in rel.domain().points() {
+                let expect = rel.timeslice(t).difference(&rel2.timeslice(t));
+                prop_assert_eq!(logical.timeslice(t), expect);
+            }
+        }
+
+        /// Definition 7.1 aggregation is snapshot-reducible by construction;
+        /// verify the implementation agrees (Theorem 7.3).
+        #[test]
+        fn reducibility_aggregation(rel in arb_period_relation()) {
+            let logical = rel.aggregate_grouped(
+                |t| t.0,
+                |g, ms| (*g, ms.iter().map(|(_, m)| m).sum::<u64>()),
+            );
+            for t in rel.domain().points() {
+                let expect = rel.timeslice(t).aggregate_grouped(
+                    |t| t.0,
+                    |g, ms| (*g, ms.iter().map(|(_, m)| m).sum::<u64>()),
+                );
+                prop_assert_eq!(logical.timeslice(t), expect);
+            }
+        }
+
+        #[test]
+        fn reducibility_global_aggregation(rel in arb_period_relation()) {
+            let logical = rel.aggregate_global(
+                |ms| ms.iter().map(|(_, m)| m).sum::<u64>(),
+            );
+            for t in rel.domain().points() {
+                let expect = rel.timeslice(t).aggregate_global(
+                    |ms| ms.iter().map(|(_, m)| m).sum::<u64>(),
+                );
+                prop_assert_eq!(logical.timeslice(t), expect);
+            }
+        }
+
+        /// Equivalent algebra expressions produce identical (not merely
+        /// equivalent) encodings — the unique-encoding desideratum that
+        /// interval preservation and change preservation fail.
+        #[test]
+        fn equivalent_queries_identical_encoding(rel in arb_period_relation()) {
+            // Π_a(R) vs Π_a(σ_true(R)) vs Π_a(R ∪ ∅)
+            let direct = rel.project(|t| t.0);
+            let via_select = rel.select(|_| true).project(|t| t.0);
+            let via_union = rel
+                .union(&PeriodRelation::empty(rel.domain()))
+                .project(|t| t.0);
+            prop_assert_eq!(&direct, &via_select);
+            prop_assert_eq!(&direct, &via_union);
+        }
+    }
+
+    #[test]
+    fn check_functions_report_errors() {
+        // Manufacture a non-reducible "query" to ensure the checker catches it.
+        let rel = PeriodRelation::from_facts(
+            TimeDomain::new(0, 10),
+            [((1u8, 1u8), Interval::new(0, 5), Natural(1))],
+        );
+        let r = check_snapshot_reducibility(
+            &rel,
+            |r| r.select(|_| true),
+            |s| s.select(|_| false), // deliberately different
+        );
+        assert!(r.is_err());
+        assert!(r.unwrap_err().contains("snapshot-reducibility violated"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Snapshot K-relations: the abstract model (paper Section 4.2).
+//!
+//! A snapshot K-relation is a function `T → R_{K,R}` assigning a K-relation
+//! to every time point. Snapshot semantics (Definition 4.4) evaluates a
+//! query point-wise: `Q(D)(T) = Q(D(T))`. This model is verbose — the paper
+//! uses it as the semantic ground truth against which the compact logical
+//! model is proven correct — and this crate uses it the same way: the
+//! point-wise oracle in the `baseline` crate and the property tests both
+//! evaluate queries in this model and compare.
+
+use crate::krelation::{KRelation, KTuple};
+use semiring::CommutativeSemiring;
+use std::collections::BTreeMap;
+use timeline::{TimeDomain, TimePoint};
+
+/// The abstract model: one K-relation per time point of the domain.
+///
+/// Time points without an explicit entry map to the empty K-relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRelation<Tup, K> {
+    domain: TimeDomain,
+    snaps: BTreeMap<TimePoint, KRelation<Tup, K>>,
+}
+
+impl<Tup: KTuple, K: CommutativeSemiring> SnapshotRelation<Tup, K> {
+    /// The everywhere-empty snapshot relation over `domain`.
+    pub fn empty(domain: TimeDomain) -> Self {
+        SnapshotRelation {
+            domain,
+            snaps: BTreeMap::new(),
+        }
+    }
+
+    /// Builds the relation from an explicit assignment of snapshots.
+    ///
+    /// # Panics
+    /// Panics if a time point lies outside the domain.
+    pub fn from_snapshots<I>(domain: TimeDomain, snaps: I) -> Self
+    where
+        I: IntoIterator<Item = (TimePoint, KRelation<Tup, K>)>,
+    {
+        let mut rel = Self::empty(domain);
+        for (t, snap) in snaps {
+            rel.set_snapshot(t, snap);
+        }
+        rel
+    }
+
+    /// The time domain `T`.
+    pub fn domain(&self) -> TimeDomain {
+        self.domain
+    }
+
+    /// Replaces the snapshot at `t`.
+    pub fn set_snapshot(&mut self, t: TimePoint, snap: KRelation<Tup, K>) {
+        assert!(
+            self.domain.contains(t),
+            "time point {t} outside domain {}",
+            self.domain
+        );
+        if snap.is_empty() {
+            self.snaps.remove(&t);
+        } else {
+            self.snaps.insert(t, snap);
+        }
+    }
+
+    /// Adds annotation `k` to tuple `t` at a single time point.
+    pub fn add_at(&mut self, time: TimePoint, tuple: Tup, k: K) {
+        assert!(
+            self.domain.contains(time),
+            "time point {time} outside domain {}",
+            self.domain
+        );
+        self.snaps.entry(time).or_default().add(tuple, k);
+        if self.snaps.get(&time).is_some_and(|s| s.is_empty()) {
+            self.snaps.remove(&time);
+        }
+    }
+
+    /// The timeslice operator `τ_T(R) = R(T)` (Section 4.2).
+    pub fn timeslice(&self, t: TimePoint) -> KRelation<Tup, K> {
+        self.snaps.get(&t).cloned().unwrap_or_default()
+    }
+
+    /// Snapshot semantics (Definition 4.4): applies a non-temporal query to
+    /// every snapshot of the domain.
+    ///
+    /// Note the iteration covers *all* time points, not just populated ones:
+    /// queries such as `count(*)` produce non-empty output from empty input,
+    /// which is exactly the behaviour the aggregation-gap bug loses.
+    pub fn eval_query<Out: KTuple, K2: CommutativeSemiring>(
+        &self,
+        query: impl Fn(&KRelation<Tup, K>) -> KRelation<Out, K2>,
+    ) -> SnapshotRelation<Out, K2> {
+        let mut out = SnapshotRelation::empty(self.domain);
+        let empty = KRelation::empty();
+        for t in self.domain.points() {
+            let snap = self.snaps.get(&t).unwrap_or(&empty);
+            let res = query(snap);
+            if !res.is_empty() {
+                out.snaps.insert(t, res);
+            }
+        }
+        out
+    }
+
+    /// Binary variant of [`SnapshotRelation::eval_query`] for joins, unions,
+    /// and difference.
+    pub fn eval_query2<Tup2: KTuple, Out: KTuple, K2: CommutativeSemiring>(
+        &self,
+        other: &SnapshotRelation<Tup2, K>,
+        query: impl Fn(&KRelation<Tup, K>, &KRelation<Tup2, K>) -> KRelation<Out, K2>,
+    ) -> SnapshotRelation<Out, K2> {
+        assert_eq!(
+            self.domain, other.domain,
+            "snapshot relations must share a time domain"
+        );
+        let mut out = SnapshotRelation::empty(self.domain);
+        let (e1, e2) = (KRelation::empty(), KRelation::empty());
+        for t in self.domain.points() {
+            let s1 = self.snaps.get(&t).unwrap_or(&e1);
+            let s2 = other.snaps.get(&t).unwrap_or(&e2);
+            let res = query(s1, s2);
+            if !res.is_empty() {
+                out.snaps.insert(t, res);
+            }
+        }
+        out
+    }
+
+    /// Snapshot-equivalence `~` (Section 4.3): equality of every snapshot.
+    /// Because empty snapshots are never stored, this is structural equality.
+    pub fn snapshot_equivalent(&self, other: &Self) -> bool {
+        self == other
+    }
+
+    /// Iterates over the populated snapshots in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TimePoint, &KRelation<Tup, K>)> {
+        self.snaps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::Natural;
+
+    type Tup = (&'static str, &'static str);
+
+    /// The works relation of Figure 1 in the abstract model.
+    pub fn works_abstract() -> SnapshotRelation<Tup, Natural> {
+        let d = TimeDomain::new(0, 24);
+        let mut r = SnapshotRelation::empty(d);
+        let facts: [(&str, &str, i64, i64); 4] = [
+            ("Ann", "SP", 3, 10),
+            ("Joe", "NS", 8, 16),
+            ("Sam", "SP", 8, 16),
+            ("Ann", "SP", 18, 20),
+        ];
+        for (name, skill, b, e) in facts {
+            for t in b..e {
+                r.add_at(TimePoint::new(t), (name, skill), Natural(1));
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn figure_2_snapshots() {
+        let r = works_abstract();
+        // At 08 three tuples, each multiplicity 1.
+        let s8 = r.timeslice(TimePoint::new(8));
+        assert_eq!(s8.len(), 3);
+        assert_eq!(s8.get(&("Ann", "SP"), &()), Natural(1));
+        // At 00 empty; at 18 just Ann.
+        assert!(r.timeslice(TimePoint::new(0)).is_empty());
+        let s18 = r.timeslice(TimePoint::new(18));
+        assert_eq!(s18.len(), 1);
+        assert!(s18.contains(&("Ann", "SP")));
+    }
+
+    #[test]
+    fn q_onduty_under_snapshot_semantics() {
+        // count(*) where skill = SP, evaluated per snapshot (Figure 1b).
+        let r = works_abstract();
+        let result = r.eval_query(|snap| {
+            snap.select(|t| t.1 == "SP")
+                .aggregate_global(|ms| ms.iter().map(|(_, m)| m).sum::<u64>())
+        });
+        // Expected counts per Figure 1b.
+        let expect = |t: i64| -> u64 {
+            match t {
+                0..=2 => 0,
+                3..=7 => 1,
+                8..=9 => 2,
+                10..=15 => 1,
+                16..=17 => 0,
+                18..=19 => 1,
+                _ => 0,
+            }
+        };
+        for t in 0..24 {
+            let snap = result.timeslice(TimePoint::new(t));
+            assert_eq!(
+                snap.get(&expect(t), &()),
+                Natural(1),
+                "wrong count at time {t}"
+            );
+            assert_eq!(snap.len(), 1, "exactly one count tuple at {t}");
+        }
+    }
+
+    #[test]
+    fn add_at_outside_domain_panics() {
+        let d = TimeDomain::new(0, 10);
+        let mut r: SnapshotRelation<&str, Natural> = SnapshotRelation::empty(d);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.add_at(TimePoint::new(10), "x", Natural(1));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_snapshots_not_stored() {
+        let d = TimeDomain::new(0, 10);
+        let mut r: SnapshotRelation<&str, Natural> = SnapshotRelation::empty(d);
+        r.add_at(TimePoint::new(3), "x", Natural(1));
+        r.add_at(TimePoint::new(3), "x", Natural(0));
+        assert_eq!(r.iter().count(), 1);
+        r.set_snapshot(TimePoint::new(3), KRelation::empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+}

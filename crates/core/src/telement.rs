@@ -1,0 +1,537 @@
+//! Temporal K-elements and K-coalescing (paper Section 5).
+//!
+//! A *temporal K-element* records how the K-annotation of a tuple changes
+//! over time: a partial map from intervals to semiring elements, where the
+//! annotation at a point `T` is the **sum** of the values of all intervals
+//! containing `T`. Because many maps encode the same annotation history, the
+//! paper introduces *K-coalescing* (Definition 5.3), a generalization of
+//! classic set-semantics coalescing, which produces the unique normal form:
+//! maximal intervals of constant, non-zero annotation.
+//!
+//! [`TemporalElement`] always holds the normal form; arbitrary
+//! interval-to-annotation assignments enter through [`TemporalElement::from_pairs`]
+//! (which coalesces) and only exist transiently inside the point-wise
+//! operations `+KP`, `·KP`, `−KP` of the period semiring.
+
+use semiring::{CommutativeSemiring, MSemiring};
+use std::fmt;
+use timeline::{Interval, TimePoint};
+
+/// A temporal K-element in K-coalesced normal form.
+///
+/// Invariants (checked in debug builds, relied upon everywhere):
+/// 1. entries are sorted by interval begin,
+/// 2. intervals are pairwise disjoint,
+/// 3. adjacent intervals carry *different* annotations (maximality),
+/// 4. no annotation is `0K`.
+///
+/// Under these invariants, structural equality coincides with
+/// snapshot-equivalence (`~`), which is exactly the uniqueness statement of
+/// Lemma 5.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemporalElement<K> {
+    entries: Vec<(Interval, K)>,
+}
+
+impl<K: CommutativeSemiring> Default for TemporalElement<K> {
+    fn default() -> Self {
+        TemporalElement::empty()
+    }
+}
+
+impl<K: CommutativeSemiring> TemporalElement<K> {
+    /// The element mapping every interval to `0K` (the zero of `K^T`).
+    pub fn empty() -> Self {
+        TemporalElement {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An element assigning `k` to a single interval.
+    pub fn singleton(interval: Interval, k: K) -> Self {
+        if k.is_zero() {
+            return Self::empty();
+        }
+        TemporalElement {
+            entries: vec![(interval, k)],
+        }
+    }
+
+    /// Builds the normal form from an arbitrary interval → K assignment
+    /// (this *is* `C_K`, Definition 5.3).
+    ///
+    /// Overlapping intervals contribute the sum of their annotations at every
+    /// shared point; intervals mapped to `0K` are ignored.
+    pub fn from_pairs<I: IntoIterator<Item = (Interval, K)>>(pairs: I) -> Self {
+        let mut pairs: Vec<(Interval, K)> =
+            pairs.into_iter().filter(|(_, k)| !k.is_zero()).collect();
+        if pairs.is_empty() {
+            return Self::empty();
+        }
+        if pairs.len() == 1 {
+            return TemporalElement { entries: pairs };
+        }
+        pairs.sort_by_key(|(i, _)| (i.begin(), i.end()));
+
+        // Collect the endpoint set; consecutive endpoints delimit elementary
+        // segments on which the point-wise sum is constant (the CPI intervals
+        // of Definition 5.2 are unions of these).
+        let mut endpoints: Vec<TimePoint> = Vec::with_capacity(pairs.len() * 2);
+        for (i, _) in &pairs {
+            endpoints.push(i.begin());
+            endpoints.push(i.end());
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+
+        // Sweep: walk the elementary segments left to right, maintaining the
+        // set of input intervals covering the current segment.
+        let mut entries: Vec<(Interval, K)> = Vec::new();
+        let mut active: Vec<(Interval, K)> = Vec::new();
+        let mut next = 0usize; // next input pair to activate
+        for seg in endpoints.windows(2) {
+            let seg = Interval::new(seg[0], seg[1]);
+            active.retain(|(i, _)| i.end() > seg.begin());
+            while next < pairs.len() && pairs[next].0.begin() <= seg.begin() {
+                if pairs[next].0.end() > seg.begin() {
+                    active.push(pairs[next].clone());
+                } // else: interval already entirely to the left (possible
+                  // because pairs are sorted by begin only)
+                next += 1;
+            }
+            if active.is_empty() {
+                continue;
+            }
+            let mut sum = active[0].1.clone();
+            for (_, k) in &active[1..] {
+                sum.plus_assign(k);
+            }
+            if sum.is_zero() {
+                continue;
+            }
+            // Merge with the previous entry when adjacent and equal
+            // (maximality of coalesced intervals).
+            if let Some((last_i, last_k)) = entries.last_mut() {
+                if last_i.end() == seg.begin() && *last_k == sum {
+                    *last_i = Interval::new(last_i.begin(), seg.end());
+                    continue;
+                }
+            }
+            entries.push((seg, sum));
+        }
+        let out = TemporalElement { entries };
+        debug_assert!(out.is_normal_form());
+        out
+    }
+
+    /// Whether the internal representation satisfies the normal-form
+    /// invariants of K-coalescing.
+    pub fn is_normal_form(&self) -> bool {
+        if self.entries.iter().any(|(_, k)| k.is_zero()) {
+            return false;
+        }
+        self.entries.windows(2).all(|w| {
+            let ((i1, k1), (i2, k2)) = (&w[0], &w[1]);
+            // sorted + disjoint + maximal
+            i1.end() <= i2.begin() && !(i1.end() == i2.begin() && k1 == k2)
+        })
+    }
+
+    /// The annotation valid at time `T`, or `None` when it is `0K`.
+    ///
+    /// In normal form at most one interval contains `T`, so this is a binary
+    /// search rather than a sum. [`TemporalElement::timeslice`] is the
+    /// context-free variant returning `0K` directly.
+    pub fn at(&self, t: TimePoint) -> Option<&K> {
+        let idx = self.entries.partition_point(|(i, _)| i.end() <= t);
+        match self.entries.get(idx) {
+            Some((i, k)) if i.contains(t) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The `(interval, annotation)` pairs of the normal form, in order.
+    pub fn entries(&self) -> &[(Interval, K)] {
+        &self.entries
+    }
+
+    /// Whether the element is the zero of `K^T` (annotation `0K` everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of maximal constant intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The annotation changepoints strictly within the element's support
+    /// (boundaries of the maximal constant intervals; Definition 5.2 also
+    /// includes `Tmin`, which depends on the domain and is added by callers
+    /// that need it).
+    pub fn changepoints(&self) -> Vec<TimePoint> {
+        let mut out = Vec::with_capacity(self.entries.len() * 2);
+        for (i, _) in &self.entries {
+            out.push(i.begin());
+            out.push(i.end());
+        }
+        out.dedup();
+        out
+    }
+
+    /// Point-wise sum `self +KP other`, coalesced: this is `+_{K^T}`.
+    pub fn plus(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        Self::from_pairs(
+            self.entries
+                .iter()
+                .chain(other.entries.iter())
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Point-wise product `self ·KP other`, coalesced: this is `·_{K^T}`.
+    ///
+    /// The product of values attached to a pair of overlapping intervals is
+    /// valid on their intersection; summing over all overlapping pairs is
+    /// handled by [`TemporalElement::from_pairs`].
+    pub fn times(&self, other: &Self) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Self::empty();
+        }
+        let mut pairs = Vec::new();
+        // Both operands are in normal form (sorted, disjoint), so a merge
+        // scan finds all overlapping pairs in O(n + m + #overlaps).
+        let (a, b) = (&self.entries, &other.entries);
+        let mut start = 0usize;
+        for (ia, ka) in a {
+            while start < b.len() && b[start].0.end() <= ia.begin() {
+                start += 1;
+            }
+            for (ib, kb) in &b[start..] {
+                if ib.begin() >= ia.end() {
+                    break;
+                }
+                if let Some(i) = ia.intersect(*ib) {
+                    pairs.push((i, ka.times(kb)));
+                }
+            }
+        }
+        Self::from_pairs(pairs)
+    }
+
+    /// The point-wise monus `self −KP other`, coalesced: `−_{K^T}`
+    /// (Theorem 7.1). Requires `K` to be an m-semiring.
+    ///
+    /// Instead of evaluating point by point over singleton intervals (the
+    /// definition), both operands are refined to their common interval
+    /// partition, on which the monus is constant — the same trick the
+    /// implementation layer uses via the split operator.
+    pub fn monus(&self, other: &Self) -> Self
+    where
+        K: MSemiring,
+    {
+        if self.is_empty() {
+            return Self::empty();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut endpoints: Vec<TimePoint> = self
+            .changepoints()
+            .into_iter()
+            .chain(other.changepoints())
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut pairs = Vec::new();
+        for seg in endpoints.windows(2) {
+            let seg = Interval::new(seg[0], seg[1]);
+            let Some(a) = self.at(seg.begin()) else {
+                continue;
+            };
+            let m = match other.at(seg.begin()) {
+                Some(b) => a.monus(b),
+                None => a.clone(),
+            };
+            if !m.is_zero() {
+                pairs.push((seg, m));
+            }
+        }
+        Self::from_pairs(pairs)
+    }
+
+    /// Snapshot-equivalence `~` (Section 5.1). By the uniqueness half of
+    /// Lemma 5.1 this is simply equality of normal forms; kept as a named
+    /// operation for readability of tests and checks.
+    pub fn snapshot_equivalent(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+impl<K: CommutativeSemiring> TemporalElement<K>
+where
+    K::Ctx: Default,
+{
+    /// The timeslice `τ_T` for semirings whose context is trivial.
+    pub fn timeslice(&self, t: TimePoint) -> K {
+        let idx = self.entries.partition_point(|(i, _)| i.end() <= t);
+        match self.entries.get(idx) {
+            Some((i, k)) if i.contains(t) => k.clone(),
+            _ => K::zero(&K::Ctx::default()),
+        }
+    }
+}
+
+impl<K: CommutativeSemiring + fmt::Display> fmt::Display for TemporalElement<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (iv, k)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv} ↦ {k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use semiring::{Boolean, Natural};
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e)
+    }
+
+    fn nat(pairs: &[(i64, i64, u64)]) -> TemporalElement<Natural> {
+        TemporalElement::from_pairs(pairs.iter().map(|&(b, e, k)| (iv(b, e), Natural(k))))
+    }
+
+    #[test]
+    fn example_5_1_identity() {
+        // T1 = {[03,09) -> 3, [18,20) -> 2} is already coalesced.
+        let t1 = nat(&[(3, 9, 3), (18, 20, 2)]);
+        assert_eq!(
+            t1.entries(),
+            &[(iv(3, 9), Natural(3)), (iv(18, 20), Natural(2))]
+        );
+        assert!(t1.is_normal_form());
+    }
+
+    #[test]
+    fn example_5_2_equivalent_encodings_coalesce_identically() {
+        // T2 and T3 from Example 5.2 are snapshot-equivalent to T1 restricted
+        // appropriately; their normal forms coincide.
+        let t2 = nat(&[(3, 9, 1), (3, 6, 2), (6, 9, 2), (18, 19, 2)]);
+        let t3 = nat(&[(3, 5, 3), (5, 9, 3), (18, 19, 2)]);
+        assert_eq!(t2, t3);
+        assert_eq!(t2.entries(), &[(iv(3, 9), Natural(3)), (iv(18, 19), Natural(2))]);
+    }
+
+    #[test]
+    fn example_5_3_n_coalesce() {
+        // T30k = {[3,10) -> 1, [3,13) -> 1}  ==>  {[3,10) -> 2, [10,13) -> 1}
+        let t30k = nat(&[(3, 10, 1), (3, 13, 1)]);
+        assert_eq!(
+            t30k.entries(),
+            &[(iv(3, 10), Natural(2)), (iv(10, 13), Natural(1))]
+        );
+    }
+
+    #[test]
+    fn example_5_3_b_coalesce() {
+        // Under B the same history coalesces to {[3,13) -> true}.
+        let t = TemporalElement::from_pairs([
+            (iv(3, 10), Boolean(true)),
+            (iv(3, 13), Boolean(true)),
+        ]);
+        assert_eq!(t.entries(), &[(iv(3, 13), Boolean(true))]);
+    }
+
+    #[test]
+    fn overlap_semantics_is_sum() {
+        // {[0,5) -> 2, [4,5) -> 1}: annotation at 4 is 3 (Section 5.1).
+        let t = nat(&[(0, 5, 2), (4, 5, 1)]);
+        assert_eq!(t.timeslice(TimePoint::new(4)), Natural(3));
+        assert_eq!(t.timeslice(TimePoint::new(3)), Natural(2));
+        assert_eq!(t.timeslice(TimePoint::new(5)), Natural(0));
+    }
+
+    #[test]
+    fn zero_annotations_are_dropped() {
+        let t = nat(&[(0, 5, 0)]);
+        assert!(t.is_empty());
+        let t = TemporalElement::<Natural>::from_pairs([]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timeslice_out_of_support() {
+        let t = nat(&[(3, 9, 3)]);
+        assert_eq!(t.timeslice(TimePoint::new(2)), Natural(0));
+        assert_eq!(t.timeslice(TimePoint::new(9)), Natural(0));
+        assert_eq!(t.timeslice(TimePoint::new(100)), Natural(0));
+    }
+
+    #[test]
+    fn example_6_1_projection_sum() {
+        // T1 + T2 from Example 6.1.
+        let t1 = nat(&[(3, 10, 1), (18, 20, 1)]);
+        let t2 = nat(&[(8, 16, 1)]);
+        let sum = t1.plus(&t2);
+        assert_eq!(
+            sum.entries(),
+            &[
+                (iv(3, 8), Natural(1)),
+                (iv(8, 10), Natural(2)),
+                (iv(10, 16), Natural(1)),
+                (iv(18, 20), Natural(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn section_7_1_monus_example() {
+        // assign side: {[03,06) -> 1, [06,12) -> 2, [12,14) -> 1}
+        let assign = nat(&[(3, 12, 1), (6, 14, 1)]);
+        assert_eq!(
+            assign.entries(),
+            &[
+                (iv(3, 6), Natural(1)),
+                (iv(6, 12), Natural(2)),
+                (iv(12, 14), Natural(1)),
+            ]
+        );
+        // works side: {[03,08) -> 1, [08,10) -> 2, [10,16) -> 1, [18,20) -> 1}
+        let works = nat(&[(3, 10, 1), (8, 16, 1), (18, 20, 1)]);
+        // monus: {[06,08) -> 1, [10,12) -> 1}
+        let diff = assign.monus(&works);
+        assert_eq!(
+            diff.entries(),
+            &[(iv(6, 8), Natural(1)), (iv(10, 12), Natural(1))]
+        );
+    }
+
+    #[test]
+    fn times_intersects() {
+        let a = nat(&[(0, 10, 2)]);
+        let b = nat(&[(5, 15, 3)]);
+        assert_eq!(a.times(&b).entries(), &[(iv(5, 10), Natural(6))]);
+        // Multiple overlaps sum.
+        let c = nat(&[(0, 4, 1), (6, 10, 1)]);
+        let d = nat(&[(2, 8, 1)]);
+        assert_eq!(
+            c.times(&d).entries(),
+            &[(iv(2, 4), Natural(1)), (iv(6, 8), Natural(1))]
+        );
+    }
+
+    #[test]
+    fn monus_with_empty_sides() {
+        let a = nat(&[(0, 10, 2)]);
+        let empty = TemporalElement::<Natural>::empty();
+        assert_eq!(a.monus(&empty), a);
+        assert_eq!(empty.monus(&a), empty);
+    }
+
+    // ---- property tests ----------------------------------------------
+
+    /// A strategy over raw (possibly overlapping, possibly zero) pairs.
+    fn raw_pairs() -> impl Strategy<Value = Vec<(Interval, Natural)>> {
+        proptest::collection::vec(
+            (0i64..20, 1i64..8, 0u64..4)
+                .prop_map(|(b, len, k)| (iv(b, b + len), Natural(k))),
+            0..8,
+        )
+    }
+
+    fn reference_timeslice(pairs: &[(Interval, Natural)], t: TimePoint) -> Natural {
+        let mut sum = Natural(0);
+        for (i, k) in pairs {
+            if i.contains(t) {
+                sum.plus_assign(k);
+            }
+        }
+        sum
+    }
+
+    proptest! {
+        /// Equivalence preservation (Lemma 5.1): coalescing does not change
+        /// any snapshot.
+        #[test]
+        fn coalesce_preserves_snapshots(pairs in raw_pairs()) {
+            let t = TemporalElement::from_pairs(pairs.clone());
+            for p in 0..30 {
+                let p = TimePoint::new(p);
+                prop_assert_eq!(t.timeslice(p), reference_timeslice(&pairs, p));
+            }
+        }
+
+        /// Idempotence (Lemma 5.1): re-coalescing a normal form is identity.
+        #[test]
+        fn coalesce_idempotent(pairs in raw_pairs()) {
+            let t = TemporalElement::from_pairs(pairs);
+            let again = TemporalElement::from_pairs(t.entries().to_vec());
+            prop_assert_eq!(t, again);
+        }
+
+        /// Uniqueness (Lemma 5.1): snapshot-equivalent raw encodings have
+        /// identical normal forms.
+        #[test]
+        fn coalesce_unique(pairs in raw_pairs(), shuffle_seed in 0usize..100) {
+            // Build an equivalent encoding by splitting every interval at an
+            // arbitrary midpoint and permuting.
+            let mut alt: Vec<(Interval, Natural)> = Vec::new();
+            for (i, k) in &pairs {
+                if i.duration() >= 2 && shuffle_seed % 2 == 0 {
+                    let mid = i.begin() + (i.duration() as i64 / 2);
+                    alt.push((Interval::new(i.begin(), mid), *k));
+                    alt.push((Interval::new(mid, i.end()), *k));
+                } else {
+                    alt.push((*i, *k));
+                }
+            }
+            let rot = shuffle_seed % alt.len().max(1);
+            alt.rotate_left(rot);
+            prop_assert_eq!(
+                TemporalElement::from_pairs(pairs),
+                TemporalElement::from_pairs(alt)
+            );
+        }
+
+        /// Normal form invariants always hold after from_pairs.
+        #[test]
+        fn from_pairs_normal_form(pairs in raw_pairs()) {
+            prop_assert!(TemporalElement::from_pairs(pairs).is_normal_form());
+        }
+
+        /// plus/times/monus agree with their point-wise definitions.
+        #[test]
+        fn ops_match_pointwise(a in raw_pairs(), b in raw_pairs()) {
+            let ta = TemporalElement::from_pairs(a);
+            let tb = TemporalElement::from_pairs(b);
+            let plus = ta.plus(&tb);
+            let times = ta.times(&tb);
+            let monus = ta.monus(&tb);
+            for p in 0..30 {
+                let p = TimePoint::new(p);
+                let (ka, kb) = (ta.timeslice(p), tb.timeslice(p));
+                prop_assert_eq!(plus.timeslice(p), ka.plus(&kb));
+                prop_assert_eq!(times.timeslice(p), ka.times(&kb));
+                prop_assert_eq!(monus.timeslice(p), {
+                    use semiring::MSemiring;
+                    ka.monus(&kb)
+                });
+            }
+        }
+    }
+}

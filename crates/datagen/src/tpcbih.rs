@@ -1,0 +1,482 @@
+//! TPC-BiH-style valid-time TPC-H generator (paper Section 10.1, ref [25]).
+//!
+//! The schema is the TPC-H subset referenced by the snapshot query workload
+//! (Q1, Q3, Q5, Q6, Q7, Q8, Q9, Q10, Q12, Q14, Q19 — the queries without
+//! nested subqueries or LIMIT, as in the paper). Every table carries a
+//! validity period: order rows are valid from order date to delivery
+//! completion, lineitem rows from ship to receipt, and the dimension tables
+//! change slowly (a few versions over the seven-year domain).
+//!
+//! Cardinalities follow TPC-H proportions per scale factor: at `sf = 1.0`
+//! this would be 1.5M orders / 6M lineitems; the in-memory benchmarks use
+//! `sf = 0.001 .. 0.05`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use storage::{row, Catalog, Schema, SqlType, Table};
+use timeline::TimeDomain;
+
+/// Exclusive upper bound of the time domain (days; seven years).
+pub const DOMAIN_END: i64 = 2_557;
+
+/// The time domain of the generated database.
+pub fn domain() -> TimeDomain {
+    TimeDomain::new(0, DOMAIN_END)
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const TYPES: [&str; 6] = [
+    "PROMO BURNISHED COPPER",
+    "PROMO PLATED BRASS",
+    "STANDARD ANODIZED TIN",
+    "ECONOMY POLISHED STEEL",
+    "MEDIUM BRUSHED NICKEL",
+    "LARGE PLATED STEEL",
+];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#55"];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "LG CASE", "LG BOX",
+];
+const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
+const LINESTATUS: [&str; 2] = ["O", "F"];
+
+/// Generates the catalog at TPC-H scale factor `sf`.
+pub fn generate(sf: f64, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_supplier = ((10_000.0 * sf) as usize).max(5);
+    let n_customer = ((150_000.0 * sf) as usize).max(10);
+    let n_part = ((200_000.0 * sf) as usize).max(10);
+    let n_orders = ((1_500_000.0 * sf) as usize).max(20);
+
+    let mut region = Table::with_period(
+        Schema::of(&[
+            ("r_regionkey", SqlType::Int),
+            ("r_name", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        2,
+        3,
+    );
+    for (k, name) in REGIONS.iter().enumerate() {
+        region.push(row![k as i64, *name, 0, DOMAIN_END]);
+    }
+
+    let mut nation = Table::with_period(
+        Schema::of(&[
+            ("n_nationkey", SqlType::Int),
+            ("n_name", SqlType::Str),
+            ("n_regionkey", SqlType::Int),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        3,
+        4,
+    );
+    for (k, (name, r)) in NATIONS.iter().enumerate() {
+        nation.push(row![k as i64, *name, *r as i64, 0, DOMAIN_END]);
+    }
+
+    let mut supplier = Table::with_period(
+        Schema::of(&[
+            ("s_suppkey", SqlType::Int),
+            ("s_name", SqlType::Str),
+            ("s_nationkey", SqlType::Int),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        3,
+        4,
+    );
+    for k in 0..n_supplier {
+        // Suppliers occasionally relocate: one or two versions.
+        let nk = rng.gen_range(0..25i64);
+        if rng.gen_bool(0.1) {
+            let split = rng.gen_range(400..DOMAIN_END - 400);
+            supplier.push(row![k as i64, supp_name(k), nk, 0, split]);
+            supplier.push(row![k as i64, supp_name(k), (nk + 7) % 25, split, DOMAIN_END]);
+        } else {
+            supplier.push(row![k as i64, supp_name(k), nk, 0, DOMAIN_END]);
+        }
+    }
+
+    let mut customer = Table::with_period(
+        Schema::of(&[
+            ("c_custkey", SqlType::Int),
+            ("c_name", SqlType::Str),
+            ("c_nationkey", SqlType::Int),
+            ("c_mktsegment", SqlType::Str),
+            ("c_acctbal", SqlType::Double),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        5,
+        6,
+    );
+    for k in 0..n_customer {
+        let nk = rng.gen_range(0..25i64);
+        let seg = SEGMENTS[rng.gen_range(0..SEGMENTS.len())];
+        let bal = rng.gen_range(-999.0..9999.0f64);
+        if rng.gen_bool(0.2) {
+            let split = rng.gen_range(400..DOMAIN_END - 400);
+            customer.push(row![k as i64, cust_name(k), nk, seg, bal, 0, split]);
+            let seg2 = SEGMENTS[rng.gen_range(0..SEGMENTS.len())];
+            customer.push(row![k as i64, cust_name(k), nk, seg2, bal * 1.1, split, DOMAIN_END]);
+        } else {
+            customer.push(row![k as i64, cust_name(k), nk, seg, bal, 0, DOMAIN_END]);
+        }
+    }
+
+    let mut part = Table::with_period(
+        Schema::of(&[
+            ("p_partkey", SqlType::Int),
+            ("p_type", SqlType::Str),
+            ("p_brand", SqlType::Str),
+            ("p_container", SqlType::Str),
+            ("p_size", SqlType::Int),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        5,
+        6,
+    );
+    for k in 0..n_part {
+        part.push(row![
+            k as i64,
+            TYPES[rng.gen_range(0..TYPES.len())],
+            BRANDS[rng.gen_range(0..BRANDS.len())],
+            CONTAINERS[rng.gen_range(0..CONTAINERS.len())],
+            rng.gen_range(1..50i64),
+            0,
+            DOMAIN_END
+        ]);
+    }
+
+    let mut partsupp = Table::with_period(
+        Schema::of(&[
+            ("ps_partkey", SqlType::Int),
+            ("ps_suppkey", SqlType::Int),
+            ("ps_supplycost", SqlType::Double),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        3,
+        4,
+    );
+    for k in 0..n_part {
+        for s in 0..4usize {
+            let suppkey = (k * 7 + s * (n_supplier / 4).max(1)) % n_supplier;
+            partsupp.push(row![
+                k as i64,
+                suppkey as i64,
+                rng.gen_range(1.0..1000.0f64),
+                0,
+                DOMAIN_END
+            ]);
+        }
+    }
+
+    let mut orders = Table::with_period(
+        Schema::of(&[
+            ("o_orderkey", SqlType::Int),
+            ("o_custkey", SqlType::Int),
+            ("o_orderpriority", SqlType::Str),
+            ("o_totalprice", SqlType::Double),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        4,
+        5,
+    );
+    let mut lineitem = Table::with_period(
+        Schema::of(&[
+            ("l_orderkey", SqlType::Int),
+            ("l_partkey", SqlType::Int),
+            ("l_suppkey", SqlType::Int),
+            ("l_quantity", SqlType::Int),
+            ("l_extendedprice", SqlType::Double),
+            ("l_discount", SqlType::Double),
+            ("l_tax", SqlType::Double),
+            ("l_returnflag", SqlType::Str),
+            ("l_linestatus", SqlType::Str),
+            ("l_shipmode", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]),
+        10,
+        11,
+    );
+
+    for o in 0..n_orders {
+        let orderdate = rng.gen_range(0..DOMAIN_END - 160);
+        let completion = orderdate + rng.gen_range(30..150);
+        let custkey = rng.gen_range(0..n_customer) as i64;
+        orders.push(row![
+            o as i64,
+            custkey,
+            PRIORITIES[rng.gen_range(0..PRIORITIES.len())],
+            rng.gen_range(1_000.0..400_000.0f64),
+            orderdate,
+            completion
+        ]);
+        // 1..=7 lineitems per order (TPC-H averages 4).
+        for _ in 0..rng.gen_range(1..=7usize) {
+            let ship = orderdate + rng.gen_range(1..120);
+            let receipt = ship + rng.gen_range(1..31);
+            let quantity = rng.gen_range(1..51i64);
+            let price = rng.gen_range(900.0..105_000.0f64);
+            lineitem.push(row![
+                o as i64,
+                rng.gen_range(0..n_part) as i64,
+                rng.gen_range(0..n_supplier) as i64,
+                quantity,
+                price,
+                (rng.gen_range(0..11i64) as f64) / 100.0,
+                (rng.gen_range(0..9i64) as f64) / 100.0,
+                RETURNFLAGS[rng.gen_range(0..RETURNFLAGS.len())],
+                LINESTATUS[rng.gen_range(0..LINESTATUS.len())],
+                SHIPMODES[rng.gen_range(0..SHIPMODES.len())],
+                ship,
+                receipt
+            ]);
+        }
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.register("region", region);
+    catalog.register("nation", nation);
+    catalog.register("supplier", supplier);
+    catalog.register("customer", customer);
+    catalog.register("part", part);
+    catalog.register("partsupp", partsupp);
+    catalog.register("orders", orders);
+    catalog.register("lineitem", lineitem);
+    catalog
+}
+
+fn supp_name(k: usize) -> String {
+    format!("Supplier#{k:09}")
+}
+
+fn cust_name(k: usize) -> String {
+    format!("Customer#{k:09}")
+}
+
+/// The snapshot-semantics TPC-H workload: the eleven queries of Table 2
+/// (the nine of Table 3 plus Q3 and Q10), adapted as in TPC-BiH — date-range
+/// predicates are subsumed by the snapshot dimension.
+pub fn queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "Q1",
+            "SEQ VT (SELECT l_returnflag, l_linestatus, \
+                sum(l_quantity) AS sum_qty, \
+                sum(l_extendedprice) AS sum_base_price, \
+                sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+                sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+                avg(l_quantity) AS avg_qty, \
+                avg(l_extendedprice) AS avg_price, \
+                avg(l_discount) AS avg_disc, \
+                count(*) AS count_order \
+             FROM lineitem GROUP BY l_returnflag, l_linestatus)",
+        ),
+        (
+            "Q3",
+            "SEQ VT (SELECT l.l_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+             WHERE c.c_mktsegment = 'BUILDING' \
+             GROUP BY l.l_orderkey)",
+        ),
+        (
+            "Q5",
+            "SEQ VT (SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c \
+             JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+             JOIN supplier s ON l.l_suppkey = s.s_suppkey \
+             JOIN nation n ON s.s_nationkey = n.n_nationkey \
+             JOIN region r ON n.n_regionkey = r.r_regionkey \
+             WHERE r.r_name = 'ASIA' AND c.c_nationkey = s.s_nationkey \
+             GROUP BY n.n_name)",
+        ),
+        (
+            "Q6",
+            "SEQ VT (SELECT sum(l_extendedprice * l_discount) AS revenue \
+             FROM lineitem \
+             WHERE l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)",
+        ),
+        (
+            "Q7",
+            "SEQ VT (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, \
+                sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM supplier s \
+             JOIN lineitem l ON s.s_suppkey = l.l_suppkey \
+             JOIN orders o ON o.o_orderkey = l.l_orderkey \
+             JOIN customer c ON c.c_custkey = o.o_custkey \
+             JOIN nation n1 ON s.s_nationkey = n1.n_nationkey \
+             JOIN nation n2 ON c.c_nationkey = n2.n_nationkey \
+             WHERE (n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') \
+                OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE') \
+             GROUP BY n1.n_name, n2.n_name)",
+        ),
+        (
+            "Q8",
+            "SEQ VT (SELECT \
+                sum(CASE WHEN n2.n_name = 'BRAZIL' \
+                    THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) \
+                  / sum(l.l_extendedprice * (1 - l.l_discount)) AS mkt_share \
+             FROM part p \
+             JOIN lineitem l ON p.p_partkey = l.l_partkey \
+             JOIN supplier s ON s.s_suppkey = l.l_suppkey \
+             JOIN orders o ON o.o_orderkey = l.l_orderkey \
+             JOIN customer c ON c.c_custkey = o.o_custkey \
+             JOIN nation n1 ON c.c_nationkey = n1.n_nationkey \
+             JOIN region r ON n1.n_regionkey = r.r_regionkey \
+             JOIN nation n2 ON s.s_nationkey = n2.n_nationkey \
+             WHERE r.r_name = 'AMERICA' AND p.p_type = 'ECONOMY POLISHED STEEL')",
+        ),
+        (
+            "Q9",
+            "SEQ VT (SELECT n.n_name, \
+                sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) \
+                  AS sum_profit \
+             FROM part p \
+             JOIN lineitem l ON p.p_partkey = l.l_partkey \
+             JOIN supplier s ON s.s_suppkey = l.l_suppkey \
+             JOIN partsupp ps ON ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey \
+             JOIN orders o ON o.o_orderkey = l.l_orderkey \
+             JOIN nation n ON s.s_nationkey = n.n_nationkey \
+             WHERE p.p_type LIKE 'PROMO%' \
+             GROUP BY n.n_name)",
+        ),
+        (
+            "Q10",
+            "SEQ VT (SELECT c.c_custkey, c.c_name, n.n_name, \
+                sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c \
+             JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+             JOIN nation n ON c.c_nationkey = n.n_nationkey \
+             WHERE l.l_returnflag = 'R' \
+             GROUP BY c.c_custkey, c.c_name, n.n_name)",
+        ),
+        (
+            "Q12",
+            "SEQ VT (SELECT l.l_shipmode, \
+                sum(CASE WHEN o.o_orderpriority = '1-URGENT' \
+                      OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, \
+                sum(CASE WHEN o.o_orderpriority <> '1-URGENT' \
+                     AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count \
+             FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+             WHERE l.l_shipmode IN ('MAIL', 'SHIP') \
+             GROUP BY l.l_shipmode)",
+        ),
+        (
+            "Q14",
+            "SEQ VT (SELECT \
+                100.0 * sum(CASE WHEN p.p_type LIKE 'PROMO%' \
+                    THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) \
+                  / sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue \
+             FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey)",
+        ),
+        (
+            "Q19",
+            "SEQ VT (SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM lineitem l JOIN part p ON p.p_partkey = l.l_partkey \
+             WHERE (p.p_brand = 'Brand#12' \
+                    AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+                    AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5) \
+                OR (p.p_brand = 'Brand#23' \
+                    AND p.p_container IN ('MED BAG', 'MED BOX') \
+                    AND l.l_quantity BETWEEN 10 AND 20 AND p.p_size BETWEEN 1 AND 10) \
+                OR (p.p_brand = 'Brand#34' \
+                    AND p.p_container IN ('LG CASE', 'LG BOX') \
+                    AND l.l_quantity BETWEEN 20 AND 30 AND p.p_size BETWEEN 1 AND 15))",
+        ),
+    ]
+}
+
+/// The nine-query subset the paper times in Table 3 (bottom).
+pub fn table3_queries() -> Vec<(&'static str, &'static str)> {
+    queries()
+        .into_iter()
+        .filter(|(name, _)| !matches!(*name, "Q3" | "Q10"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(0.001, 9);
+        let b = generate(0.001, 9);
+        assert_eq!(a.total_rows(), b.total_rows());
+        assert_eq!(
+            a.get("lineitem").unwrap().rows()[..50],
+            b.get("lineitem").unwrap().rows()[..50]
+        );
+    }
+
+    #[test]
+    fn proportions_follow_tpch() {
+        let c = generate(0.002, 11);
+        let orders = c.get("orders").unwrap().len() as f64;
+        let lines = c.get("lineitem").unwrap().len() as f64;
+        assert!((2.5..5.5).contains(&(lines / orders)), "lineitems/order = {}", lines / orders);
+        assert_eq!(c.get("region").unwrap().len(), 5);
+        assert_eq!(c.get("nation").unwrap().len(), 25);
+    }
+
+    #[test]
+    fn lineitem_periods_inside_domain() {
+        let c = generate(0.001, 5);
+        let d = domain();
+        let t = c.get("lineitem").unwrap();
+        let (b, e) = t.period().unwrap();
+        for r in t.rows() {
+            assert!(r.int(b) < r.int(e));
+            assert!(d.contains_interval(timeline::Interval::new(r.int(b), r.int(e))));
+        }
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for (name, sql) in queries() {
+            assert!(sql::parse_statement(sql).is_ok(), "{name} fails to parse");
+        }
+        assert_eq!(table3_queries().len(), 9);
+    }
+}

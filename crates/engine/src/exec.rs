@@ -1,0 +1,687 @@
+//! Plan execution.
+
+use crate::coalesce::coalesce_rows;
+use crate::eval::{eval_expr, eval_predicate};
+use crate::sliding::{Partial, SlidingAgg};
+use crate::split::split_rows;
+use crate::temporal::{agg_arg_types, temporal_aggregate, temporal_except_all};
+use algebra::{BinOp, Expr, Plan, PlanNode};
+use std::collections::{BTreeMap, HashMap};
+use storage::{Catalog, Row, Table, Value};
+
+/// Join strategy for the non-temporal part of join conditions.
+///
+/// The paper's experiments observed PostgreSQL and DBY using hash joins on
+/// the non-temporal attributes, while DBX used merge joins over the interval
+/// overlap predicate; both strategies are available here so the benchmark
+/// harness can reproduce that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash join on equality conjuncts, residual predicate after (PG/DBY).
+    #[default]
+    Hash,
+    /// Forward-scan plane sweep over the interval overlap predicate (DBX),
+    /// falling back to hash when no overlap pattern is present.
+    MergeInterval,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Join strategy.
+    pub join_strategy: JoinStrategy,
+}
+
+/// Per-operator execution counters (operator name → (invocations, rows
+/// produced)); useful for explaining benchmark results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    counters: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl ExecStats {
+    fn record(&mut self, op: &'static str, rows: usize) {
+        let e = self.counters.entry(op).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += rows as u64;
+    }
+
+    /// `(invocations, rows produced)` for an operator name.
+    pub fn get(&self, op: &str) -> Option<(u64, u64)> {
+        self.counters.get(op).copied()
+    }
+
+    /// All counters, sorted by operator name.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, (u64, u64))> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// The single-threaded, in-memory plan executor.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with default configuration (hash joins).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Executes a plan against a catalog, producing a result table.
+    pub fn execute(&self, plan: &Plan, catalog: &Catalog) -> Result<Table, String> {
+        let mut stats = ExecStats::default();
+        self.execute_with_stats(plan, catalog, &mut stats)
+    }
+
+    /// Executes a plan, recording per-operator counters.
+    pub fn execute_with_stats(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        stats: &mut ExecStats,
+    ) -> Result<Table, String> {
+        let rows = self.run(plan, catalog, stats)?;
+        let mut table = Table::new(plan.schema.clone());
+        table.extend(rows);
+        Ok(table)
+    }
+
+    fn run(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>, String> {
+        let rows = match &plan.node {
+            PlanNode::Scan { table } => {
+                let t = catalog.require(table)?;
+                if t.schema().arity() != plan.schema.arity() {
+                    return Err(format!(
+                        "table '{table}' changed since binding: arity {} vs {}",
+                        t.schema().arity(),
+                        plan.schema.arity()
+                    ));
+                }
+                t.rows().to_vec()
+            }
+            PlanNode::Values { rows } => rows.clone(),
+            PlanNode::Filter { input, predicate } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                input_rows
+                    .into_iter()
+                    .filter(|r| eval_predicate(predicate, r))
+                    .collect()
+            }
+            PlanNode::Project { input, exprs } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                input_rows
+                    .iter()
+                    .map(|r| Row::new(exprs.iter().map(|e| eval_expr(e, r)).collect()))
+                    .collect()
+            }
+            PlanNode::Join {
+                left,
+                right,
+                condition,
+            } => {
+                let l = self.run(left, catalog, stats)?;
+                let r = self.run(right, catalog, stats)?;
+                self.join(&l, &r, left.schema.arity(), right.schema.arity(), condition)
+            }
+            PlanNode::Union { left, right } => {
+                let mut l = self.run(left, catalog, stats)?;
+                let r = self.run(right, catalog, stats)?;
+                l.extend(r);
+                l
+            }
+            PlanNode::ExceptAll { left, right } => {
+                let l = self.run(left, catalog, stats)?;
+                let r = self.run(right, catalog, stats)?;
+                except_all(l, &r)
+            }
+            PlanNode::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                let arg_types = agg_arg_types(aggs, &input.schema)?;
+                hash_aggregate(&input_rows, group_cols, aggs, &arg_types)
+            }
+            PlanNode::Distinct { input } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                let set: std::collections::BTreeSet<Row> = input_rows.into_iter().collect();
+                set.into_iter().collect()
+            }
+            PlanNode::Sort { input, keys } => {
+                let mut input_rows = self.run(input, catalog, stats)?;
+                input_rows.sort_by(|a, b| {
+                    for (e, asc) in keys {
+                        let (va, vb) = (eval_expr(e, a), eval_expr(e, b));
+                        let ord = va.cmp(&vb);
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                input_rows
+            }
+            PlanNode::Coalesce { input } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                coalesce_rows(&input_rows, input.schema.arity())
+            }
+            PlanNode::Split {
+                left,
+                right,
+                group_cols,
+            } => {
+                let l = self.run(left, catalog, stats)?;
+                let r = self.run(right, catalog, stats)?;
+                split_rows(&l, &r, group_cols, left.schema.arity())
+            }
+            PlanNode::TemporalAggregate {
+                input,
+                group_cols,
+                aggs,
+                add_gap_neutral,
+                domain,
+            } => {
+                let input_rows = self.run(input, catalog, stats)?;
+                let arg_types = agg_arg_types(aggs, &input.schema)?;
+                temporal_aggregate(
+                    &input_rows,
+                    input.schema.arity(),
+                    group_cols,
+                    aggs,
+                    &arg_types,
+                    *add_gap_neutral,
+                    *domain,
+                )
+            }
+            PlanNode::TemporalExceptAll { left, right } => {
+                let l = self.run(left, catalog, stats)?;
+                let r = self.run(right, catalog, stats)?;
+                temporal_except_all(&l, &r, left.schema.arity())
+            }
+        };
+        stats.record(op_name(&plan.node), rows.len());
+        Ok(rows)
+    }
+
+    fn join(
+        &self,
+        left: &[Row],
+        right: &[Row],
+        l_arity: usize,
+        r_arity: usize,
+        condition: &Expr,
+    ) -> Vec<Row> {
+        let conjuncts = collect_conjuncts(condition);
+        let equi = equi_keys(&conjuncts, l_arity);
+
+        if self.config.join_strategy == JoinStrategy::MergeInterval {
+            if let Some((lts, lte, rts, rte)) = overlap_pattern(&conjuncts, l_arity, r_arity) {
+                return merge_interval_join(left, right, lts, lte, rts, rte, condition);
+            }
+        }
+        if !equi.is_empty() {
+            return hash_join(left, right, &equi, condition);
+        }
+        // Nested loop fallback.
+        let mut out = Vec::new();
+        for l in left {
+            for r in right {
+                let joined = l.concat(r);
+                if eval_predicate(condition, &joined) {
+                    out.push(joined);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn op_name(node: &PlanNode) -> &'static str {
+    match node {
+        PlanNode::Scan { .. } => "Scan",
+        PlanNode::Values { .. } => "Values",
+        PlanNode::Filter { .. } => "Filter",
+        PlanNode::Project { .. } => "Project",
+        PlanNode::Join { .. } => "Join",
+        PlanNode::Union { .. } => "Union",
+        PlanNode::ExceptAll { .. } => "ExceptAll",
+        PlanNode::Aggregate { .. } => "Aggregate",
+        PlanNode::Distinct { .. } => "Distinct",
+        PlanNode::Sort { .. } => "Sort",
+        PlanNode::Coalesce { .. } => "Coalesce",
+        PlanNode::Split { .. } => "Split",
+        PlanNode::TemporalAggregate { .. } => "TemporalAggregate",
+        PlanNode::TemporalExceptAll { .. } => "TemporalExceptAll",
+    }
+}
+
+fn collect_conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } = e
+        {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Extracts `left_col = right_col` pairs from conjuncts.
+fn equi_keys(conjuncts: &[&Expr], l_arity: usize) -> Vec<(usize, usize)> {
+    let mut keys = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (Expr::Col(i), Expr::Col(j)) = (left.as_ref(), right.as_ref()) {
+                if *i < l_arity && *j >= l_arity {
+                    keys.push((*i, *j - l_arity));
+                } else if *j < l_arity && *i >= l_arity {
+                    keys.push((*j, *i - l_arity));
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Detects the `overlaps` pattern produced by the rewriter:
+/// `Col(lts) < Col(rte) AND Col(rts) < Col(lte)` on the trailing period
+/// columns of both inputs. Returns local indices `(lts, lte, rts, rte)`.
+fn overlap_pattern(
+    conjuncts: &[&Expr],
+    l_arity: usize,
+    r_arity: usize,
+) -> Option<(usize, usize, usize, usize)> {
+    let (lts, lte) = (l_arity - 2, l_arity - 1);
+    let (rts_g, rte_g) = (l_arity + r_arity - 2, l_arity + r_arity - 1);
+    let mut has_l_lt_r = false;
+    let mut has_r_lt_l = false;
+    for c in conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Lt,
+            left,
+            right,
+        } = c
+        {
+            if let (Expr::Col(i), Expr::Col(j)) = (left.as_ref(), right.as_ref()) {
+                if *i == lts && *j == rte_g {
+                    has_l_lt_r = true;
+                }
+                if *i == rts_g && *j == lte {
+                    has_r_lt_l = true;
+                }
+            }
+        }
+    }
+    (has_l_lt_r && has_r_lt_l).then_some((lts, lte, rts_g - l_arity, rte_g - l_arity))
+}
+
+fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &Expr) -> Vec<Row> {
+    // Build on the smaller side; probe with the larger.
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let build_keys: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if build_left { l } else { r })
+        .collect();
+    let probe_keys: Vec<usize> = keys
+        .iter()
+        .map(|&(l, r)| if build_left { r } else { l })
+        .collect();
+
+    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(build.len());
+    'build: for row in build {
+        let mut key = Vec::with_capacity(build_keys.len());
+        for &i in &build_keys {
+            let v = row.get(i);
+            if v.is_null() {
+                continue 'build; // NULL never joins
+            }
+            key.push(v.clone());
+        }
+        table.entry(key).or_default().push(row);
+    }
+
+    let mut out = Vec::new();
+    'probe: for row in probe {
+        let mut key = Vec::with_capacity(probe_keys.len());
+        for &i in &probe_keys {
+            let v = row.get(i);
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v.clone());
+        }
+        if let Some(matches) = table.get(&key) {
+            for m in matches {
+                let joined = if build_left {
+                    m.concat(row)
+                } else {
+                    row.concat(m)
+                };
+                if eval_predicate(condition, &joined) {
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward-scan plane sweep over interval overlap (Bouros & Mamoulis style):
+/// both sides sorted by interval begin; each overlapping pair is emitted
+/// exactly once, then filtered by the full join condition.
+fn merge_interval_join(
+    left: &[Row],
+    right: &[Row],
+    lts: usize,
+    lte: usize,
+    rts: usize,
+    rte: usize,
+    condition: &Expr,
+) -> Vec<Row> {
+    let mut l: Vec<&Row> = left.iter().collect();
+    let mut r: Vec<&Row> = right.iter().collect();
+    l.sort_by_key(|row| row.int(lts));
+    r.sort_by_key(|row| row.int(rts));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        if l[i].int(lts) <= r[j].int(rts) {
+            let end = l[i].int(lte);
+            let mut k = j;
+            while k < r.len() && r[k].int(rts) < end {
+                let joined = l[i].concat(r[k]);
+                if eval_predicate(condition, &joined) {
+                    out.push(joined);
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let end = r[j].int(rte);
+            let mut k = i;
+            while k < l.len() && l[k].int(lts) < end {
+                let joined = l[k].concat(r[j]);
+                if eval_predicate(condition, &joined) {
+                    out.push(joined);
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+fn except_all(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
+    let mut counts: HashMap<&Row, usize> = HashMap::with_capacity(right.len());
+    for r in right {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    left.into_iter()
+        .filter(|l| {
+            if let Some(c) = counts.get_mut(l) {
+                if *c > 0 {
+                    *c -= 1;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+fn hash_aggregate(
+    rows: &[Row],
+    group_cols: &[usize],
+    aggs: &[algebra::AggExpr],
+    arg_types: &[storage::SqlType],
+) -> Vec<Row> {
+    let new_state = || -> Vec<SlidingAgg> {
+        aggs.iter()
+            .zip(arg_types)
+            .map(|(a, ty)| SlidingAgg::new(a.func.clone(), *ty))
+            .collect()
+    };
+    let mut groups: BTreeMap<Vec<Value>, Vec<SlidingAgg>> = BTreeMap::new();
+    for r in rows {
+        let key: Vec<Value> = group_cols.iter().map(|&i| r.get(i).clone()).collect();
+        let state = groups.entry(key).or_insert_with(new_state);
+        for (a, s) in aggs.iter().zip(state.iter_mut()) {
+            let mut p = Partial::new();
+            let v = match &a.arg {
+                Some(e) => eval_expr(e, r),
+                None => Value::Int(1),
+            };
+            p.add_value(&v);
+            s.add(&p);
+        }
+    }
+    // Global aggregation produces one row even over empty input.
+    if group_cols.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), new_state());
+    }
+    groups
+        .into_iter()
+        .map(|(mut key, state)| {
+            key.extend(state.iter().map(|s| s.current()));
+            Row::new(key)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{AggExpr, AggFunc};
+    use storage::{row, Schema, SqlType};
+
+    fn works_catalog() -> Catalog {
+        let schema = Schema::of(&[
+            ("name", SqlType::Str),
+            ("skill", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]);
+        let mut t = Table::with_period(schema, 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        t.push(row!["Joe", "NS", 8, 16]);
+        t.push(row!["Sam", "SP", 8, 16]);
+        t.push(row!["Ann", "SP", 18, 20]);
+        let mut c = Catalog::new();
+        c.register("works", t);
+        c
+    }
+
+    fn works_schema() -> Schema {
+        works_catalog().get("works").unwrap().schema().clone()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let c = works_catalog();
+        let plan = Plan::scan("works", works_schema())
+            .filter(Expr::col(1).eq(Expr::lit("SP")))
+            .project_cols(&[0]);
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        let mut names: Vec<String> = out.rows().iter().map(|r| r.get(0).to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["Ann", "Ann", "Sam"]);
+    }
+
+    #[test]
+    fn hash_join_with_residual() {
+        let c = works_catalog();
+        let l = Plan::scan("works", works_schema());
+        let r = Plan::scan("works", works_schema());
+        // Self-join on skill with a residual inequality on names.
+        let cond = Expr::col(1)
+            .eq(Expr::col(5))
+            .and(Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4)));
+        let plan = l.join(r, cond);
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        // SP pairs with name_l < name_r: (Ann,Sam) twice (two Ann rows).
+        assert_eq!(out.len(), 2);
+        for row in out.rows() {
+            assert_eq!(row.get(0), &Value::str("Ann"));
+            assert_eq!(row.get(4), &Value::str("Sam"));
+        }
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let schema = Schema::of(&[("k", SqlType::Int)]);
+        let mut t = Table::new(schema.clone());
+        t.push(Row::new(vec![Value::Null]));
+        t.push(row![1]);
+        let mut c = Catalog::new();
+        c.register("t", t);
+        let plan = Plan::scan("t", schema.clone()).join(
+            Plan::scan("t", schema),
+            Expr::col(0).eq(Expr::col(1)),
+        );
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        assert_eq!(out.len(), 1); // only (1,1)
+    }
+
+    #[test]
+    fn merge_interval_join_matches_hash() {
+        let c = works_catalog();
+        let (lts, lte) = (2, 3);
+        let (rts_g, rte_g) = (6, 7);
+        let cond = Expr::col(1)
+            .eq(Expr::col(5))
+            .and(Expr::col(lts).lt(Expr::col(rte_g)))
+            .and(Expr::col(rts_g).lt(Expr::col(lte)));
+        let plan = Plan::scan("works", works_schema())
+            .join(Plan::scan("works", works_schema()), cond);
+
+        let hash = Engine::new().execute(&plan, &c).unwrap().canonicalized();
+        let merge = Engine::with_config(EngineConfig {
+            join_strategy: JoinStrategy::MergeInterval,
+        })
+        .execute(&plan, &c)
+        .unwrap()
+        .canonicalized();
+        assert_eq!(hash, merge);
+        assert!(hash.len() >= 4, "self overlap join must match each row with itself");
+    }
+
+    #[test]
+    fn except_all_is_bag_difference() {
+        let schema = Schema::of(&[("x", SqlType::Int)]);
+        let l = Plan::values(schema.clone(), vec![row![1], row![1], row![1], row![2]]);
+        let r = Plan::values(schema, vec![row![1], row![3]]);
+        let plan = l.except_all(r).unwrap();
+        let out = Engine::new().execute(&plan, &Catalog::new()).unwrap();
+        let mut xs: Vec<i64> = out.rows().iter().map(|r| r.int(0)).collect();
+        xs.sort();
+        assert_eq!(xs, vec![1, 1, 2]); // one 1 removed, not all (no BD bug)
+    }
+
+    #[test]
+    fn aggregation_groups_and_global() {
+        let c = works_catalog();
+        let plan = Plan::scan("works", works_schema())
+            .aggregate(vec![1], vec![AggExpr::count_star("cnt")])
+            .unwrap();
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        let mut got: Vec<(String, i64)> = out
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).to_string(), r.int(1)))
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![("NS".into(), 1), ("SP".into(), 3)]);
+
+        // Global count over empty input yields one row with 0.
+        let empty = Plan::values(works_schema(), vec![])
+            .aggregate(vec![], vec![AggExpr::count_star("cnt")])
+            .unwrap();
+        let out = Engine::new().execute(&empty, &Catalog::new()).unwrap();
+        assert_eq!(out.rows(), &[row![0]]);
+    }
+
+    #[test]
+    fn aggregation_min_max_sum_avg() {
+        let schema = Schema::of(&[("g", SqlType::Str), ("v", SqlType::Int)]);
+        let plan = Plan::values(
+            schema,
+            vec![row!["a", 1], row!["a", 5], row!["b", 10]],
+        )
+        .aggregate(
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+                AggExpr::new(AggFunc::Avg, Expr::col(1), "avg"),
+                AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
+                AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
+            ],
+        )
+        .unwrap();
+        let out = Engine::new().execute(&plan, &Catalog::new()).unwrap();
+        let rows = out.canonicalized();
+        assert_eq!(
+            rows.rows(),
+            &[row!["a", 6, 3.0, 1, 5], row!["b", 10, 10.0, 10, 10]]
+        );
+    }
+
+    #[test]
+    fn distinct_and_sort() {
+        let schema = Schema::of(&[("x", SqlType::Int)]);
+        let plan = Plan::values(schema, vec![row![3], row![1], row![3], row![2]])
+            .distinct()
+            .sort(vec![(Expr::col(0), false)]);
+        let out = Engine::new().execute(&plan, &Catalog::new()).unwrap();
+        assert_eq!(out.rows(), &[row![3], row![2], row![1]]);
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let c = works_catalog();
+        let plan = Plan::scan("works", works_schema())
+            .filter(Expr::col(1).eq(Expr::lit("SP")));
+        let mut stats = ExecStats::default();
+        Engine::new()
+            .execute_with_stats(&plan, &c, &mut stats)
+            .unwrap();
+        assert_eq!(stats.get("Scan"), Some((1, 4)));
+        assert_eq!(stats.get("Filter"), Some((1, 3)));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let plan = Plan::scan("nope", works_schema());
+        let err = Engine::new().execute(&plan, &Catalog::new()).unwrap_err();
+        assert!(err.contains("unknown table"));
+    }
+}

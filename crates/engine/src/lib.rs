@@ -1,0 +1,30 @@
+//! The embedded multiset execution engine.
+//!
+//! This crate plays the role of the DBMS underneath the paper's middleware:
+//! it executes the logical plans of the `algebra` crate over the period
+//! tables of the `storage` crate. It implements
+//!
+//! * the classic operators — filter, project, hash/nested-loop joins (plus a
+//!   merge interval join, the strategy the paper observed in system DBX),
+//!   union all, bag difference, hash aggregation, distinct, sort — with SQL
+//!   NULL semantics, and
+//! * the temporal operators of the paper's implementation layer:
+//!   multiset coalescing ([`coalesce`], Section 9's analytic-window
+//!   algorithm), the split operator `N_G` ([`split`], Definition 8.3), and
+//!   the fused pre-aggregating forms of snapshot aggregation and snapshot
+//!   bag difference ([`temporal`], Section 9).
+//!
+//! The engine is deliberately single-threaded and in-memory: the paper's
+//! contribution is the *rewriting* and *encoding*, and keeping the substrate
+//! simple lets the benchmark harness compare approaches rather than
+//! runtimes-of-substrates.
+
+pub mod coalesce;
+mod eval;
+mod exec;
+pub mod sliding;
+pub mod split;
+pub mod temporal;
+
+pub use eval::{eval_expr, eval_predicate, like_match};
+pub use exec::{Engine, EngineConfig, ExecStats, JoinStrategy};

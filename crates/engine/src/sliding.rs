@@ -1,0 +1,289 @@
+//! Sliding aggregate state supporting add *and remove*.
+//!
+//! The fused temporal aggregation of Section 9 sweeps the time axis,
+//! maintaining the aggregate over the intervals active at the sweep
+//! position. `count`/`sum`/`avg` subtract directly; `min`/`max` keep a value
+//! multiset so arbitrary removal stays `O(log n)`.
+
+use algebra::AggFunc;
+use std::collections::BTreeMap;
+use storage::{SqlType, Value};
+
+/// A partial aggregate contribution: what one (pre-aggregated) input unit
+/// adds to the sliding state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial {
+    /// Rows covered (for `count(*)`).
+    pub rows: i64,
+    /// Non-NULL argument values covered (for `count(e)`, `avg` denominator).
+    pub non_null: i64,
+    /// Sum of argument values (ints exact, doubles approximate).
+    pub sum_int: i64,
+    /// Sum for double arguments.
+    pub sum_double: f64,
+    /// Minimum argument value, when any.
+    pub min: Option<Value>,
+    /// Maximum argument value, when any.
+    pub max: Option<Value>,
+}
+
+impl Partial {
+    /// The neutral partial.
+    pub fn new() -> Self {
+        Partial {
+            rows: 0,
+            non_null: 0,
+            sum_int: 0,
+            sum_double: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Folds one argument value (possibly NULL) into the partial.
+    pub fn add_value(&mut self, v: &Value) {
+        self.rows += 1;
+        if v.is_null() {
+            return;
+        }
+        self.non_null += 1;
+        match v {
+            Value::Int(i) => self.sum_int += i,
+            Value::Double(d) => self.sum_double += d,
+            _ => {}
+        }
+        if self.min.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less)) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater)) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    /// Merges another partial into this one.
+    pub fn merge(&mut self, other: &Partial) {
+        self.rows += other.rows;
+        self.non_null += other.non_null;
+        self.sum_int += other.sum_int;
+        self.sum_double += other.sum_double;
+        if let Some(m) = &other.min {
+            if self.min.as_ref().is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Less)) {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self.max.as_ref().is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)) {
+                self.max = Some(m.clone());
+            }
+        }
+    }
+}
+
+impl Default for Partial {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sliding (add/remove) aggregate state for one aggregate function.
+#[derive(Debug)]
+pub struct SlidingAgg {
+    func: AggFunc,
+    arg_type: SqlType,
+    rows: i64,
+    non_null: i64,
+    sum_int: i64,
+    sum_double: f64,
+    /// Multiset of partial minima (each active partial contributes one).
+    mins: BTreeMap<Value, u64>,
+    /// Multiset of partial maxima.
+    maxs: BTreeMap<Value, u64>,
+}
+
+impl SlidingAgg {
+    /// Fresh state for `func` whose argument has type `arg_type`.
+    pub fn new(func: AggFunc, arg_type: SqlType) -> Self {
+        SlidingAgg {
+            func,
+            arg_type,
+            rows: 0,
+            non_null: 0,
+            sum_int: 0,
+            sum_double: 0.0,
+            mins: BTreeMap::new(),
+            maxs: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a partial to the active set.
+    pub fn add(&mut self, p: &Partial) {
+        self.rows += p.rows;
+        self.non_null += p.non_null;
+        self.sum_int += p.sum_int;
+        self.sum_double += p.sum_double;
+        if let Some(m) = &p.min {
+            *self.mins.entry(m.clone()).or_insert(0) += 1;
+        }
+        if let Some(m) = &p.max {
+            *self.maxs.entry(m.clone()).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes a previously added partial.
+    pub fn remove(&mut self, p: &Partial) {
+        self.rows -= p.rows;
+        self.non_null -= p.non_null;
+        self.sum_int -= p.sum_int;
+        self.sum_double -= p.sum_double;
+        if let Some(m) = &p.min {
+            if let Some(c) = self.mins.get_mut(m) {
+                *c -= 1;
+                if *c == 0 {
+                    self.mins.remove(m);
+                }
+            }
+        }
+        if let Some(m) = &p.max {
+            if let Some(c) = self.maxs.get_mut(m) {
+                *c -= 1;
+                if *c == 0 {
+                    self.maxs.remove(m);
+                }
+            }
+        }
+    }
+
+    /// Whether any rows are active.
+    pub fn is_active(&self) -> bool {
+        self.rows > 0
+    }
+
+    /// The current aggregate value (SQL semantics: empty/all-NULL input
+    /// yields NULL, except `count`, which yields 0).
+    pub fn current(&self) -> Value {
+        match self.func {
+            AggFunc::CountStar => Value::Int(self.rows),
+            AggFunc::Count => Value::Int(self.non_null),
+            AggFunc::Sum => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else if self.arg_type == SqlType::Double {
+                    Value::Double(self.sum_double)
+                } else {
+                    Value::Int(self.sum_int)
+                }
+            }
+            AggFunc::Avg => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else {
+                    let total = self.sum_double + self.sum_int as f64;
+                    Value::Double(total / self.non_null as f64)
+                }
+            }
+            AggFunc::Min => self
+                .mins
+                .keys()
+                .next()
+                .cloned()
+                .unwrap_or(Value::Null),
+            AggFunc::Max => self
+                .maxs
+                .keys()
+                .next_back()
+                .cloned()
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// The value this aggregate reports for a *gap* (no input at all):
+    /// `count` is 0, everything else NULL — the behaviour the neutral-tuple
+    /// union of Figure 4 produces in SQL.
+    pub fn gap_value(func: &AggFunc) -> Value {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => Value::Int(0),
+            _ => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partial_of(vals: &[Value]) -> Partial {
+        let mut p = Partial::new();
+        for v in vals {
+            p.add_value(v);
+        }
+        p
+    }
+
+    #[test]
+    fn count_and_sum_slide() {
+        let mut s = SlidingAgg::new(AggFunc::Sum, SqlType::Int);
+        let p1 = partial_of(&[Value::Int(10), Value::Int(20)]);
+        let p2 = partial_of(&[Value::Int(5)]);
+        s.add(&p1);
+        s.add(&p2);
+        assert_eq!(s.current(), Value::Int(35));
+        s.remove(&p1);
+        assert_eq!(s.current(), Value::Int(5));
+        s.remove(&p2);
+        assert_eq!(s.current(), Value::Null); // sum of empty = NULL
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn count_ignores_then_counts_nulls_properly() {
+        let mut c = SlidingAgg::new(AggFunc::Count, SqlType::Int);
+        let p = partial_of(&[Value::Int(1), Value::Null]);
+        c.add(&p);
+        assert_eq!(c.current(), Value::Int(1));
+        let mut cs = SlidingAgg::new(AggFunc::CountStar, SqlType::Int);
+        cs.add(&p);
+        assert_eq!(cs.current(), Value::Int(2));
+    }
+
+    #[test]
+    fn min_max_with_removal() {
+        let mut m = SlidingAgg::new(AggFunc::Min, SqlType::Int);
+        let p1 = partial_of(&[Value::Int(7)]);
+        let p2 = partial_of(&[Value::Int(3)]);
+        let p3 = partial_of(&[Value::Int(3)]);
+        m.add(&p1);
+        m.add(&p2);
+        m.add(&p3);
+        assert_eq!(m.current(), Value::Int(3));
+        m.remove(&p2);
+        assert_eq!(m.current(), Value::Int(3)); // duplicate 3 still active
+        m.remove(&p3);
+        assert_eq!(m.current(), Value::Int(7));
+    }
+
+    #[test]
+    fn avg_mixed_int_double() {
+        let mut a = SlidingAgg::new(AggFunc::Avg, SqlType::Double);
+        a.add(&partial_of(&[Value::Int(1), Value::Double(2.0)]));
+        assert_eq!(a.current(), Value::Double(1.5));
+    }
+
+    #[test]
+    fn partial_merge() {
+        let mut p = partial_of(&[Value::Int(1)]);
+        p.merge(&partial_of(&[Value::Int(5), Value::Null]));
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.non_null, 2);
+        assert_eq!(p.sum_int, 6);
+        assert_eq!(p.min, Some(Value::Int(1)));
+        assert_eq!(p.max, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn gap_values() {
+        assert_eq!(SlidingAgg::gap_value(&AggFunc::Count), Value::Int(0));
+        assert_eq!(SlidingAgg::gap_value(&AggFunc::CountStar), Value::Int(0));
+        assert_eq!(SlidingAgg::gap_value(&AggFunc::Sum), Value::Null);
+        assert_eq!(SlidingAgg::gap_value(&AggFunc::Avg), Value::Null);
+    }
+}

@@ -1,0 +1,123 @@
+//! The boolean semiring `B = ({false, true}, ∨, ∧, false, true)`:
+//! set semantics.
+
+use crate::{CommutativeSemiring, MSemiring, NaturallyOrdered};
+use std::fmt;
+
+/// Set-semantics annotations: a tuple is either in the relation (`true`) or
+/// not (`false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Boolean(pub bool);
+
+impl Boolean {
+    /// The `true` annotation.
+    pub const TRUE: Boolean = Boolean(true);
+    /// The `false` annotation.
+    pub const FALSE: Boolean = Boolean(false);
+}
+
+impl CommutativeSemiring for Boolean {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Boolean(false)
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Boolean(true)
+    }
+
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        Boolean(self.0 || other.0)
+    }
+
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        Boolean(self.0 && other.0)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+impl NaturallyOrdered for Boolean {
+    /// `false ≤ true`: the natural order of `B` is implication.
+    #[inline]
+    fn natural_leq(&self, other: &Self) -> bool {
+        !self.0 || other.0
+    }
+}
+
+impl MSemiring for Boolean {
+    /// `k − k' = k ∧ ¬k'`: the least `c` with `k ≤ k' ∨ c`.
+    #[inline]
+    fn monus(&self, other: &Self) -> Self {
+        Boolean(self.0 && !other.0)
+    }
+}
+
+impl From<bool> for Boolean {
+    #[inline]
+    fn from(b: bool) -> Self {
+        Boolean(b)
+    }
+}
+
+impl fmt::Display for Boolean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn truth_tables() {
+        let (t, f) = (Boolean(true), Boolean(false));
+        assert_eq!(t.plus(&f), t);
+        assert_eq!(f.plus(&f), f);
+        assert_eq!(t.times(&t), t);
+        assert_eq!(t.times(&f), f);
+        assert!(f.is_zero());
+        assert!(!t.is_zero());
+    }
+
+    #[test]
+    fn monus_is_and_not() {
+        let (t, f) = (Boolean(true), Boolean(false));
+        assert_eq!(t.monus(&t), f);
+        assert_eq!(t.monus(&f), t);
+        assert_eq!(f.monus(&t), f);
+        assert_eq!(f.monus(&f), f);
+    }
+
+    #[test]
+    fn natural_order_is_implication() {
+        let (t, f) = (Boolean(true), Boolean(false));
+        assert!(f.natural_leq(&t));
+        assert!(f.natural_leq(&f));
+        assert!(t.natural_leq(&t));
+        assert!(!t.natural_leq(&f));
+    }
+
+    #[test]
+    fn semiring_laws_exhaustive() {
+        let all = [Boolean(false), Boolean(true)];
+        for a in all {
+            for b in all {
+                for c in all {
+                    laws::assert_semiring_laws(&(), &a, &b, &c);
+                    laws::assert_monus_laws(&(), &a, &b);
+                }
+            }
+        }
+    }
+}

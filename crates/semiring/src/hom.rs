@@ -1,0 +1,61 @@
+//! Semiring homomorphisms (paper Definition 4.2).
+//!
+//! A homomorphism `h : K1 → K2` preserves `0`, `1`, `+`, and `·`. Since
+//! positive relational algebra over K-relations is defined purely in terms of
+//! the semiring operations, homomorphisms commute with queries (Green et al.,
+//! Prop. 3.5) — the paper leans on this to prove that the timeslice operator
+//! `τ_T : K^T → K` commutes with queries (snapshot-reducibility,
+//! Theorem 6.3).
+
+use crate::{Boolean, CommutativeSemiring, Natural};
+
+/// A structure-preserving map between semirings.
+///
+/// Implementors must satisfy (checked by [`crate::laws::assert_homomorphism`]):
+/// `h(0) = 0`, `h(1) = 1`, `h(a + b) = h(a) + h(b)`, `h(a · b) = h(a) · h(b)`.
+pub trait SemiringHomomorphism<A: CommutativeSemiring, B: CommutativeSemiring> {
+    /// Applies the map to one annotation.
+    fn apply(&self, a: &A) -> B;
+}
+
+/// Wraps a closure as a homomorphism (the laws are the caller's obligation;
+/// test them with [`crate::laws::assert_homomorphism`]).
+pub struct FnHom<F>(pub F);
+
+impl<A, B, F> SemiringHomomorphism<A, B> for FnHom<F>
+where
+    A: CommutativeSemiring,
+    B: CommutativeSemiring,
+    F: Fn(&A) -> B,
+{
+    fn apply(&self, a: &A) -> B {
+        (self.0)(a)
+    }
+}
+
+/// The support homomorphism `N → B`: maps non-zero multiplicities to `true`.
+/// Applying it to a multiset query result yields the set-semantics result
+/// (paper Example 4.1).
+pub fn support() -> impl SemiringHomomorphism<Natural, Boolean> {
+    FnHom(|n: &Natural| Boolean(n.0 > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn support_is_homomorphism(a in 0u64..50, b in 0u64..50) {
+            laws::assert_homomorphism(&support(), &(), &(), &Natural(a), &Natural(b));
+        }
+    }
+
+    #[test]
+    fn support_example() {
+        assert_eq!(support().apply(&Natural(8)), Boolean(true));
+        assert_eq!(support().apply(&Natural(0)), Boolean(false));
+    }
+}

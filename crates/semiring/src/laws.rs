@@ -1,0 +1,80 @@
+//! Law checkers used by the test suites of every semiring implementation.
+//!
+//! These are deliberately `assert`-style helpers rather than `bool`-returning
+//! predicates so that a violated law produces a message naming the law.
+
+use crate::{CommutativeSemiring, MSemiring, SemiringHomomorphism};
+
+/// Asserts the commutative-semiring axioms on one triple of elements.
+pub fn assert_semiring_laws<K: CommutativeSemiring>(ctx: &K::Ctx, a: &K, b: &K, c: &K) {
+    let zero = K::zero(ctx);
+    let one = K::one(ctx);
+
+    assert_eq!(a.plus(b), b.plus(a), "plus must be commutative");
+    assert_eq!(a.times(b), b.times(a), "times must be commutative");
+    assert_eq!(
+        a.plus(&b.plus(c)),
+        a.plus(b).plus(c),
+        "plus must be associative"
+    );
+    assert_eq!(
+        a.times(&b.times(c)),
+        a.times(b).times(c),
+        "times must be associative"
+    );
+    assert_eq!(&a.plus(&zero), a, "zero must be neutral for plus");
+    assert_eq!(&a.times(&one), a, "one must be neutral for times");
+    assert_eq!(
+        a.times(&b.plus(c)),
+        a.times(b).plus(&a.times(c)),
+        "times must distribute over plus"
+    );
+    assert_eq!(a.times(&zero), zero, "zero must be absorbing for times");
+    assert!(zero.is_zero(), "zero must report is_zero");
+
+    // plus_assign must agree with plus.
+    let mut acc = a.clone();
+    acc.plus_assign(b);
+    assert_eq!(acc, a.plus(b), "plus_assign must agree with plus");
+}
+
+/// Asserts the m-semiring axioms relating monus to the natural order.
+pub fn assert_monus_laws<K: MSemiring>(ctx: &K::Ctx, a: &K, b: &K) {
+    let zero = K::zero(ctx);
+    let m = a.monus(b);
+    // a <= b + (a - b): the monus is a solution.
+    assert!(
+        a.natural_leq(&b.plus(&m)),
+        "monus must satisfy a <= b + (a - b)"
+    );
+    // a - 0 = a and 0 - a = 0.
+    assert_eq!(&a.monus(&zero), a, "a - 0 must equal a");
+    assert_eq!(zero.monus(a), zero, "0 - a must equal 0");
+    // a - a = 0.
+    assert!(a.monus(a).is_zero(), "a - a must be zero");
+    // If a <= b then a - b = 0.
+    if a.natural_leq(b) {
+        assert!(m.is_zero(), "a <= b must imply a - b = 0");
+    }
+}
+
+/// Asserts that `h` preserves the semiring structure on a pair of elements.
+pub fn assert_homomorphism<A, B, H>(h: &H, actx: &A::Ctx, bctx: &B::Ctx, a: &A, a2: &A)
+where
+    A: CommutativeSemiring,
+    B: CommutativeSemiring,
+    H: SemiringHomomorphism<A, B>,
+{
+    assert_eq!(h.apply(&A::zero(actx)), B::zero(bctx), "h(0) must be 0");
+    assert_eq!(h.apply(&A::one(actx)), B::one(bctx), "h(1) must be 1");
+    assert_eq!(
+        h.apply(&a.plus(a2)),
+        h.apply(a).plus(&h.apply(a2)),
+        "h must commute with plus"
+    );
+    assert_eq!(
+        h.apply(&a.times(a2)),
+        h.apply(a).times(&h.apply(a2)),
+        "h must commute with times"
+    );
+}

@@ -1,0 +1,177 @@
+//! The lineage semiring: which input tuples contributed to an output tuple.
+
+use crate::{CommutativeSemiring, MSemiring, NaturallyOrdered};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a base tuple, used as a provenance token.
+pub type TupleId = u64;
+
+/// Lineage (a.k.a. *which-provenance*): the set of base tuples an output
+/// tuple depends on, with a distinguished bottom element as semiring zero.
+///
+/// Structure: `(P(X) ∪ {⊥}, +, ·, ⊥, ∅)` where both `+` and `·` are set
+/// union on non-bottom elements and `⊥` is absorbing for `·` and neutral for
+/// `+`. This is the standard lineage semiring of the provenance literature;
+/// combined with the period construction of the paper it answers "which base
+/// facts support this answer *at which times*".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lineage {
+    /// The semiring zero: the tuple is absent.
+    Bottom,
+    /// The set of contributing base tuples (possibly empty = `1K`).
+    Set(BTreeSet<TupleId>),
+}
+
+impl Lineage {
+    /// Lineage of a base tuple with the given id.
+    pub fn of(id: TupleId) -> Self {
+        Lineage::Set(BTreeSet::from([id]))
+    }
+
+    /// Lineage of a set of base tuples.
+    pub fn from_ids<I: IntoIterator<Item = TupleId>>(ids: I) -> Self {
+        Lineage::Set(ids.into_iter().collect())
+    }
+
+    /// The contributing tuple ids, or `None` for bottom.
+    pub fn ids(&self) -> Option<&BTreeSet<TupleId>> {
+        match self {
+            Lineage::Bottom => None,
+            Lineage::Set(s) => Some(s),
+        }
+    }
+}
+
+impl CommutativeSemiring for Lineage {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Lineage::Bottom
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Lineage::Set(BTreeSet::new())
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, x) | (x, Lineage::Bottom) => x.clone(),
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).copied().collect()),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, _) | (_, Lineage::Bottom) => Lineage::Bottom,
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).copied().collect()),
+        }
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        matches!(self, Lineage::Bottom)
+    }
+}
+
+impl NaturallyOrdered for Lineage {
+    /// `+` is idempotent, so `a ≤ b ⇔ a + b = b`: bottom is least, and sets
+    /// are ordered by inclusion.
+    fn natural_leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Lineage::Bottom, _) => true,
+            (Lineage::Set(_), Lineage::Bottom) => false,
+            (Lineage::Set(a), Lineage::Set(b)) => a.is_subset(b),
+        }
+    }
+}
+
+impl MSemiring for Lineage {
+    /// The least `c` with `a ≤ b + c`: set difference, or bottom when
+    /// already below `b` (Geerts & Poggi, Example instantiation).
+    fn monus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, _) => Lineage::Bottom,
+            (Lineage::Set(a), Lineage::Bottom) => Lineage::Set(a.clone()),
+            (Lineage::Set(a), Lineage::Set(b)) => {
+                if a.is_subset(b) {
+                    Lineage::Bottom
+                } else {
+                    Lineage::Set(a.difference(b).copied().collect())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lineage::Bottom => write!(f, "⊥"),
+            Lineage::Set(s) => {
+                write!(f, "{{")?;
+                for (i, id) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "t{id}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    fn lineage_strategy() -> impl Strategy<Value = Lineage> {
+        prop_oneof![
+            Just(Lineage::Bottom),
+            proptest::collection::btree_set(0u64..8, 0..5).prop_map(Lineage::Set),
+        ]
+    }
+
+    #[test]
+    fn join_unions_lineage() {
+        let a = Lineage::of(1);
+        let b = Lineage::of(2);
+        assert_eq!(a.times(&b), Lineage::from_ids([1, 2]));
+        assert_eq!(a.plus(&b), Lineage::from_ids([1, 2]));
+    }
+
+    #[test]
+    fn bottom_behaviour() {
+        let a = Lineage::of(1);
+        assert_eq!(Lineage::Bottom.times(&a), Lineage::Bottom);
+        assert_eq!(Lineage::Bottom.plus(&a), a);
+        assert!(Lineage::Bottom.is_zero());
+        assert!(!Lineage::one(&()).is_zero());
+    }
+
+    #[test]
+    fn monus_examples() {
+        let ab = Lineage::from_ids([1, 2]);
+        let b = Lineage::of(2);
+        assert_eq!(ab.monus(&b), Lineage::of(1));
+        assert_eq!(b.monus(&ab), Lineage::Bottom);
+        assert_eq!(ab.monus(&Lineage::Bottom), ab);
+    }
+
+    proptest! {
+        #[test]
+        fn semiring_laws(a in lineage_strategy(), b in lineage_strategy(), c in lineage_strategy()) {
+            laws::assert_semiring_laws(&(), &a, &b, &c);
+        }
+
+        #[test]
+        fn monus_laws(a in lineage_strategy(), b in lineage_strategy()) {
+            laws::assert_monus_laws(&(), &a, &b);
+        }
+    }
+}

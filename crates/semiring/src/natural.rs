@@ -1,0 +1,130 @@
+//! The semiring of natural numbers `N = (N, +, ·, 0, 1)`: multiset semantics.
+
+use crate::{CommutativeSemiring, MSemiring, NaturallyOrdered};
+use std::fmt;
+
+/// Multiset-semantics annotations: the annotation of a tuple is its
+/// multiplicity. This is the semiring the paper's implementation layer (SQL
+/// period relations) encodes, and the `N` of the period semiring `N^T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Natural(pub u64);
+
+impl CommutativeSemiring for Natural {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Natural(0)
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Natural(1)
+    }
+
+    #[inline]
+    fn plus(&self, other: &Self) -> Self {
+        Natural(
+            self.0
+                .checked_add(other.0)
+                .expect("multiplicity overflow in N"),
+        )
+    }
+
+    #[inline]
+    fn times(&self, other: &Self) -> Self {
+        Natural(
+            self.0
+                .checked_mul(other.0)
+                .expect("multiplicity overflow in N"),
+        )
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl NaturallyOrdered for Natural {
+    /// The natural order of `N` coincides with the order on natural numbers.
+    #[inline]
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl MSemiring for Natural {
+    /// The truncating minus `max(0, k − k')` (paper Section 7.1).
+    #[inline]
+    fn monus(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_sub(other.0))
+    }
+}
+
+impl From<u64> for Natural {
+    #[inline]
+    fn from(n: u64) -> Self {
+        Natural(n)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Natural(3).plus(&Natural(4)), Natural(7));
+        assert_eq!(Natural(3).times(&Natural(4)), Natural(12));
+        assert_eq!(Natural::zero(&()), Natural(0));
+        assert_eq!(Natural::one(&()), Natural(1));
+    }
+
+    #[test]
+    fn paper_example_4_1() {
+        // Result annotation for M1: 1·4 + 1·4 = 8.
+        let r = Natural(1)
+            .times(&Natural(4))
+            .plus(&Natural(1).times(&Natural(4)));
+        assert_eq!(r, Natural(8));
+    }
+
+    #[test]
+    fn monus_truncates() {
+        assert_eq!(Natural(5).monus(&Natural(3)), Natural(2));
+        assert_eq!(Natural(3).monus(&Natural(5)), Natural(0));
+        assert_eq!(Natural(3).monus(&Natural(3)), Natural(0));
+    }
+
+    proptest! {
+        #[test]
+        fn semiring_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            laws::assert_semiring_laws(&(), &Natural(a), &Natural(b), &Natural(c));
+        }
+
+        #[test]
+        fn monus_laws(a in 0u64..1000, b in 0u64..1000) {
+            laws::assert_monus_laws(&(), &Natural(a), &Natural(b));
+        }
+
+        #[test]
+        fn monus_is_least_solution(a in 0u64..1000, b in 0u64..1000) {
+            let m = Natural(a).monus(&Natural(b));
+            // a <= b + m, and m is the least such element.
+            prop_assert!(Natural(a).natural_leq(&Natural(b).plus(&m)));
+            if m.0 > 0 {
+                let smaller = Natural(m.0 - 1);
+                prop_assert!(!Natural(a).natural_leq(&Natural(b).plus(&smaller)));
+            }
+        }
+    }
+}

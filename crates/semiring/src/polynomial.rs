@@ -1,0 +1,239 @@
+//! Provenance polynomials `N[X]`: the most general semiring annotation.
+
+use crate::{CommutativeSemiring, Natural, SemiringHomomorphism, TupleId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: a product of provenance variables with exponents, e.g.
+/// `x1^2 · x3`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial(pub BTreeMap<TupleId, u32>);
+
+impl Monomial {
+    /// The empty monomial (the constant `1`).
+    pub fn unit() -> Self {
+        Monomial(BTreeMap::new())
+    }
+
+    /// A single variable `x_id`.
+    pub fn var(id: TupleId) -> Self {
+        Monomial(BTreeMap::from([(id, 1)]))
+    }
+
+    /// Product of two monomials: exponents add.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (v, e) in &other.0 {
+            *out.entry(*v).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+}
+
+/// A provenance polynomial: a finite sum of monomials with coefficients in
+/// `N`. `N[X]` is the *free* commutative semiring over variables `X`, so any
+/// valuation of variables into any semiring `K` extends uniquely to a
+/// homomorphism — which, by the paper's Theorem 6.3 machinery, also lifts to
+/// the temporal level `N[X]^T → K^T`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Polynomial(pub BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// The polynomial consisting of the single variable `x_id`.
+    pub fn var(id: TupleId) -> Self {
+        Polynomial(BTreeMap::from([(Monomial::var(id), 1)]))
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: u64) -> Self {
+        if c == 0 {
+            Polynomial(BTreeMap::new())
+        } else {
+            Polynomial(BTreeMap::from([(Monomial::unit(), c)]))
+        }
+    }
+
+    /// Evaluates the polynomial in semiring `K` under a variable valuation.
+    ///
+    /// This is the unique homomorphic extension of `valuation`; evaluating in
+    /// `N` with every variable mapped to its multiplicity recovers multiset
+    /// semantics, evaluating in `B` recovers set semantics.
+    pub fn eval<K: CommutativeSemiring>(
+        &self,
+        ctx: &K::Ctx,
+        valuation: &impl Fn(TupleId) -> K,
+    ) -> K {
+        let mut acc = K::zero(ctx);
+        for (mono, coeff) in &self.0 {
+            let mut term = K::zero(ctx);
+            // coeff · m  =  m + m + ... (coeff times); coefficients are small
+            // in practice (they count derivations).
+            let mut mono_val = K::one(ctx);
+            for (v, e) in &mono.0 {
+                let val = valuation(*v);
+                for _ in 0..*e {
+                    mono_val = mono_val.times(&val);
+                }
+            }
+            for _ in 0..*coeff {
+                term.plus_assign(&mono_val);
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+
+    fn normalized(mut self) -> Self {
+        self.0.retain(|_, c| *c != 0);
+        self
+    }
+}
+
+impl CommutativeSemiring for Polynomial {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Polynomial(BTreeMap::new())
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Polynomial::constant(1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (m, c) in &other.0 {
+            *out.entry(m.clone()).or_insert(0) += c;
+        }
+        Polynomial(out).normalized()
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m1, c1) in &self.0 {
+            for (m2, c2) in &other.0 {
+                *out.entry(m1.mul(m2)).or_insert(0) += c1 * c2;
+            }
+        }
+        Polynomial(out).normalized()
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The homomorphism `N[X] → N` that maps every variable to multiplicity 1
+/// ("count the derivations").
+pub struct CountDerivations;
+
+impl SemiringHomomorphism<Polynomial, Natural> for CountDerivations {
+    fn apply(&self, p: &Polynomial) -> Natural {
+        p.eval(&(), &|_| Natural(1))
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 || m.0.is_empty() {
+                write!(f, "{c}")?;
+                if !m.0.is_empty() {
+                    write!(f, "·")?;
+                }
+            }
+            for (j, (v, e)) in m.0.iter().enumerate() {
+                if j > 0 {
+                    write!(f, "·")?;
+                }
+                write!(f, "x{v}")?;
+                if *e > 1 {
+                    write!(f, "^{e}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use crate::Boolean;
+    use proptest::prelude::*;
+
+    fn poly_strategy() -> impl Strategy<Value = Polynomial> {
+        proptest::collection::btree_map(
+            proptest::collection::btree_map(0u64..4, 1u32..3, 0..2).prop_map(Monomial),
+            1u64..4,
+            0..3,
+        )
+        .prop_map(|m| Polynomial(m).normalized())
+    }
+
+    #[test]
+    fn algebra() {
+        let x = Polynomial::var(1);
+        let y = Polynomial::var(2);
+        let p = x.plus(&y).times(&x.plus(&y)); // (x+y)^2 = x^2 + 2xy + y^2
+        let mut expect = BTreeMap::new();
+        expect.insert(Monomial(BTreeMap::from([(1, 2)])), 1);
+        expect.insert(Monomial(BTreeMap::from([(1, 1), (2, 1)])), 2);
+        expect.insert(Monomial(BTreeMap::from([(2, 2)])), 1);
+        assert_eq!(p, Polynomial(expect));
+    }
+
+    #[test]
+    fn eval_recovers_multiset_and_set_semantics() {
+        // Example 4.1 of the paper: M1 has provenance x_pete·x_m1 + x_bob·x_m1
+        // with multiplicities pete=1, bob=1, m1=4.
+        let p = Polynomial::var(1)
+            .times(&Polynomial::var(10))
+            .plus(&Polynomial::var(2).times(&Polynomial::var(10)));
+        let mults = |v: TupleId| Natural(if v == 10 { 4 } else { 1 });
+        assert_eq!(p.eval(&(), &mults), Natural(8));
+        let bools = |_: TupleId| Boolean(true);
+        assert_eq!(p.eval::<Boolean>(&(), &bools), Boolean(true));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::var(1)
+            .times(&Polynomial::var(1))
+            .plus(&Polynomial::constant(3));
+        assert_eq!(p.to_string(), "3 + x1^2");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn semiring_laws(a in poly_strategy(), b in poly_strategy(), c in poly_strategy()) {
+            laws::assert_semiring_laws(&(), &a, &b, &c);
+        }
+
+        #[test]
+        fn eval_is_homomorphism(a in poly_strategy(), b in poly_strategy()) {
+            // eval commutes with + and · — the defining property used by
+            // Theorem 6.3 to push timeslice through queries.
+            let v = |id: TupleId| Natural(id % 3 + 1);
+            prop_assert_eq!(
+                a.plus(&b).eval(&(), &v),
+                a.eval(&(), &v).plus(&b.eval(&(), &v))
+            );
+            prop_assert_eq!(
+                a.times(&b).eval(&(), &v),
+                a.eval(&(), &v).times(&b.eval(&(), &v))
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Core algebraic traits: commutative semirings, natural order, monus.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A commutative semiring `(K, +K, ·K, 0K, 1K)`.
+///
+/// Laws (checked by `laws::check_semiring` in the test suites):
+///
+/// * `+K` and `·K` are commutative and associative,
+/// * `0K` is neutral for `+K`, `1K` is neutral for `·K`,
+/// * `·K` distributes over `+K`,
+/// * `0K ·K k = 0K` (zero is absorbing).
+///
+/// `Ctx` carries whatever is needed to construct the neutral elements; it is
+/// `()` for ordinary semirings and the time domain for the period semiring
+/// `K^T` of the paper (whose `1` maps `[Tmin, Tmax)` to `1K`).
+pub trait CommutativeSemiring: Sized + Clone + PartialEq + Eq + Debug + Hash {
+    /// Context required to construct `zero` and `one`.
+    type Ctx: Clone + Debug;
+
+    /// The additive identity `0K`.
+    fn zero(ctx: &Self::Ctx) -> Self;
+
+    /// The multiplicative identity `1K`.
+    fn one(ctx: &Self::Ctx) -> Self;
+
+    /// Addition `+K` (alternative use of tuples: projection, union).
+    fn plus(&self, other: &Self) -> Self;
+
+    /// Multiplication `·K` (conjunctive use of tuples: join, selection).
+    fn times(&self, other: &Self) -> Self;
+
+    /// Whether this element equals `0K`. Tuples annotated with zero are, by
+    /// convention, *not in* the relation.
+    fn is_zero(&self) -> bool;
+
+    /// In-place addition; override when `plus` would allocate needlessly.
+    fn plus_assign(&mut self, other: &Self) {
+        *self = self.plus(other);
+    }
+}
+
+/// A semiring whose *natural order* `k ≤K k' ⇔ ∃k'': k +K k'' = k'` is a
+/// partial order (Section 7.1 of the paper).
+///
+/// `N` is naturally ordered (the usual order on naturals); rings like `Z` are
+/// not (every element is ≤ every other).
+pub trait NaturallyOrdered: CommutativeSemiring {
+    /// Whether `self ≤K other` in the natural order.
+    fn natural_leq(&self, other: &Self) -> bool;
+}
+
+/// An *m-semiring*: a naturally ordered semiring in which, for all `k, k'`,
+/// the set `{ k'' | k ≤K k' +K k'' }` has a least element, defining the
+/// *monus* `k −K k'` (Geerts & Poggi; paper Section 7.1).
+///
+/// The monus interprets bag difference (`EXCEPT ALL`): for `N` it is the
+/// truncating minus `max(0, k − k')`, for `B` it is `k ∧ ¬k'`.
+pub trait MSemiring: NaturallyOrdered {
+    /// The monus `k −K k'`: the least `k''` with `k ≤K k' +K k''`.
+    fn monus(&self, other: &Self) -> Self;
+}

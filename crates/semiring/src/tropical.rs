@@ -1,0 +1,91 @@
+//! The tropical (min-cost) semiring.
+
+use crate::CommutativeSemiring;
+use std::fmt;
+
+/// The tropical semiring `(N ∪ {∞}, min, +, ∞, 0)`.
+///
+/// Annotating tuples with costs and evaluating a query computes, per output
+/// tuple, the cheapest derivation. Included to demonstrate that the period
+/// construction `K^T` of the paper is oblivious to the choice of `K`
+/// (Section 11 mentions cost/probabilistic extensions as applications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tropical {
+    /// A finite cost.
+    Cost(u64),
+    /// Infinite cost: the semiring zero (tuple absent).
+    Infinity,
+}
+
+impl CommutativeSemiring for Tropical {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Tropical::Infinity
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Tropical::Cost(0)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, x) | (x, Tropical::Infinity) => *x,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(*a.min(b)),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(a + b),
+        }
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        matches!(self, Tropical::Infinity)
+    }
+}
+
+impl fmt::Display for Tropical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tropical::Infinity => write!(f, "∞"),
+            Tropical::Cost(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    fn strategy() -> impl Strategy<Value = Tropical> {
+        prop_oneof![
+            Just(Tropical::Infinity),
+            (0u64..100).prop_map(Tropical::Cost)
+        ]
+    }
+
+    #[test]
+    fn min_plus_behaviour() {
+        let a = Tropical::Cost(3);
+        let b = Tropical::Cost(5);
+        assert_eq!(a.plus(&b), Tropical::Cost(3)); // alternative: cheapest wins
+        assert_eq!(a.times(&b), Tropical::Cost(8)); // joint use: costs add
+        assert_eq!(a.plus(&Tropical::Infinity), a);
+        assert_eq!(a.times(&Tropical::Infinity), Tropical::Infinity);
+    }
+
+    proptest! {
+        #[test]
+        fn semiring_laws(a in strategy(), b in strategy(), c in strategy()) {
+            laws::assert_semiring_laws(&(), &a, &b, &c);
+        }
+    }
+}

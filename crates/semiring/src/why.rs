@@ -1,0 +1,128 @@
+//! Why-provenance: sets of witnesses (alternative derivations).
+
+use crate::{CommutativeSemiring, TupleId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why-provenance `Why(X)`: an annotation is a set of *witnesses*, each
+/// witness being a set of base tuples that jointly derive the output tuple.
+///
+/// Structure: `(P(P(X)), ∪, ⋓, ∅, {∅})` where `A ⋓ B = { a ∪ b | a ∈ A,
+/// b ∈ B }` is pairwise union. Unlike [`crate::Lineage`], why-provenance
+/// distinguishes *alternative* derivations, so projecting a snapshot query
+/// result annotated with `Why^T` tells, per time interval, every minimal
+/// combination of facts justifying the answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Why(pub BTreeSet<BTreeSet<TupleId>>);
+
+impl Why {
+    /// The annotation of a base tuple: one singleton witness.
+    pub fn of(id: TupleId) -> Self {
+        Why(BTreeSet::from([BTreeSet::from([id])]))
+    }
+
+    /// Builds an annotation from explicit witnesses.
+    pub fn from_witnesses<I, W>(witnesses: I) -> Self
+    where
+        I: IntoIterator<Item = W>,
+        W: IntoIterator<Item = TupleId>,
+    {
+        Why(witnesses
+            .into_iter()
+            .map(|w| w.into_iter().collect())
+            .collect())
+    }
+
+    /// Number of alternative witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl CommutativeSemiring for Why {
+    type Ctx = ();
+
+    #[inline]
+    fn zero(_: &()) -> Self {
+        Why(BTreeSet::new())
+    }
+
+    #[inline]
+    fn one(_: &()) -> Self {
+        Why(BTreeSet::from([BTreeSet::new()]))
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).copied().collect());
+            }
+        }
+        Why(out)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Why {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, id) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "t{id}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    fn why_strategy() -> impl Strategy<Value = Why> {
+        proptest::collection::btree_set(proptest::collection::btree_set(0u64..5, 0..3), 0..4)
+            .prop_map(Why)
+    }
+
+    #[test]
+    fn alternatives_are_preserved() {
+        // (t1 joins t3) union (t2 joins t3): two alternative witnesses.
+        let q = Why::of(1).times(&Why::of(3)).plus(&Why::of(2).times(&Why::of(3)));
+        assert_eq!(q, Why::from_witnesses([vec![1, 3], vec![2, 3]]));
+        assert_eq!(q.witness_count(), 2);
+    }
+
+    #[test]
+    fn identities() {
+        let a = Why::of(1);
+        assert_eq!(a.plus(&Why::zero(&())), a);
+        assert_eq!(a.times(&Why::one(&())), a);
+        assert!(a.times(&Why::zero(&())).is_zero());
+    }
+
+    proptest! {
+        #[test]
+        fn semiring_laws(a in why_strategy(), b in why_strategy(), c in why_strategy()) {
+            laws::assert_semiring_laws(&(), &a, &b, &c);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The parse tree of the SQL dialect.
+
+use algebra::BinOp;
+use storage::Value;
+
+/// A parsed statement: a query expression plus an optional top-level
+/// `ORDER BY` (sorting a snapshot query's result happens *outside* the
+/// `SEQ VT` block, per paper Section 10.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The query.
+    pub query: QueryExpr,
+    /// Top-level sort keys.
+    pub order_by: Vec<OrderItem>,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: AstExpr,
+    /// Ascending?
+    pub asc: bool,
+}
+
+/// A query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// A `SELECT` block.
+    Select(Box<SelectStmt>),
+    /// `UNION ALL`.
+    UnionAll(Box<QueryExpr>, Box<QueryExpr>),
+    /// `EXCEPT ALL`.
+    ExceptAll(Box<QueryExpr>, Box<QueryExpr>),
+    /// `SEQ VT ( query )`: evaluate under snapshot semantics.
+    SeqVt(Box<QueryExpr>),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` items (comma list = cross join).
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+    /// `GROUP BY` expressions (bare columns in this dialect).
+    pub group_by: Vec<AstExpr>,
+    /// `HAVING` predicate.
+    pub having: Option<AstExpr>,
+}
+
+/// An item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An item of the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// A stored table, optionally `PERIOD (b, e)` and/or aliased.
+    Table {
+        /// Catalog name.
+        name: String,
+        /// `AS alias`.
+        alias: Option<String>,
+        /// `PERIOD (begin_col, end_col)` — names of the period attributes
+        /// (only meaningful inside `SEQ VT`; overrides the catalog default).
+        period: Option<(String, String)>,
+    },
+    /// A parenthesized subquery with a mandatory alias.
+    Subquery {
+        /// The subquery.
+        query: QueryExpr,
+        /// Alias.
+        alias: String,
+    },
+    /// `left JOIN right ON condition`.
+    Join {
+        /// Left input.
+        left: Box<FromItem>,
+        /// Right input.
+        right: Box<FromItem>,
+        /// Join condition.
+        on: AstExpr,
+    },
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference, optionally qualified.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `NOT e`.
+    Not(Box<AstExpr>),
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// Searched `CASE`.
+    Case {
+        /// `(WHEN, THEN)` pairs.
+        branches: Vec<(AstExpr, AstExpr)>,
+        /// `ELSE`.
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// `e [NOT] LIKE 'pattern'`.
+    Like {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Pattern.
+        pattern: String,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// `e [NOT] BETWEEN lo AND hi` (desugared by the binder).
+    Between {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Lower bound (inclusive).
+        low: Box<AstExpr>,
+        /// Upper bound (inclusive).
+        high: Box<AstExpr>,
+        /// `NOT BETWEEN`?
+        negated: bool,
+    },
+    /// `e [NOT] IN (v, ...)` (desugared by the binder).
+    InList {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// The candidate list.
+        list: Vec<AstExpr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// Function call — aggregate (`count`/`sum`/`avg`/`min`/`max`) or
+    /// scalar (`least`/`greatest`).
+    Func {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments (`count(*)` has `star = true` and no args).
+        args: Vec<AstExpr>,
+        /// Whether the argument is `*`.
+        star: bool,
+    },
+}

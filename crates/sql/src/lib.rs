@@ -1,0 +1,30 @@
+//! SQL front end with `SEQ VT (...)` snapshot blocks.
+//!
+//! The paper's middleware "exposes snapshot semantics as a new language
+//! feature in SQL": a query enclosed in `SEQ VT (...)` is evaluated under
+//! snapshot semantics, and each table accessed inside the block names the
+//! attributes storing its validity period — `works PERIOD (ts, te)` —
+//! unless the catalog already registered a period for the table
+//! (Section 9). This crate provides that dialect:
+//!
+//! * [`lexer`] / [`parser`] — hand-written lexer and recursive-descent
+//!   parser for the supported subset (SELECT/FROM/WHERE/GROUP BY/HAVING,
+//!   JOIN..ON, UNION ALL, EXCEPT ALL, subqueries in FROM, CASE, LIKE,
+//!   BETWEEN, IN, aggregates, top-level ORDER BY),
+//! * [`ast`] — the parse tree,
+//! * [`binder`] — name resolution and typing against a
+//!   [`storage::Catalog`], producing either a plain [`algebra::Plan`] or a
+//!   snapshot [`algebra::SnapshotPlan`] ready for the `rewrite` crate.
+//!
+//! `SEQ VT` is supported at statement level (optionally under a top-level
+//! `ORDER BY`), which covers every query of the paper's evaluation;
+//! `ORDER BY` *inside* a snapshot block is rejected, as in the paper.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, FromItem, OrderItem, QueryExpr, SelectItem, SelectStmt, Statement};
+pub use binder::{bind_statement, BoundStatement};
+pub use parser::parse_statement;

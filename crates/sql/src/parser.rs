@@ -1,0 +1,691 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+use algebra::BinOp;
+use storage::Value;
+
+/// Parses one statement (queries with an optional top-level `ORDER BY` and
+/// optional trailing `;`).
+pub fn parse_statement(input: &str) -> Result<Statement, String> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let query = p.parse_query()?;
+    let order_by = if p.eat_keyword("order") {
+        p.expect_keyword("by")?;
+        p.parse_order_items()?
+    } else {
+        Vec::new()
+    };
+    let _ = p.eat_symbol(Sym::Semicolon);
+    p.expect_eof()?;
+    Ok(Statement { query, order_by })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), String> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected '{kw}', found '{}'", self.peek()))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek() == &Token::Symbol(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<(), String> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(format!("expected {s:?}, found '{}'", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), String> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(format!("unexpected trailing input at '{}'", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    // ---- queries ----------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<QueryExpr, String> {
+        let mut left = self.parse_query_primary()?;
+        loop {
+            if self.at_keyword("union") {
+                self.bump();
+                self.expect_keyword("all")?;
+                let right = self.parse_query_primary()?;
+                left = QueryExpr::UnionAll(Box::new(left), Box::new(right));
+            } else if self.at_keyword("except") {
+                self.bump();
+                self.expect_keyword("all")?;
+                let right = self.parse_query_primary()?;
+                left = QueryExpr::ExceptAll(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_query_primary(&mut self) -> Result<QueryExpr, String> {
+        if self.at_keyword("seq") {
+            self.bump();
+            self.expect_keyword("vt")?;
+            self.expect_symbol(Sym::LParen)?;
+            let inner = self.parse_query()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(QueryExpr::SeqVt(Box::new(inner)));
+        }
+        if self.eat_symbol(Sym::LParen) {
+            let inner = self.parse_query()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(inner);
+        }
+        Ok(QueryExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt, String> {
+        self.expect_keyword("select")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(Sym::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        let mut stmt = SelectStmt {
+            items,
+            ..Default::default()
+        };
+        if self.eat_keyword("from") {
+            stmt.from.push(self.parse_from_item()?);
+            while self.eat_symbol(Sym::Comma) {
+                stmt.from.push(self.parse_from_item()?);
+            }
+        }
+        if self.eat_keyword("where") {
+            stmt.where_clause = Some(self.parse_expr()?);
+        }
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            stmt.group_by.push(self.parse_expr()?);
+            while self.eat_symbol(Sym::Comma) {
+                stmt.group_by.push(self.parse_expr()?);
+            }
+        }
+        if self.eat_keyword("having") {
+            stmt.having = Some(self.parse_expr()?);
+        }
+        Ok(stmt)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, String> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* ?
+        if let (Token::Ident(t), Token::Symbol(Sym::Dot)) = (self.peek(), self.peek2()) {
+            if self.tokens.get(self.pos + 2) == Some(&Token::Symbol(Sym::Star)) {
+                let t = t.clone();
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(t));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.expect_ident()?)
+        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, String> {
+        let mut item = self.parse_from_primary()?;
+        loop {
+            let inner = self.at_keyword("inner");
+            if inner || self.at_keyword("join") {
+                if inner {
+                    self.bump();
+                }
+                self.expect_keyword("join")?;
+                let right = self.parse_from_primary()?;
+                self.expect_keyword("on")?;
+                let on = self.parse_expr()?;
+                item = FromItem::Join {
+                    left: Box::new(item),
+                    right: Box::new(right),
+                    on,
+                };
+            } else {
+                return Ok(item);
+            }
+        }
+    }
+
+    fn parse_from_primary(&mut self) -> Result<FromItem, String> {
+        if self.eat_symbol(Sym::LParen) {
+            let query = self.parse_query()?;
+            self.expect_symbol(Sym::RParen)?;
+            let _ = self.eat_keyword("as");
+            let alias = self.expect_ident()?;
+            return Ok(FromItem::Subquery { query, alias });
+        }
+        let name = self.expect_ident()?;
+        // PERIOD (b, e)
+        let period = if self.at_keyword("period") {
+            self.bump();
+            self.expect_symbol(Sym::LParen)?;
+            let b = self.expect_ident()?;
+            self.expect_symbol(Sym::Comma)?;
+            let e = self.expect_ident()?;
+            self.expect_symbol(Sym::RParen)?;
+            Some((b, e))
+        } else {
+            None
+        };
+        let alias = if self.eat_keyword("as") {
+            Some(self.expect_ident()?)
+        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(FromItem::Table {
+            name,
+            alias,
+            period,
+        })
+    }
+
+    fn parse_order_items(&mut self) -> Result<Vec<OrderItem>, String> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let asc = if self.eat_keyword("desc") {
+                false
+            } else {
+                let _ = self.eat_keyword("asc");
+                true
+            };
+            items.push(OrderItem { expr, asc });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------
+
+    fn parse_expr(&mut self) -> Result<AstExpr, String> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let right = self.parse_and()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let right = self.parse_not()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr, String> {
+        if self.eat_keyword("not") {
+            Ok(AstExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<AstExpr, String> {
+        let left = self.parse_additive()?;
+
+        // Postfix predicates: IS [NOT] NULL, [NOT] LIKE / BETWEEN / IN.
+        if self.at_keyword("is") {
+            self.bump();
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.at_keyword("not")
+            && matches!(self.peek2(), Token::Ident(s) if s == "like" || s == "between" || s == "in")
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("like") {
+            let pattern = match self.bump() {
+                Token::Str(s) => s,
+                other => return Err(format!("LIKE requires a string literal, found '{other}'")),
+            };
+            return Ok(AstExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_keyword("between") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("and")?;
+            let high = self.parse_additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_symbol(Sym::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err("dangling NOT".into());
+        }
+
+        let op = match self.peek() {
+            Token::Symbol(Sym::Eq) => Some(BinOp::Eq),
+            Token::Symbol(Sym::Neq) => Some(BinOp::Neq),
+            Token::Symbol(Sym::Lt) => Some(BinOp::Lt),
+            Token::Symbol(Sym::Leq) => Some(BinOp::Leq),
+            Token::Symbol(Sym::Gt) => Some(BinOp::Gt),
+            Token::Symbol(Sym::Geq) => Some(BinOp::Geq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Plus) => BinOp::Add,
+                Token::Symbol(Sym::Minus) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Star) => BinOp::Mul,
+                Token::Symbol(Sym::Slash) => BinOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr, String> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(AstExpr::Binary {
+                op: BinOp::Sub,
+                left: Box::new(AstExpr::Lit(Value::Int(0))),
+                right: Box::new(inner),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr, String> {
+        match self.bump() {
+            Token::Int(i) => Ok(AstExpr::Lit(Value::Int(i))),
+            Token::Double(d) => Ok(AstExpr::Lit(Value::Double(d))),
+            Token::Str(s) => Ok(AstExpr::Lit(Value::str(s))),
+            Token::Symbol(Sym::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(word) => match word.as_str() {
+                "null" => Ok(AstExpr::Lit(Value::Null)),
+                "true" => Ok(AstExpr::Lit(Value::Bool(true))),
+                "false" => Ok(AstExpr::Lit(Value::Bool(false))),
+                "case" => self.parse_case(),
+                _ if self.peek() == &Token::Symbol(Sym::LParen) => {
+                    // Function call.
+                    self.bump();
+                    if self.eat_symbol(Sym::Star) {
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(AstExpr::Func {
+                            name: word,
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::Symbol(Sym::RParen) {
+                        args.push(self.parse_expr()?);
+                        while self.eat_symbol(Sym::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect_symbol(Sym::RParen)?;
+                    Ok(AstExpr::Func {
+                        name: word,
+                        args,
+                        star: false,
+                    })
+                }
+                _ if is_reserved(&word) => {
+                    Err(format!("unexpected keyword '{word}' in expression"))
+                }
+                _ if self.peek() == &Token::Symbol(Sym::Dot) => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    Ok(AstExpr::Column {
+                        table: Some(word),
+                        name,
+                    })
+                }
+                _ => Ok(AstExpr::Column {
+                    table: None,
+                    name: word,
+                }),
+            },
+            other => Err(format!("unexpected token '{other}' in expression")),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<AstExpr, String> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("when") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("then")?;
+            let result = self.parse_expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err("CASE requires at least one WHEN branch".into());
+        }
+        let else_expr = if self.eat_keyword("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("end")?;
+        Ok(AstExpr::Case {
+            branches,
+            else_expr,
+        })
+    }
+}
+
+/// Words that terminate an implicit alias position.
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "by"
+            | "union"
+            | "except"
+            | "all"
+            | "join"
+            | "inner"
+            | "on"
+            | "as"
+            | "and"
+            | "or"
+            | "not"
+            | "like"
+            | "between"
+            | "in"
+            | "is"
+            | "null"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "seq"
+            | "vt"
+            | "period"
+            | "asc"
+            | "desc"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_onduty_parses() {
+        let stmt = parse_statement(
+            "SEQ VT (SELECT count(*) AS cnt FROM works PERIOD (ts, te) WHERE skill = 'SP')",
+        )
+        .unwrap();
+        let QueryExpr::SeqVt(inner) = stmt.query else {
+            panic!("expected SEQ VT");
+        };
+        let QueryExpr::Select(sel) = *inner else {
+            panic!("expected SELECT");
+        };
+        assert_eq!(sel.items.len(), 1);
+        assert!(sel.where_clause.is_some());
+        match &sel.from[0] {
+            FromItem::Table { name, period, .. } => {
+                assert_eq!(name, "works");
+                assert_eq!(period, &Some(("ts".into(), "te".into())));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q_skillreq_parses() {
+        let stmt = parse_statement(
+            "SEQ VT (SELECT skill FROM assign PERIOD (ts, te) \
+             EXCEPT ALL SELECT skill FROM works PERIOD (ts, te))",
+        )
+        .unwrap();
+        let QueryExpr::SeqVt(inner) = stmt.query else {
+            panic!("expected SEQ VT");
+        };
+        assert!(matches!(*inner, QueryExpr::ExceptAll(_, _)));
+    }
+
+    #[test]
+    fn joins_and_aliases() {
+        let stmt = parse_statement(
+            "SELECT w.name, a.mach FROM works w JOIN assign a ON w.skill = a.skill \
+             WHERE w.name <> 'Joe' ORDER BY w.name DESC",
+        )
+        .unwrap();
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(!stmt.order_by[0].asc);
+        let QueryExpr::Select(sel) = stmt.query else {
+            panic!()
+        };
+        assert!(matches!(&sel.from[0], FromItem::Join { .. }));
+    }
+
+    #[test]
+    fn group_by_having_subquery() {
+        let stmt = parse_statement(
+            "SELECT cnt FROM (SELECT dept, count(*) AS cnt FROM emp GROUP BY dept \
+             HAVING count(*) > 21) sub",
+        )
+        .unwrap();
+        let QueryExpr::Select(sel) = stmt.query else {
+            panic!()
+        };
+        match &sel.from[0] {
+            FromItem::Subquery { alias, .. } => assert_eq!(alias, "sub"),
+            other => panic!("expected subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_case() {
+        let stmt = parse_statement(
+            "SELECT CASE WHEN x BETWEEN 1 AND 5 THEN 'lo' ELSE 'hi' END \
+             FROM t WHERE mode IN ('MAIL','SHIP') AND name NOT LIKE 'A%'",
+        )
+        .unwrap();
+        let QueryExpr::Select(sel) = stmt.query else {
+            panic!()
+        };
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let stmt = parse_statement("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let QueryExpr::Select(sel) = stmt.query else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        match expr {
+            AstExpr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE x LIKE y").is_err());
+        assert!(parse_statement("SELECT * FROM t extra garbage !!").is_err());
+        assert!(parse_statement("SEQ VT SELECT 1").is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let stmt = parse_statement("SELECT -5 FROM t").unwrap();
+        let QueryExpr::Select(sel) = stmt.query else {
+            panic!()
+        };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr {
+                expr: AstExpr::Binary { op: BinOp::Sub, .. },
+                ..
+            }
+        ));
+    }
+}

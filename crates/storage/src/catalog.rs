@@ -1,0 +1,64 @@
+//! The catalog: the namespace of stored tables.
+
+use crate::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of tables; queries are bound against a catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a table, with a useful error.
+    pub fn require(&self, name: &str) -> Result<&Table, String> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| format!("unknown table '{name}'"))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total rows across all tables (used by dataset loaders to report
+    /// sizes).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, Schema, SqlType};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        let mut t = Table::new(Schema::of(&[("x", SqlType::Int)]));
+        t.push(row![1]);
+        c.register("nums", t);
+        assert!(c.get("nums").is_some());
+        assert!(c.get("other").is_none());
+        assert!(c.require("other").unwrap_err().contains("unknown table"));
+        assert_eq!(c.total_rows(), 1);
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["nums"]);
+    }
+}

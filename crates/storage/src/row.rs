@@ -1,0 +1,140 @@
+//! Rows: tuples of SQL values.
+
+use crate::Value;
+use std::fmt;
+
+/// A row of a relation. Wraps `Vec<Value>` and inherits the canonical total
+/// order of [`Value`], so multisets of rows can be sorted deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Creates a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Builds a row from anything convertible into values.
+    pub fn of<const N: usize>(values: [Value; N]) -> Self {
+        Row(values.to_vec())
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at column `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenates two rows (used by joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Projects the row onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Appends a value, returning the extended row.
+    pub fn with(&self, v: Value) -> Row {
+        let mut out = self.0.clone();
+        out.push(v);
+        Row(out)
+    }
+
+    /// The integer at column `i`.
+    ///
+    /// # Panics
+    /// Panics when the column is not an `Int` — used for period endpoints,
+    /// which the schema layer guarantees to be integers.
+    #[inline]
+    pub fn int(&self, i: usize) -> i64 {
+        self.0[i]
+            .as_int()
+            .unwrap_or_else(|| panic!("column {i} is not an Int: {:?}", self.0[i]))
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+/// Builds a row from literal-ish values: `row![1, "x", 3.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = row![1, "x", 2.5, true];
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert_eq!(r.get(1), &Value::str("x"));
+        assert_eq!(r.int(0), 1);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = row![1, "x"];
+        let b = row![2.5];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), row![2.5, 1]);
+    }
+
+    #[test]
+    fn rows_sort_canonically() {
+        let mut rows = vec![row![2, "b"], row![1, "z"], row![1, "a"]];
+        rows.sort();
+        assert_eq!(rows, vec![row![1, "a"], row![1, "z"], row![2, "b"]]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row![1, "x"].to_string(), "(1, x)");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an Int")]
+    fn int_accessor_panics_on_type_error() {
+        let r = row!["x"];
+        let _ = r.int(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Schemas: named, typed, optionally table-qualified columns.
+
+use std::fmt;
+
+/// SQL column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// Booleans.
+    Bool,
+    /// 64-bit integers (also the type of period endpoints).
+    Int,
+    /// 64-bit floats.
+    Double,
+    /// Strings.
+    Str,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SqlType::Bool => "BOOL",
+            SqlType::Int => "INT",
+            SqlType::Double => "DOUBLE",
+            SqlType::Str => "TEXT",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A column: a name, an optional table qualifier, and a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Column name (lower-cased by the SQL layer).
+    pub name: String,
+    /// Table or alias qualifier, when known.
+    pub table: Option<String>,
+    /// Column type.
+    pub ty: SqlType,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn new(name: impl Into<String>, ty: SqlType) -> Self {
+        Column {
+            name: name.into(),
+            table: None,
+            ty,
+        }
+    }
+
+    /// A table-qualified column.
+    pub fn qualified(table: impl Into<String>, name: impl Into<String>, ty: SqlType) -> Self {
+        Column {
+            name: name.into(),
+            table: Some(table.into()),
+            ty,
+        }
+    }
+
+    /// Whether this column answers to `name` under optional qualifier
+    /// `table` (case-sensitive; the SQL layer lower-cases identifiers).
+    pub fn matches(&self, table: Option<&str>, name: &str) -> bool {
+        self.name == name && (table.is_none() || self.table.as_deref() == table)
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write!(f, "{t}.")?;
+        }
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A relation schema: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, SqlType)]) -> Self {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Resolves `name` (optionally `table.name`) to a column index.
+    ///
+    /// Returns `Err` with a diagnostic when the name is unknown or
+    /// ambiguous — ambiguity matters once joins concatenate schemas.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, String> {
+        let mut hits = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(table, name));
+        match (hits.next(), hits.next()) {
+            (None, _) => Err(format!(
+                "unknown column {}{name}",
+                table.map(|t| format!("{t}.")).unwrap_or_default()
+            )),
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(format!(
+                "ambiguous column {}{name}",
+                table.map(|t| format!("{t}.")).unwrap_or_default()
+            )),
+        }
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// A copy with every column re-qualified to `alias` (FROM-clause
+    /// aliasing: `FROM works w`).
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    table: Some(alias.to_string()),
+                    ty: c.ty,
+                })
+                .collect(),
+        }
+    }
+
+    /// A copy with all qualifiers dropped (subquery output).
+    pub fn unqualified(&self) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    table: None,
+                    ty: c.ty,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a column, returning the extended schema.
+    pub fn with_column(&self, c: Column) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.push(c);
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c} {}", c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[("name", SqlType::Str), ("skill", SqlType::Str)])
+    }
+
+    #[test]
+    fn resolve_by_name() {
+        let s = schema();
+        assert_eq!(s.resolve(None, "skill"), Ok(1));
+        assert!(s.resolve(None, "nope").is_err());
+    }
+
+    #[test]
+    fn resolve_with_qualifier() {
+        let s = schema().with_qualifier("w");
+        assert_eq!(s.resolve(Some("w"), "name"), Ok(0));
+        assert!(s.resolve(Some("x"), "name").is_err());
+        // Unqualified reference still works.
+        assert_eq!(s.resolve(None, "name"), Ok(0));
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let joined = schema()
+            .with_qualifier("a")
+            .concat(&schema().with_qualifier("b"));
+        let err = joined.resolve(None, "name").unwrap_err();
+        assert!(err.contains("ambiguous"));
+        assert_eq!(joined.resolve(Some("b"), "name"), Ok(2));
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let s = schema().with_column(Column::new("ts", SqlType::Int));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.resolve(None, "ts"), Ok(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(schema().to_string(), "(name TEXT, skill TEXT)");
+    }
+}

@@ -1,0 +1,260 @@
+//! Tables: multisets of rows, optionally with a period specification.
+
+use crate::{Row, Schema, SqlType, Value};
+use std::fmt;
+use timeline::Interval;
+
+/// A stored relation: a schema, a multiset of rows (duplicates are separate
+/// rows, as in SQL), and an optional *period specification* naming the two
+/// integer columns that hold each tuple's validity interval `[begin, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+    period: Option<(usize, usize)>,
+}
+
+impl Table {
+    /// Creates an empty, non-temporal table.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            period: None,
+        }
+    }
+
+    /// Creates an empty period table; `begin`/`end` are column indices.
+    ///
+    /// # Panics
+    /// Panics when the indicated columns are not integers.
+    pub fn with_period(schema: Schema, begin: usize, end: usize) -> Self {
+        assert_eq!(
+            schema.column(begin).ty,
+            SqlType::Int,
+            "period begin column must be INT"
+        );
+        assert_eq!(
+            schema.column(end).ty,
+            SqlType::Int,
+            "period end column must be INT"
+        );
+        Table {
+            schema,
+            rows: Vec::new(),
+            period: Some((begin, end)),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows (multiset: duplicates appear repeatedly).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The period column indices, when this is a period table.
+    pub fn period(&self) -> Option<(usize, usize)> {
+        self.period
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or (for period tables) `begin >= end`.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.arity(),
+            self.schema.arity(),
+            "row arity {} does not match schema arity {}",
+            row.arity(),
+            self.schema.arity()
+        );
+        if let Some((b, e)) = self.period {
+            assert!(
+                row.int(b) < row.int(e),
+                "period tuple must satisfy begin < end, got [{}, {})",
+                row.int(b),
+                row.int(e)
+            );
+        }
+        self.rows.push(row);
+    }
+
+    /// Bulk-extends the table.
+    pub fn extend<I: IntoIterator<Item = Row>>(&mut self, rows: I) {
+        for r in rows {
+            self.push(r);
+        }
+    }
+
+    /// The validity interval of a row (requires a period table).
+    pub fn interval_of(&self, row: &Row) -> Interval {
+        let (b, e) = self
+            .period
+            .expect("interval_of called on a non-temporal table");
+        Interval::new(row.int(b), row.int(e))
+    }
+
+    /// Sorts rows into the canonical order, making the physical encoding of
+    /// the multiset deterministic. Together with coalesced annotations this
+    /// realizes the *unique encoding* requirement of Definition 4.5 at the
+    /// implementation layer.
+    pub fn canonicalize(&mut self) {
+        self.rows.sort_unstable();
+    }
+
+    /// A canonically sorted copy.
+    pub fn canonicalized(&self) -> Table {
+        let mut t = self.clone();
+        t.canonicalize();
+        t
+    }
+
+    /// Renders the table like a psql result, for examples and debugging.
+    pub fn to_pretty_string(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!(" {c:<w$} "))
+                .collect();
+            format!("|{}|", body.join("|"))
+        };
+        let sep: String = format!(
+            "+{}+",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push_str(&format!("\n({} rows)\n", self.rows.len()));
+        out
+    }
+
+    /// Helper for building tables in tests and examples: rows of plain
+    /// values with a trailing `[begin, end)` period.
+    pub fn period_table_from(
+        schema: Schema,
+        begin: usize,
+        end: usize,
+        rows: Vec<Vec<Value>>,
+    ) -> Table {
+        let mut t = Table::with_period(schema, begin, end);
+        for r in rows {
+            t.push(Row::new(r));
+        }
+        t
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_pretty_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn works_schema() -> Schema {
+        Schema::of(&[
+            ("name", SqlType::Str),
+            ("skill", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ])
+    }
+
+    #[test]
+    fn period_table_roundtrip() {
+        let mut t = Table::with_period(works_schema(), 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.interval_of(&t.rows()[0]), Interval::new(3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin < end")]
+    fn invalid_period_rejected() {
+        let mut t = Table::with_period(works_schema(), 2, 3);
+        t.push(row!["Ann", "SP", 10, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(works_schema());
+        t.push(row!["Ann", "SP"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be INT")]
+    fn period_column_type_checked() {
+        let _ = Table::with_period(works_schema(), 0, 3);
+    }
+
+    #[test]
+    fn canonicalization_sorts() {
+        let mut t = Table::new(Schema::of(&[("x", SqlType::Int)]));
+        t.push(row![3]);
+        t.push(row![1]);
+        t.push(row![2]);
+        t.canonicalize();
+        assert_eq!(t.rows(), &[row![1], row![2], row![3]]);
+    }
+
+    #[test]
+    fn pretty_print_contains_data() {
+        let mut t = Table::new(Schema::of(&[("n", SqlType::Str)]));
+        t.push(row!["hello"]);
+        let s = t.to_pretty_string();
+        assert!(s.contains("hello"));
+        assert!(s.contains("(1 rows)"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Dynamically typed SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A SQL value.
+///
+/// `Value` implements a *total* `Ord`/`Eq`/`Hash` so rows can serve as keys
+/// in hash and tree maps and relations can be put into a canonical physical
+/// order (`NULL` sorts first, then by type rank, then by value; doubles
+/// compare by IEEE total order). SQL's three-valued comparison semantics is
+/// *not* this order — it lives in [`Value::sql_eq`] / [`Value::sql_cmp`] and
+/// is what expression evaluation uses.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// 64-bit integers (also used for period endpoints).
+    Int(i64),
+    /// 64-bit floats.
+    Double(f64),
+    /// Strings (reference-counted: rows are cloned heavily during joins).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Whether the value is NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64` (ints widen), if numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: `NULL = anything` is unknown (`None`); numeric types
+    /// compare numerically across `Int`/`Double`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL comparison: `None` when either side is NULL or the types are
+    /// incomparable; `Int` and `Double` compare numerically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Int(_) | Double(_), Int(_) | Double(_)) => {
+                let (a, b) = (self.as_double().unwrap(), other.as_double().unwrap());
+                a.partial_cmp(&b)
+            }
+            _ => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// The canonical total order used for sorting relations and grouping:
+    /// by type rank, then by value; doubles use IEEE `total_cmp`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Double(d) => d.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_comparison_with_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.0)), Some(true));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("a")), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn canonical_order_is_total() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Double(1.5),
+            Value::Bool(true),
+            Value::str("a"),
+            Value::Int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-1),
+                Value::Int(3),
+                Value::Double(1.5),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::str("x"));
+        set.insert(Value::str("x"));
+        set.insert(Value::Int(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn double_total_order_handles_nan() {
+        let mut vs = vec![Value::Double(f64::NAN), Value::Double(1.0)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Double(1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Int(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,286 @@
+//! Half-open intervals `[Tb, Te)` and their algebra (paper Section 5.1).
+
+use crate::TimePoint;
+use std::fmt;
+
+/// A half-open interval `[begin, end)` with `begin < end`.
+///
+/// An interval denotes the set of contiguous time points
+/// `{ T | begin <= T < end }`. The paper writes `I+` for the begin point and
+/// `I-` for the (exclusive) end point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    begin: TimePoint,
+    end: TimePoint,
+}
+
+impl Interval {
+    /// Creates `[begin, end)`.
+    ///
+    /// # Panics
+    /// Panics if `begin >= end`: empty intervals are not representable, which
+    /// mirrors the paper's definition (`Tb <T Te`).
+    #[inline]
+    pub fn new(begin: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Self {
+        let (begin, end) = (begin.into(), end.into());
+        assert!(
+            begin < end,
+            "interval requires begin < end, got [{begin}, {end})"
+        );
+        Interval { begin, end }
+    }
+
+    /// Creates `[begin, end)` or returns `None` when `begin >= end`.
+    #[inline]
+    pub fn try_new(begin: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Option<Self> {
+        let (begin, end) = (begin.into(), end.into());
+        (begin < end).then_some(Interval { begin, end })
+    }
+
+    /// The singleton interval `[t, t+1)` covering exactly one time point.
+    #[inline]
+    pub fn singleton(t: impl Into<TimePoint>) -> Self {
+        let t = t.into();
+        Interval {
+            begin: t,
+            end: t.succ(),
+        }
+    }
+
+    /// The inclusive begin point (`I+` in the paper).
+    #[inline]
+    pub fn begin(self) -> TimePoint {
+        self.begin
+    }
+
+    /// The exclusive end point (`I-` in the paper).
+    #[inline]
+    pub fn end(self) -> TimePoint {
+        self.end
+    }
+
+    /// Number of time points covered by the interval (always >= 1).
+    #[inline]
+    pub fn duration(self) -> u64 {
+        (self.end.value() - self.begin.value()) as u64
+    }
+
+    /// Whether time point `t` lies inside the interval (`t ∈ I`).
+    #[inline]
+    pub fn contains(self, t: TimePoint) -> bool {
+        self.begin <= t && t < self.end
+    }
+
+    /// Whether `other` is a (not necessarily proper) subset of `self`.
+    #[inline]
+    pub fn covers(self, other: Interval) -> bool {
+        self.begin <= other.begin && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one time point.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.begin < other.end && other.begin < self.end
+    }
+
+    /// The adjacency relation `adj(I1, I2) ⇔ I1- = I2+ ∨ I2- = I1+`.
+    #[inline]
+    pub fn adjacent(self, other: Interval) -> bool {
+        self.end == other.begin || other.end == self.begin
+    }
+
+    /// `I ∩ I'`: the interval covering exactly the common time points, or
+    /// `None` when the intervals are disjoint.
+    #[inline]
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let begin = self.begin.max(other.begin);
+        let end = self.end.min(other.end);
+        (begin < end).then_some(Interval { begin, end })
+    }
+
+    /// `I ∪ I'`: the union as a single interval. Per the paper this is only
+    /// well-defined when the inputs overlap or are adjacent; otherwise the
+    /// union is defined to be empty (`None`).
+    #[inline]
+    pub fn union(self, other: Interval) -> Option<Interval> {
+        if self.overlaps(other) || self.adjacent(other) {
+            Some(Interval {
+                begin: self.begin.min(other.begin),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the time points of the interval in order.
+    pub fn points(self) -> impl DoubleEndedIterator<Item = TimePoint> + Clone {
+        (self.begin.value()..self.end.value()).map(TimePoint::new)
+    }
+
+    /// Splits this interval at the given (sorted, deduplicated) endpoints,
+    /// producing the maximal sub-intervals whose interiors contain none of
+    /// the points. Endpoints outside the interval are ignored.
+    ///
+    /// This is the per-tuple piece of the split operator `N_G` (Def. 8.3).
+    pub fn split_at(self, endpoints: &[TimePoint]) -> Vec<Interval> {
+        debug_assert!(endpoints.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::new();
+        let mut cur = self.begin;
+        for &p in endpoints {
+            if p <= cur {
+                continue;
+            }
+            if p >= self.end {
+                break;
+            }
+            out.push(Interval { begin: cur, end: p });
+            cur = p;
+        }
+        out.push(Interval {
+            begin: cur,
+            end: self.end,
+        });
+        out
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+/// Builds the elementary intervals spanned by a sorted, deduplicated endpoint
+/// set: for endpoints `p1 < p2 < ... < pn` this returns
+/// `[p1,p2), [p2,p3), ..., [p(n-1), pn)`.
+///
+/// This is `EPI` from Def. 8.3 (and `CPI` of Def. 5.2 shares the structure):
+/// consecutive points delimit the maximal intervals on which the relevant
+/// quantity (annotation, group content) is guaranteed constant.
+pub fn endpoints_to_intervals(endpoints: &[TimePoint]) -> Vec<Interval> {
+    debug_assert!(endpoints.windows(2).all(|w| w[0] < w[1]));
+    endpoints
+        .windows(2)
+        .map(|w| Interval {
+            begin: w[0],
+            end: w[1],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(b, e)
+    }
+
+    #[test]
+    fn construction() {
+        let i = iv(3, 10);
+        assert_eq!(i.begin(), TimePoint::new(3));
+        assert_eq!(i.end(), TimePoint::new(10));
+        assert_eq!(i.duration(), 7);
+        assert_eq!(Interval::try_new(5, 5), None);
+        assert_eq!(Interval::try_new(6, 5), None);
+        assert!(Interval::try_new(5, 6).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin < end")]
+    fn empty_interval_rejected() {
+        let _ = iv(4, 4);
+    }
+
+    #[test]
+    fn singleton_covers_one_point() {
+        let s = Interval::singleton(7);
+        assert_eq!(s, iv(7, 8));
+        assert_eq!(s.duration(), 1);
+        assert!(s.contains(TimePoint::new(7)));
+        assert!(!s.contains(TimePoint::new(8)));
+    }
+
+    #[test]
+    fn membership() {
+        let i = iv(3, 10);
+        assert!(i.contains(TimePoint::new(3)));
+        assert!(i.contains(TimePoint::new(9)));
+        assert!(!i.contains(TimePoint::new(10)));
+        assert!(!i.contains(TimePoint::new(2)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_strict() {
+        assert!(iv(3, 10).overlaps(iv(8, 16)));
+        assert!(iv(8, 16).overlaps(iv(3, 10)));
+        // [3,8) and [8,16) share no point: half-open adjacency.
+        assert!(!iv(3, 8).overlaps(iv(8, 16)));
+        assert!(iv(0, 100).overlaps(iv(50, 51)));
+    }
+
+    #[test]
+    fn adjacency() {
+        assert!(iv(3, 8).adjacent(iv(8, 16)));
+        assert!(iv(8, 16).adjacent(iv(3, 8)));
+        assert!(!iv(3, 8).adjacent(iv(9, 16)));
+        assert!(!iv(3, 9).adjacent(iv(8, 16)));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(iv(3, 10).intersect(iv(8, 16)), Some(iv(8, 10)));
+        assert_eq!(iv(3, 8).intersect(iv(8, 16)), None);
+        assert_eq!(iv(0, 24).intersect(iv(6, 14)), Some(iv(6, 14)));
+        assert_eq!(iv(6, 14).intersect(iv(0, 24)), Some(iv(6, 14)));
+    }
+
+    #[test]
+    fn union_of_connected_intervals() {
+        assert_eq!(iv(3, 10).union(iv(8, 16)), Some(iv(3, 16)));
+        assert_eq!(iv(3, 8).union(iv(8, 16)), Some(iv(3, 16)));
+        assert_eq!(iv(3, 8).union(iv(9, 16)), None);
+    }
+
+    #[test]
+    fn covers() {
+        assert!(iv(0, 10).covers(iv(3, 7)));
+        assert!(iv(0, 10).covers(iv(0, 10)));
+        assert!(!iv(0, 10).covers(iv(3, 11)));
+    }
+
+    #[test]
+    fn split_at_endpoints() {
+        let i = iv(3, 12);
+        let pts: Vec<TimePoint> = [0, 3, 6, 8, 12, 14].map(TimePoint::new).to_vec();
+        assert_eq!(i.split_at(&pts), vec![iv(3, 6), iv(6, 8), iv(8, 12)]);
+        // No interior endpoints: interval survives untouched.
+        let pts: Vec<TimePoint> = [0, 20].map(TimePoint::new).to_vec();
+        assert_eq!(i.split_at(&pts), vec![iv(3, 12)]);
+        assert_eq!(i.split_at(&[]), vec![iv(3, 12)]);
+    }
+
+    #[test]
+    fn endpoint_intervals() {
+        let pts: Vec<TimePoint> = [3, 8, 10, 16].map(TimePoint::new).to_vec();
+        assert_eq!(
+            endpoints_to_intervals(&pts),
+            vec![iv(3, 8), iv(8, 10), iv(10, 16)]
+        );
+        assert!(endpoints_to_intervals(&pts[..1]).is_empty());
+        assert!(endpoints_to_intervals(&[]).is_empty());
+    }
+
+    #[test]
+    fn points_iteration() {
+        let pts: Vec<i64> = iv(3, 6).points().map(|p| p.value()).collect();
+        assert_eq!(pts, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(3, 10).to_string(), "[3, 10)");
+    }
+}

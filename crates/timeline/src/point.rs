@@ -1,0 +1,127 @@
+//! Time points: elements of the totally ordered time domain `T`.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A single point of the time domain `T`.
+///
+/// The paper treats time points abstractly as elements of a totally ordered
+/// finite domain; we represent them as `i64` so that dates, hours, or plain
+/// tick counts can all be encoded. `T + 1` (the successor according to the
+/// order, used by annotation changepoints) is plain integer increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TimePoint(i64);
+
+impl TimePoint {
+    /// Wraps a raw `i64` as a time point.
+    #[inline]
+    pub const fn new(value: i64) -> Self {
+        TimePoint(value)
+    }
+
+    /// The raw `i64` value.
+    #[inline]
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The successor `T + 1` according to the total order on `T`.
+    #[inline]
+    pub const fn succ(self) -> Self {
+        TimePoint(self.0 + 1)
+    }
+
+    /// The predecessor `T - 1` according to the total order on `T`.
+    #[inline]
+    pub const fn pred(self) -> Self {
+        TimePoint(self.0 - 1)
+    }
+}
+
+impl From<i64> for TimePoint {
+    #[inline]
+    fn from(v: i64) -> Self {
+        TimePoint(v)
+    }
+}
+
+impl From<i32> for TimePoint {
+    #[inline]
+    fn from(v: i32) -> Self {
+        TimePoint(v as i64)
+    }
+}
+
+impl From<TimePoint> for i64 {
+    #[inline]
+    fn from(p: TimePoint) -> i64 {
+        p.0
+    }
+}
+
+impl Add<i64> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn add(self, rhs: i64) -> TimePoint {
+        TimePoint(self.0 + rhs)
+    }
+}
+
+impl Sub<i64> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn sub(self, rhs: i64) -> TimePoint {
+        TimePoint(self.0 - rhs)
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: TimePoint) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_and_predecessor() {
+        let t = TimePoint::new(5);
+        assert_eq!(t.succ(), TimePoint::new(6));
+        assert_eq!(t.pred(), TimePoint::new(4));
+        assert_eq!(t.succ().pred(), t);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = TimePoint::new(10);
+        assert_eq!(t + 5, TimePoint::new(15));
+        assert_eq!(t - 3, TimePoint::new(7));
+        assert_eq!(TimePoint::new(15) - TimePoint::new(10), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(TimePoint::new(3) < TimePoint::new(8));
+        assert!(TimePoint::new(-1) < TimePoint::new(0));
+    }
+
+    #[test]
+    fn conversions() {
+        let t: TimePoint = 42i64.into();
+        assert_eq!(t.value(), 42);
+        let back: i64 = t.into();
+        assert_eq!(back, 42);
+        let t32: TimePoint = 7i32.into();
+        assert_eq!(t32.value(), 7);
+    }
+}

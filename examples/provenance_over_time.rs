@@ -1,0 +1,74 @@
+//! Beyond multisets: the period construction `K^T` works for *any*
+//! semiring `K` (paper Sections 6 and 11). Here the same temporal query is
+//! annotated three ways — multiplicities (`N`), lineage, and why-provenance
+//! — answering not just *when* an answer holds, but *which facts support
+//! it at which times*.
+//!
+//! ```text
+//! cargo run --example provenance_over_time
+//! ```
+
+use snapshot_semantics::semiring::{Lineage, Natural, Why};
+use snapshot_semantics::snapshot_core::PeriodRelation;
+use snapshot_semantics::timeline::{Interval, TimeDomain};
+
+fn main() {
+    let domain = TimeDomain::new(0, 24);
+    let iv = |b: i64, e: i64| Interval::new(b, e);
+
+    // The works relation, annotated with multiplicities (multisets).
+    let works_n: PeriodRelation<(&str, &str), Natural> = PeriodRelation::from_facts(
+        domain,
+        [
+            (("Ann", "SP"), iv(3, 10), Natural(1)),
+            (("Joe", "NS"), iv(8, 16), Natural(1)),
+            (("Sam", "SP"), iv(8, 16), Natural(1)),
+            (("Ann", "SP"), iv(18, 20), Natural(1)),
+        ],
+    );
+    let skills_n = works_n.project(|t| t.1);
+    println!("Π_skill(works) under N^T (how many, when):");
+    for (skill, ann) in skills_n.iter() {
+        println!("  {skill:3} ↦ {ann}");
+    }
+
+    // The same relation annotated with lineage: tuple ids 1..4.
+    let works_lin: PeriodRelation<(&str, &str), Lineage> = PeriodRelation::from_facts(
+        domain,
+        [
+            (("Ann", "SP"), iv(3, 10), Lineage::of(1)),
+            (("Joe", "NS"), iv(8, 16), Lineage::of(2)),
+            (("Sam", "SP"), iv(8, 16), Lineage::of(3)),
+            (("Ann", "SP"), iv(18, 20), Lineage::of(4)),
+        ],
+    );
+    let skills_lin = works_lin.project(|t| t.1);
+    println!("\nΠ_skill(works) under Lineage^T (which base facts, when):");
+    for (skill, ann) in skills_lin.iter() {
+        println!("  {skill:3} ↦ {ann}");
+    }
+
+    // Why-provenance distinguishes *alternative* derivations per interval.
+    let works_why: PeriodRelation<(&str, &str), Why> = PeriodRelation::from_facts(
+        domain,
+        [
+            (("Ann", "SP"), iv(3, 10), Why::of(1)),
+            (("Joe", "NS"), iv(8, 16), Why::of(2)),
+            (("Sam", "SP"), iv(8, 16), Why::of(3)),
+            (("Ann", "SP"), iv(18, 20), Why::of(4)),
+        ],
+    );
+    let skills_why = works_why.project(|t| t.1);
+    println!("\nΠ_skill(works) under Why^T (alternative witnesses, when):");
+    for (skill, ann) in skills_why.iter() {
+        println!("  {skill:3} ↦ {ann}");
+    }
+
+    println!(
+        "\nReading the SP row: during [8,10) the answer SP has two\n\
+         witnesses (Ann's fact t1 and Sam's fact t3) — remove either and\n\
+         SP still holds; during [3,8) only t1 supports it. The timeslice\n\
+         homomorphism guarantees these annotations agree with evaluating\n\
+         the query snapshot-by-snapshot (Theorem 6.3)."
+    );
+}

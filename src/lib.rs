@@ -1,0 +1,30 @@
+//! Umbrella crate for the *Snapshot Semantics for Temporal Multiset
+//! Relations* reproduction (Dignös, Glavic, Niu, Böhlen, Gamper — PVLDB
+//! 12(6), 2019).
+//!
+//! Re-exports every layer of the system so examples and integration tests
+//! can use a single dependency:
+//!
+//! * [`timeline`] — time domains and interval algebra,
+//! * [`semiring`] — the K-relation annotation framework,
+//! * [`snapshot_core`] — temporal K-elements, K-coalescing, period semirings,
+//!   snapshot/period K-relations (the paper's abstract + logical models),
+//! * [`storage`] — values, rows, schemas, period relations, catalog,
+//! * [`algebra`] — logical plans and scalar expressions,
+//! * [`engine`] — the embedded multiset execution engine,
+//! * [`sql`] — the SQL dialect with `SEQ VT (...)` snapshot blocks,
+//! * [`rewrite`] — `PERIODENC` and the `REWR` rewriting scheme,
+//! * [`baseline`] — comparator implementations (point-wise oracle, ATSQL
+//!   interval preservation, alignment-based native evaluation),
+//! * [`datagen`] — synthetic Employees / TPC-BiH-style datasets.
+
+pub use algebra;
+pub use baseline;
+pub use datagen;
+pub use engine;
+pub use rewrite;
+pub use semiring;
+pub use snapshot_core;
+pub use sql;
+pub use storage;
+pub use timeline;

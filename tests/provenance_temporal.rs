@@ -1,0 +1,119 @@
+//! The "any semiring K" claim (Sections 6 and 11): the period construction
+//! carries provenance, why-provenance, polynomials, and costs through
+//! temporal queries, with the timeslice homomorphism commuting throughout.
+
+use snapshot_semantics::semiring::{
+    laws, Boolean, CommutativeSemiring, Lineage, Natural, Polynomial, Tropical, Why,
+};
+use snapshot_semantics::snapshot_core::{timeslice_hom, PeriodRelation, TemporalElement};
+use snapshot_semantics::timeline::{Interval, TimeDomain, TimePoint};
+
+fn iv(b: i64, e: i64) -> Interval {
+    Interval::new(b, e)
+}
+
+#[test]
+fn lineage_tracks_supporting_facts_per_interval() {
+    let domain = TimeDomain::new(0, 24);
+    let works: PeriodRelation<(&str, &str), Lineage> = PeriodRelation::from_facts(
+        domain,
+        [
+            (("Ann", "SP"), iv(3, 10), Lineage::of(1)),
+            (("Sam", "SP"), iv(8, 16), Lineage::of(3)),
+        ],
+    );
+    let skills = works.project(|t| t.1);
+    let sp = skills.annotation(&"SP");
+    assert_eq!(
+        sp.entries(),
+        &[
+            (iv(3, 8), Lineage::of(1)),
+            (iv(8, 10), Lineage::from_ids([1, 3])),
+            (iv(10, 16), Lineage::of(3)),
+        ]
+    );
+}
+
+#[test]
+fn why_provenance_keeps_alternatives_apart() {
+    let domain = TimeDomain::new(0, 24);
+    let works: PeriodRelation<(&str, &str), Why> = PeriodRelation::from_facts(
+        domain,
+        [
+            (("Ann", "SP"), iv(3, 10), Why::of(1)),
+            (("Sam", "SP"), iv(8, 16), Why::of(3)),
+        ],
+    );
+    let sp = works.project(|t| t.1).annotation(&"SP");
+    // During the overlap there are two independent witnesses, not one
+    // merged set — that is the Why vs Lineage distinction.
+    assert_eq!(
+        sp.at(TimePoint::new(9)).unwrap().witness_count(),
+        2
+    );
+    assert_eq!(sp.at(TimePoint::new(4)).unwrap().witness_count(), 1);
+}
+
+#[test]
+fn polynomials_specialize_to_all_other_semirings() {
+    let domain = TimeDomain::new(0, 10);
+    // One tuple supported by x1 on [0,6) and x2 on [4,10): annotation is
+    // x1 on [0,4), x1+x2 on [4,6), x2 on [6,10).
+    let e = TemporalElement::from_pairs([
+        (iv(0, 6), Polynomial::var(1)),
+        (iv(4, 10), Polynomial::var(2)),
+    ]);
+    let at5 = e.at(TimePoint::new(5)).unwrap().clone();
+    assert_eq!(at5, Polynomial::var(1).plus(&Polynomial::var(2)));
+    // Evaluate the polynomial annotation into N and into B.
+    assert_eq!(at5.eval(&(), &|_| Natural(1)), Natural(2));
+    assert_eq!(at5.eval::<Boolean>(&(), &|_| Boolean(true)), Boolean(true));
+    let _ = domain;
+}
+
+#[test]
+fn tropical_semiring_costs_over_time() {
+    // Cheapest derivation per time: alternative sources with different
+    // costs, switching over time.
+    let a = TemporalElement::from_pairs([(iv(0, 10), Tropical::Cost(5))]);
+    let b = TemporalElement::from_pairs([(iv(5, 15), Tropical::Cost(2))]);
+    let best = a.plus(&b);
+    // min wins during the overlap, and the equal-cost segments [5,10) and
+    // [10,15) coalesce into one maximal interval.
+    assert_eq!(
+        best.entries(),
+        &[
+            (iv(0, 5), Tropical::Cost(5)),
+            (iv(5, 15), Tropical::Cost(2)),
+        ]
+    );
+    // Joint use adds costs.
+    let joint = a.times(&b);
+    assert_eq!(joint.entries(), &[(iv(5, 10), Tropical::Cost(7))]);
+}
+
+#[test]
+fn period_semiring_laws_hold_for_exotic_semirings() {
+    let domain = TimeDomain::new(0, 20);
+    // Spot-check the semiring laws of K^T for Lineage and Tropical.
+    let a = TemporalElement::from_pairs([(iv(0, 8), Lineage::of(1))]);
+    let b = TemporalElement::from_pairs([(iv(4, 12), Lineage::of(2))]);
+    let c = TemporalElement::from_pairs([(iv(6, 16), Lineage::from_ids([1, 2]))]);
+    laws::assert_semiring_laws(&domain, &a, &b, &c);
+
+    let a = TemporalElement::from_pairs([(iv(0, 8), Tropical::Cost(3))]);
+    let b = TemporalElement::from_pairs([(iv(4, 12), Tropical::Cost(1))]);
+    let c = TemporalElement::from_pairs([(iv(6, 16), Tropical::Cost(9))]);
+    laws::assert_semiring_laws(&domain, &a, &b, &c);
+}
+
+#[test]
+fn timeslice_commutes_for_every_semiring() {
+    let domain = TimeDomain::new(0, 20);
+    let a = TemporalElement::from_pairs([(iv(0, 8), Why::of(1))]);
+    let b = TemporalElement::from_pairs([(iv(4, 12), Why::of(2))]);
+    for t in 0..20 {
+        let h = timeslice_hom::<Why>(TimePoint::new(t));
+        laws::assert_homomorphism(&h, &domain, &(), &a, &b);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end SQL pipeline tests: plain queries, snapshot queries, ORDER
+//! BY placement, and error reporting.
+
+use snapshot_semantics::engine::Engine;
+use snapshot_semantics::rewrite::{infer_domain, SnapshotCompiler};
+use snapshot_semantics::sql::{bind_statement, parse_statement};
+use snapshot_semantics::storage::{row, Catalog, Row, Schema, SqlType, Table};
+use snapshot_semantics::timeline::TimeDomain;
+
+fn catalog() -> Catalog {
+    let works = Schema::of(&[
+        ("name", SqlType::Str),
+        ("skill", SqlType::Str),
+        ("ts", SqlType::Int),
+        ("te", SqlType::Int),
+    ]);
+    let mut w = Table::with_period(works, 2, 3);
+    w.push(row!["Ann", "SP", 3, 10]);
+    w.push(row!["Joe", "NS", 8, 16]);
+    w.push(row!["Sam", "SP", 8, 16]);
+    w.push(row!["Ann", "SP", 18, 20]);
+    let mut c = Catalog::new();
+    c.register("works", w);
+    c
+}
+
+fn run(sql: &str) -> Result<Vec<Row>, String> {
+    let c = catalog();
+    let stmt = parse_statement(sql)?;
+    let bound = bind_statement(&stmt, &c)?;
+    let plan = SnapshotCompiler::new(TimeDomain::new(0, 24)).compile_statement(&bound, &c)?;
+    Ok(Engine::new().execute(&plan, &c)?.rows().to_vec())
+}
+
+#[test]
+fn plain_queries_see_period_columns_as_data() {
+    // Outside SEQ VT, ts/te are ordinary columns.
+    let rows = run("SELECT name, te - ts AS hours FROM works WHERE skill = 'SP'").unwrap();
+    let mut sorted = rows;
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        vec![row!["Ann", 2], row!["Ann", 7], row!["Sam", 8]]
+    );
+}
+
+#[test]
+fn plain_aggregation_and_order_by() {
+    let rows = run(
+        "SELECT skill, count(*) AS c FROM works GROUP BY skill ORDER BY c DESC",
+    )
+    .unwrap();
+    assert_eq!(rows, vec![row!["SP", 3], row!["NS", 1]]);
+}
+
+#[test]
+fn snapshot_query_with_outer_order_by() {
+    let rows = run(
+        "SEQ VT (SELECT skill, count(*) AS c FROM works GROUP BY skill) ORDER BY skill",
+    )
+    .unwrap();
+    // NS rows sort before SP rows; periods trail each data row.
+    assert!(!rows.is_empty());
+    let first_sp = rows.iter().position(|r| r.get(0) == &"SP".into()).unwrap();
+    assert!(rows[..first_sp]
+        .iter()
+        .all(|r| r.get(0) == &snapshot_semantics::storage::Value::str("NS")));
+}
+
+#[test]
+fn order_by_inside_seq_vt_is_rejected() {
+    let err = run("SEQ VT (SELECT name FROM works ORDER BY name)").unwrap_err();
+    assert!(err.contains("expected"), "got: {err}");
+}
+
+#[test]
+fn helpful_binder_errors() {
+    assert!(run("SELECT nope FROM works").unwrap_err().contains("unknown column"));
+    assert!(run("SELECT * FROM nope").unwrap_err().contains("unknown table"));
+    assert!(run("SELECT name FROM works WHERE name").unwrap_err().contains("boolean"));
+    assert!(run("SEQ VT (SELECT skill FROM works) UNION ALL SELECT skill FROM works")
+        .unwrap_err()
+        .contains("top level"));
+}
+
+#[test]
+fn infer_domain_covers_data() {
+    let c = catalog();
+    assert_eq!(infer_domain(&c), TimeDomain::new(3, 20));
+}
+
+#[test]
+fn string_escapes_and_case_expressions() {
+    let rows = run(
+        "SELECT name, CASE WHEN skill = 'SP' THEN 'specialized' ELSE 'not' END AS kind \
+         FROM works WHERE name <> 'it''s'",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().any(|r| r.get(1) == &"specialized".into()));
+}
+
+#[test]
+fn seq_vt_of_set_operations_binds_whole_tree() {
+    let rows = run(
+        "SEQ VT (SELECT skill FROM works WHERE name = 'Ann' \
+         UNION ALL SELECT skill FROM works WHERE name = 'Sam')",
+    )
+    .unwrap();
+    // Ann SP [3,10)+[18,20), Sam SP [8,16) — summed and coalesced.
+    let mut sorted = rows;
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        vec![
+            row!["SP", 3, 8],
+            row!["SP", 8, 10],
+            row!["SP", 8, 10],
+            row!["SP", 10, 16],
+            row!["SP", 18, 20],
+        ]
+    );
+}

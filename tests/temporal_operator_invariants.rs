@@ -1,0 +1,152 @@
+//! Property tests for the temporal operators of the implementation layer:
+//! multiset coalescing (Def. 8.2), the split operator (Def. 8.3), and the
+//! fused temporal aggregation/difference (Section 9) — each checked against
+//! its defining point-wise semantics on random inputs.
+
+use proptest::prelude::*;
+use snapshot_semantics::algebra::{AggExpr, AggFunc, Expr};
+use snapshot_semantics::engine::coalesce::coalesce_rows;
+use snapshot_semantics::engine::split::split_rows;
+use snapshot_semantics::engine::temporal::{temporal_aggregate, temporal_except_all};
+use snapshot_semantics::storage::{row, Row, SqlType};
+
+const HORIZON: i64 = 40;
+
+fn arb_period_rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (0i64..3, 0i64..HORIZON - 1, 1i64..10).prop_map(|(v, b, len)| {
+            row![v, b, (b + len).min(HORIZON)]
+        }),
+        0..20,
+    )
+}
+
+/// Multiplicity of value `v` at time `t` in a row set (data col 0).
+fn mult_at(rows: &[Row], v: i64, t: i64) -> i64 {
+    rows.iter()
+        .filter(|r| r.int(0) == v && r.int(1) <= t && t < r.int(2))
+        .count() as i64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalescing preserves every snapshot and is idempotent; the output is
+    /// in normal form (disjoint or identical intervals per value, maximal).
+    #[test]
+    fn coalesce_preserves_and_normalizes(rows in arb_period_rows()) {
+        let out = coalesce_rows(&rows, 3);
+        for v in 0..3 {
+            for t in 0..HORIZON {
+                prop_assert_eq!(mult_at(&out, v, t), mult_at(&rows, v, t));
+            }
+        }
+        prop_assert_eq!(coalesce_rows(&out, 3), out);
+    }
+
+    /// Splitting never changes snapshots and produces identical-or-disjoint
+    /// intervals within each group.
+    #[test]
+    fn split_preserves_snapshots(l in arb_period_rows(), r in arb_period_rows()) {
+        let out = split_rows(&l, &r, &[0], 3);
+        for v in 0..3 {
+            for t in 0..HORIZON {
+                prop_assert_eq!(mult_at(&out, v, t), mult_at(&l, v, t));
+            }
+        }
+        for a in &out {
+            for b in &out {
+                if a.int(0) != b.int(0) {
+                    continue;
+                }
+                let overlap = a.int(1) < b.int(2) && b.int(1) < a.int(2);
+                let identical = a.int(1) == b.int(1) && a.int(2) == b.int(2);
+                prop_assert!(!overlap || identical);
+            }
+        }
+    }
+
+    /// Fused temporal count(*) grouped by the value column equals counting
+    /// per snapshot (Definition 7.1).
+    #[test]
+    fn temporal_count_matches_pointwise(rows in arb_period_rows()) {
+        let aggs = vec![AggExpr::count_star("c")];
+        let out = temporal_aggregate(
+            &rows, 3, &[0], &aggs, &[SqlType::Int], false, (0, HORIZON),
+        );
+        // out rows: [v, count, ts, te]
+        for v in 0..3 {
+            for t in 0..HORIZON {
+                let expect = mult_at(&rows, v, t);
+                let got: Vec<i64> = out
+                    .iter()
+                    .filter(|r| r.int(0) == v && r.int(2) <= t && t < r.int(3))
+                    .map(|r| r.int(1))
+                    .collect();
+                if expect == 0 {
+                    prop_assert!(got.is_empty(), "group absent at {}", t);
+                } else {
+                    prop_assert_eq!(got, vec![expect], "count at {} for {}", t, v);
+                }
+            }
+        }
+    }
+
+    /// Fused global sum with gap rows: every time point of the domain is
+    /// covered by exactly one output row, with the correct (NULL on gaps)
+    /// value.
+    #[test]
+    fn temporal_global_sum_covers_domain(rows in arb_period_rows()) {
+        let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")];
+        let out = temporal_aggregate(
+            &rows, 3, &[], &aggs, &[SqlType::Int], true, (0, HORIZON),
+        );
+        for t in 0..HORIZON {
+            let covering: Vec<&Row> = out
+                .iter()
+                .filter(|r| r.int(1) <= t && t < r.int(2))
+                .collect();
+            prop_assert_eq!(covering.len(), 1, "exactly one row at {}", t);
+            let expect: i64 = rows
+                .iter()
+                .filter(|r| r.int(1) <= t && t < r.int(2))
+                .map(|r| r.int(0))
+                .sum();
+            let any_input = rows.iter().any(|r| r.int(1) <= t && t < r.int(2));
+            if any_input {
+                prop_assert_eq!(covering[0].int(0), expect);
+            } else {
+                prop_assert!(covering[0].get(0).is_null(), "gap must be NULL at {}", t);
+            }
+        }
+    }
+
+    /// Fused temporal EXCEPT ALL equals the point-wise monus.
+    #[test]
+    fn temporal_except_matches_monus(l in arb_period_rows(), r in arb_period_rows()) {
+        let out = temporal_except_all(&l, &r, 3);
+        for v in 0..3 {
+            for t in 0..HORIZON {
+                let expect = (mult_at(&l, v, t) - mult_at(&r, v, t)).max(0);
+                prop_assert_eq!(
+                    mult_at(&out, v, t),
+                    expect,
+                    "monus at {} for {}", t, v
+                );
+            }
+        }
+    }
+
+    /// Coalescing commutes with union at the snapshot level: coalescing the
+    /// concatenation equals coalescing the concatenation of coalesced parts
+    /// (the engine-level face of Lemma 6.1).
+    #[test]
+    fn coalesce_pushes_through_union(a in arb_period_rows(), b in arb_period_rows()) {
+        let mut all = a.clone();
+        all.extend(b.iter().cloned());
+        let direct = coalesce_rows(&all, 3);
+        let mut parts = coalesce_rows(&a, 3);
+        parts.extend(coalesce_rows(&b, 3));
+        prop_assert_eq!(coalesce_rows(&parts, 3), direct);
+    }
+}
