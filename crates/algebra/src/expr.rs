@@ -536,10 +536,7 @@ mod tests {
     #[test]
     fn agg_output_types() {
         let s = schema();
-        assert_eq!(
-            AggExpr::count_star("c").output_type(&s),
-            Ok(SqlType::Int)
-        );
+        assert_eq!(AggExpr::count_star("c").output_type(&s), Ok(SqlType::Int));
         assert_eq!(
             AggExpr::new(AggFunc::Sum, Expr::col(1), "s").output_type(&s),
             Ok(SqlType::Int)

@@ -25,5 +25,5 @@ mod plan;
 mod snapshot_plan;
 
 pub use expr::{AggExpr, AggFunc, BinOp, Expr};
-pub use plan::{Plan, PlanNode};
+pub use plan::{JoinAlgo, Plan, PlanNode, TimesliceAlgo};
 pub use snapshot_plan::{SnapshotNode, SnapshotPlan};

@@ -5,6 +5,44 @@ use crate::{AggExpr, Expr};
 use std::fmt;
 use storage::{Column, Row, Schema, SqlType};
 
+/// Physical-choice hint on a join: how the engine should evaluate it.
+///
+/// `Auto` lets the engine pick — indexed sweep when the condition contains
+/// the rewriter's interval-overlap pattern and both inputs are indexed
+/// scans, otherwise the configured strategy. The explicit variants pin one
+/// algorithm (with a safe fallback when the condition does not support it),
+/// which is how the benchmark harness and the differential tests compare
+/// routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Engine decides (index-aware).
+    #[default]
+    Auto,
+    /// Force the nested-loop join.
+    NestedLoop,
+    /// Force the hash join on equality conjuncts.
+    Hash,
+    /// Force the forward-scan merge interval join.
+    MergeInterval,
+    /// Force the endpoint-sweep (sort-merge) temporal join, reusing table
+    /// event lists when the inputs are indexed scans.
+    IndexSweep,
+}
+
+/// Physical-choice hint on a timeslice: how the engine should evaluate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimesliceAlgo {
+    /// Engine decides: interval-tree stabbing when the input is an indexed
+    /// scan, linear filter otherwise.
+    #[default]
+    Auto,
+    /// Force the linear scan-and-filter evaluation.
+    Linear,
+    /// Force interval-tree stabbing (falls back to linear when no fresh
+    /// index is available).
+    Index,
+}
+
 /// A logical plan node. See [`Plan`] for construction; every constructor
 /// computes and validates the output schema.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +79,8 @@ pub enum PlanNode {
         right: Box<Plan>,
         /// Condition over `left.schema ++ right.schema` column positions.
         condition: Expr,
+        /// Physical-choice hint (index-aware when [`JoinAlgo::Auto`]).
+        algo: JoinAlgo,
     },
     /// `UNION ALL`.
     Union {
@@ -85,6 +125,17 @@ pub enum PlanNode {
     Coalesce {
         /// Input plan (period-last convention).
         input: Box<Plan>,
+    },
+    /// Point-in-time selection `τ_t` (period-last convention): keeps every
+    /// row whose validity interval contains `at`. The schema is unchanged —
+    /// projecting the period away afterwards yields the snapshot at `at`.
+    Timeslice {
+        /// Input plan (period-last convention).
+        input: Box<Plan>,
+        /// The time point.
+        at: i64,
+        /// Physical-choice hint (index-aware when [`TimesliceAlgo::Auto`]).
+        algo: TimesliceAlgo,
     },
     /// The split operator `N_G(left, right)` (Def. 8.3): refines the
     /// intervals of `left` rows at all endpoints of `left ∪ right` rows in
@@ -201,14 +252,21 @@ impl Plan {
         }
     }
 
-    /// Inner join; `condition` refers to the concatenated schema.
+    /// Inner join; `condition` refers to the concatenated schema. The
+    /// engine picks the physical algorithm ([`JoinAlgo::Auto`]).
     pub fn join(self, right: Plan, condition: Expr) -> Plan {
+        self.join_with(right, condition, JoinAlgo::Auto)
+    }
+
+    /// Inner join with an explicit physical-choice hint.
+    pub fn join_with(self, right: Plan, condition: Expr, algo: JoinAlgo) -> Plan {
         let schema = self.schema.concat(&right.schema);
         Plan {
             node: PlanNode::Join {
                 left: Box::new(self),
                 right: Box::new(right),
                 condition,
+                algo,
             },
             schema,
         }
@@ -294,6 +352,26 @@ impl Plan {
         }
     }
 
+    /// Point-in-time selection at `at` (period-last convention). The engine
+    /// picks the physical route ([`TimesliceAlgo::Auto`]).
+    pub fn timeslice(self, at: i64) -> Plan {
+        self.timeslice_with(at, TimesliceAlgo::Auto)
+    }
+
+    /// Point-in-time selection with an explicit physical-choice hint.
+    pub fn timeslice_with(self, at: i64, algo: TimesliceAlgo) -> Plan {
+        assert_period_last(&self.schema);
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::Timeslice {
+                input: Box::new(self),
+                at,
+                algo,
+            },
+            schema,
+        }
+    }
+
     /// The split operator `N_G`.
     pub fn split(self, right: Plan, group_cols: Vec<usize>) -> Result<Plan, String> {
         assert_period_last(&self.schema);
@@ -371,7 +449,15 @@ impl Plan {
                 let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
                 format!("Project [{}]", es.join(", "))
             }
-            PlanNode::Join { condition, .. } => format!("Join on {condition}"),
+            PlanNode::Join {
+                condition, algo, ..
+            } => {
+                if *algo == JoinAlgo::Auto {
+                    format!("Join on {condition}")
+                } else {
+                    format!("Join[{algo:?}] on {condition}")
+                }
+            }
             PlanNode::Union { .. } => "UnionAll".to_string(),
             PlanNode::ExceptAll { .. } => "ExceptAll".to_string(),
             PlanNode::Aggregate {
@@ -379,7 +465,11 @@ impl Plan {
             } => {
                 let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
                 let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                format!("Aggregate group=[{}] aggs=[{}]", gs.join(","), as_.join(","))
+                format!(
+                    "Aggregate group=[{}] aggs=[{}]",
+                    gs.join(","),
+                    as_.join(",")
+                )
             }
             PlanNode::Distinct { .. } => "Distinct".to_string(),
             PlanNode::Sort { keys, .. } => {
@@ -390,6 +480,13 @@ impl Plan {
                 format!("Sort [{}]", ks.join(", "))
             }
             PlanNode::Coalesce { .. } => "Coalesce (multiset temporal)".to_string(),
+            PlanNode::Timeslice { at, algo, .. } => {
+                if *algo == TimesliceAlgo::Auto {
+                    format!("Timeslice at {at}")
+                } else {
+                    format!("Timeslice[{algo:?}] at {at}")
+                }
+            }
             PlanNode::Split { group_cols, .. } => {
                 let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
                 format!("Split N_G group=[{}]", gs.join(","))
@@ -422,6 +519,7 @@ impl Plan {
             | PlanNode::Distinct { input }
             | PlanNode::Sort { input, .. }
             | PlanNode::Coalesce { input }
+            | PlanNode::Timeslice { input, .. }
             | PlanNode::TemporalAggregate { input, .. } => input.explain_into(out, depth + 1),
             PlanNode::Join { left, right, .. }
             | PlanNode::Union { left, right }
@@ -451,8 +549,7 @@ fn check_union_compatible(a: &Schema, b: &Schema) -> Result<(), String> {
     }
     for i in 0..a.arity() {
         let (ta, tb) = (a.column(i).ty, b.column(i).ty);
-        let numeric =
-            |t: SqlType| matches!(t, SqlType::Int | SqlType::Double);
+        let numeric = |t: SqlType| matches!(t, SqlType::Int | SqlType::Double);
         if ta != tb && !(numeric(ta) && numeric(tb)) {
             return Err(format!(
                 "inputs are not union-compatible: column {i} has type {ta} vs {tb}"
@@ -535,12 +632,7 @@ mod tests {
         let p = Plan::scan("works", works_schema())
             .temporal_aggregate(vec![1], vec![AggExpr::count_star("cnt")], false, (0, 24))
             .unwrap();
-        let names: Vec<&str> = p
-            .schema
-            .columns()
-            .iter()
-            .map(|c| c.name.as_str())
-            .collect();
+        let names: Vec<&str> = p.schema.columns().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["skill", "cnt", "__ts", "__te"]);
     }
 
@@ -561,11 +653,7 @@ mod tests {
     #[test]
     fn explain_renders_tree() {
         let p = Plan::scan("works", works_schema())
-            .filter(Expr::binary(
-                BinOp::Eq,
-                Expr::col(1),
-                Expr::lit("SP"),
-            ))
+            .filter(Expr::binary(BinOp::Eq, Expr::col(1), Expr::lit("SP")))
             .coalesce();
         let text = p.explain();
         assert!(text.contains("Coalesce"));

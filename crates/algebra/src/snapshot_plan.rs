@@ -248,7 +248,7 @@ impl SnapshotPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::AggFunc;
+
     use storage::SqlType;
 
     fn works_access() -> SnapshotPlan {

@@ -128,9 +128,7 @@ impl NativeEvaluator {
                 let (ld, rd) = (left.schema.arity(), right.schema.arity());
                 let keys = equi_pairs(condition, ld, rd);
                 match self.kind {
-                    BaselineKind::Alignment => {
-                        Ok(aligned_join(&l, &r, ld, rd, &keys, condition))
-                    }
+                    BaselineKind::Alignment => Ok(aligned_join(&l, &r, ld, rd, &keys, condition)),
                     BaselineKind::IntervalPreservation => {
                         Ok(intersect_join(&l, &r, ld, rd, &keys, condition))
                     }
@@ -226,8 +224,9 @@ pub fn snapshot_to_plain_plan(plan: &SnapshotPlan, catalog: &Catalog) -> Result<
                 .collect();
             scan.project(data_cols.iter().map(|&i| Expr::Col(i)).collect(), names)
         }
-        SnapshotNode::Filter { input, predicate } => Ok(snapshot_to_plain_plan(input, catalog)?
-            .filter(predicate.clone())),
+        SnapshotNode::Filter { input, predicate } => {
+            Ok(snapshot_to_plain_plan(input, catalog)?.filter(predicate.clone()))
+        }
         SnapshotNode::Project { input, exprs } => {
             let names = plan
                 .schema
@@ -243,16 +242,16 @@ pub fn snapshot_to_plain_plan(plan: &SnapshotPlan, catalog: &Catalog) -> Result<
             condition,
         } => Ok(snapshot_to_plain_plan(left, catalog)?
             .join(snapshot_to_plain_plan(right, catalog)?, condition.clone())),
-        SnapshotNode::Union { left, right } => snapshot_to_plain_plan(left, catalog)?
-            .union(snapshot_to_plain_plan(right, catalog)?),
+        SnapshotNode::Union { left, right } => {
+            snapshot_to_plain_plan(left, catalog)?.union(snapshot_to_plain_plan(right, catalog)?)
+        }
         SnapshotNode::ExceptAll { left, right } => snapshot_to_plain_plan(left, catalog)?
             .except_all(snapshot_to_plain_plan(right, catalog)?),
         SnapshotNode::Aggregate {
             input,
             group_cols,
             aggs,
-        } => snapshot_to_plain_plan(input, catalog)?
-            .aggregate(group_cols.clone(), aggs.clone()),
+        } => snapshot_to_plain_plan(input, catalog)?.aggregate(group_cols.clone(), aggs.clone()),
     }
 }
 
@@ -633,7 +632,11 @@ mod tests {
         };
         let a = eval(&mk_catalog(false));
         let b = eval(&mk_catalog(true));
-        assert_ne!(a.rows(), b.rows(), "outputs differ though inputs are equivalent");
+        assert_ne!(
+            a.rows(),
+            b.rows(),
+            "outputs differ though inputs are equivalent"
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl PointwiseOracle {
 
     /// Evaluates and returns the `PERIODENC` row encoding (sorted).
     pub fn eval_rows(&self, plan: &SnapshotPlan, catalog: &Catalog) -> Result<Vec<Row>, String> {
-        Ok(rewrite::periodenc::encode_relation(&self.eval(plan, catalog)?))
+        Ok(rewrite::periodenc::encode_relation(
+            &self.eval(plan, catalog)?,
+        ))
     }
 }
 
@@ -141,7 +143,10 @@ mod tests {
             let compiled = rewrite::SnapshotCompiler::new(domain)
                 .compile(&plan, &c)
                 .unwrap();
-            let engine_out = Engine::new().execute(&compiled, &c).unwrap().canonicalized();
+            let engine_out = Engine::new()
+                .execute(&compiled, &c)
+                .unwrap()
+                .canonicalized();
             assert_eq!(oracle, engine_out.rows().to_vec(), "mismatch for {q}");
         }
     }

@@ -29,6 +29,7 @@ fn bench_ablation(c: &mut Criterion) {
             let options = RewriteOptions {
                 final_coalesce_only: fc,
                 fused_split: fs,
+                ..RewriteOptions::default()
             };
             group.bench_with_input(
                 BenchmarkId::new(name, label),

@@ -116,8 +116,14 @@ fn table1() {
     for approach in Approach::all() {
         let agg =
             run_approach(approach, agg_q, &catalog, domain, RewriteOptions::default()).unwrap();
-        let diff =
-            run_approach(approach, diff_q, &catalog, domain, RewriteOptions::default()).unwrap();
+        let diff = run_approach(
+            approach,
+            diff_q,
+            &catalog,
+            domain,
+            RewriteOptions::default(),
+        )
+        .unwrap();
         let ag_free = baseline::bugs::diff_against_oracle(
             agg.rows(),
             &agg_oracle,
@@ -170,7 +176,7 @@ fn encoding_unique_for(approach: Approach) -> bool {
     };
     let eval = |c: &Catalog| -> Vec<storage::Row> {
         match approach {
-            Approach::SeqHash | Approach::SeqMerge => {
+            Approach::SeqHash | Approach::SeqMerge | Approach::SeqIndex => {
                 run_approach(approach, q, c, domain, RewriteOptions::default())
                     .unwrap()
                     .canonicalized()
@@ -303,7 +309,13 @@ fn bug_flags(_name: &str, sql_text: &str, catalog: &Catalog, domain: TimeDomain)
     };
     let mut flags = Vec::new();
     for approach in [Approach::NatAlignment, Approach::NatIntervalPreservation] {
-        let out = run_approach(approach, sql_text, catalog, domain, RewriteOptions::default());
+        let out = run_approach(
+            approach,
+            sql_text,
+            catalog,
+            domain,
+            RewriteOptions::default(),
+        );
         let Ok(out) = out else { continue };
         let d =
             baseline::bugs::diff_against_oracle(out.rows(), &oracle, out.schema().arity(), domain);
@@ -451,7 +463,13 @@ fn ablation(employee_scale: f64) {
         ("unfused split", true, false),
         ("naive", false, false),
     ];
-    let mut t = TextTable::new(&["Query", configs[0].0, configs[1].0, configs[2].0, configs[3].0]);
+    let mut t = TextTable::new(&[
+        "Query",
+        configs[0].0,
+        configs[1].0,
+        configs[2].0,
+        configs[3].0,
+    ]);
     for (name, sql_text) in queries {
         let mut cells = vec![name.to_string()];
         let mut reference: Option<storage::Table> = None;
@@ -459,10 +477,13 @@ fn ablation(employee_scale: f64) {
             let options = RewriteOptions {
                 final_coalesce_only: fc,
                 fused_split: fs,
+                ..RewriteOptions::default()
             };
             let (res, secs) =
                 timed(|| run_approach(Approach::SeqHash, sql_text, &catalog, domain, options));
-            let out = res.unwrap_or_else(|e| panic!("{name}: {e}")).canonicalized();
+            let out = res
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .canonicalized();
             match &reference {
                 None => reference = Some(out),
                 Some(r) => assert_eq!(

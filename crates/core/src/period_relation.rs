@@ -190,7 +190,10 @@ where
     /// Union (annotations summed in `K^T`).
     pub fn union(&self, other: &Self) -> Self {
         assert_eq!(self.domain, other.domain);
-        Self::from_krelation(self.domain, self.as_krelation().union(&other.as_krelation()))
+        Self::from_krelation(
+            self.domain,
+            self.as_krelation().union(&other.as_krelation()),
+        )
     }
 
     /// Difference via the monus of `K^T` (Section 7.1).
@@ -368,10 +371,7 @@ mod tests {
             diff.annotation(&"SP").entries(),
             &[(iv(6, 8), Natural(1)), (iv(10, 12), Natural(1))]
         );
-        assert_eq!(
-            diff.annotation(&"NS").entries(),
-            &[(iv(3, 8), Natural(1))]
-        );
+        assert_eq!(diff.annotation(&"NS").entries(), &[(iv(3, 8), Natural(1))]);
         assert_eq!(diff.len(), 2);
     }
 
@@ -397,7 +397,10 @@ mod tests {
                 (iv(18, 20), Natural(1)),
             ]
         );
-        assert_eq!(counts.annotation(&2u64).entries(), &[(iv(8, 10), Natural(1))]);
+        assert_eq!(
+            counts.annotation(&2u64).entries(),
+            &[(iv(8, 10), Natural(1))]
+        );
     }
 
     #[test]
@@ -424,7 +427,7 @@ mod tests {
     fn join_intersects_periods() {
         let w = works();
         let a = assign();
-        let j = w.join(&a, |wt, at| (wt.1 == at.1).then(|| (wt.0, at.0)));
+        let j = w.join(&a, |wt, at| (wt.1 == at.1).then_some((wt.0, at.0)));
         // Ann [3,10) joins M1 [3,12) on SP → [3,10).
         assert_eq!(
             j.annotation(&("Ann", "M1")).entries(),

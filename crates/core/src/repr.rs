@@ -64,9 +64,7 @@ where
 pub fn check_snapshot_reducibility<Tup, Out, K>(
     input: &PeriodRelation<Tup, K>,
     logical_query: impl Fn(&PeriodRelation<Tup, K>) -> PeriodRelation<Out, K>,
-    snapshot_query: impl Fn(
-        &crate::krelation::KRelation<Tup, K>,
-    ) -> crate::krelation::KRelation<Out, K>,
+    snapshot_query: impl Fn(&crate::krelation::KRelation<Tup, K>) -> crate::krelation::KRelation<Out, K>,
 ) -> Result<(), String>
 where
     Tup: KTuple,
@@ -97,18 +95,16 @@ mod tests {
     type Tup = (u8, u8);
 
     fn arb_period_relation() -> impl Strategy<Value = PeriodRelation<Tup, Natural>> {
-        proptest::collection::vec(
-            (0u8..4, 0u8..4, 0i64..16, 1i64..8, 1u64..3),
-            0..10,
+        proptest::collection::vec((0u8..4, 0u8..4, 0i64..16, 1i64..8, 1u64..3), 0..10).prop_map(
+            |facts| {
+                PeriodRelation::from_facts(
+                    TimeDomain::new(0, 24),
+                    facts
+                        .into_iter()
+                        .map(|(a, b, s, len, m)| ((a, b), Interval::new(s, s + len), Natural(m))),
+                )
+            },
         )
-        .prop_map(|facts| {
-            PeriodRelation::from_facts(
-                TimeDomain::new(0, 24),
-                facts.into_iter().map(|(a, b, s, len, m)| {
-                    ((a, b), Interval::new(s, s + len), Natural(m))
-                }),
-            )
-        })
     }
 
     proptest! {

@@ -334,7 +334,10 @@ mod tests {
         let t2 = nat(&[(3, 9, 1), (3, 6, 2), (6, 9, 2), (18, 19, 2)]);
         let t3 = nat(&[(3, 5, 3), (5, 9, 3), (18, 19, 2)]);
         assert_eq!(t2, t3);
-        assert_eq!(t2.entries(), &[(iv(3, 9), Natural(3)), (iv(18, 19), Natural(2))]);
+        assert_eq!(
+            t2.entries(),
+            &[(iv(3, 9), Natural(3)), (iv(18, 19), Natural(2))]
+        );
     }
 
     #[test]
@@ -350,10 +353,8 @@ mod tests {
     #[test]
     fn example_5_3_b_coalesce() {
         // Under B the same history coalesces to {[3,13) -> true}.
-        let t = TemporalElement::from_pairs([
-            (iv(3, 10), Boolean(true)),
-            (iv(3, 13), Boolean(true)),
-        ]);
+        let t =
+            TemporalElement::from_pairs([(iv(3, 10), Boolean(true)), (iv(3, 13), Boolean(true))]);
         assert_eq!(t.entries(), &[(iv(3, 13), Boolean(true))]);
     }
 
@@ -448,8 +449,7 @@ mod tests {
     /// A strategy over raw (possibly overlapping, possibly zero) pairs.
     fn raw_pairs() -> impl Strategy<Value = Vec<(Interval, Natural)>> {
         proptest::collection::vec(
-            (0i64..20, 1i64..8, 0u64..4)
-                .prop_map(|(b, len, k)| (iv(b, b + len), Natural(k))),
+            (0i64..20, 1i64..8, 0u64..4).prop_map(|(b, len, k)| (iv(b, b + len), Natural(k))),
             0..8,
         )
     }

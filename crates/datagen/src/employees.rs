@@ -112,8 +112,8 @@ pub fn generate(scale: f64, seed: u64) -> Catalog {
         "Customer Service",
     ];
 
-    for d in 0..n_departments {
-        departments.push(row![dept_no(d), DEPT_NAMES[d], 0, DOMAIN_END]);
+    for (d, name) in DEPT_NAMES.iter().enumerate().take(n_departments) {
+        departments.push(row![dept_no(d), *name, 0, DOMAIN_END]);
     }
 
     for e in 0..n_employees {
@@ -179,10 +179,24 @@ fn dept_no(d: usize) -> String {
 
 fn emp_name(e: usize) -> String {
     const FIRST: [&str; 8] = [
-        "Georgi", "Bezalel", "Parto", "Chirstian", "Kyoichi", "Anneke", "Tzvetan", "Saniya",
+        "Georgi",
+        "Bezalel",
+        "Parto",
+        "Chirstian",
+        "Kyoichi",
+        "Anneke",
+        "Tzvetan",
+        "Saniya",
     ];
     const LAST: [&str; 8] = [
-        "Facello", "Simmel", "Bamford", "Koblick", "Maliniak", "Preusig", "Zielinski", "Kalloufi",
+        "Facello",
+        "Simmel",
+        "Bamford",
+        "Koblick",
+        "Maliniak",
+        "Preusig",
+        "Zielinski",
+        "Kalloufi",
     ];
     format!("{} {}{}", FIRST[e % 8], LAST[(e / 8) % 8], e)
 }
@@ -279,17 +293,31 @@ mod tests {
         let deps = c.get("dept_emp").unwrap().len() as f64;
         // Ratios of the MySQL dataset: ~9.4 salary rows and ~1.1 dept
         // assignments per employee.
-        assert!((6.0..14.0).contains(&(sals / emps)), "salaries/emp = {}", sals / emps);
-        assert!((1.0..1.4).contains(&(deps / emps)), "dept_emp/emp = {}", deps / emps);
+        assert!(
+            (6.0..14.0).contains(&(sals / emps)),
+            "salaries/emp = {}",
+            sals / emps
+        );
+        assert!(
+            (1.0..1.4).contains(&(deps / emps)),
+            "dept_emp/emp = {}",
+            deps / emps
+        );
         assert_eq!(c.get("departments").unwrap().len(), 9);
-        assert!(c.get("dept_manager").unwrap().len() >= 1);
+        assert!(!c.get("dept_manager").unwrap().is_empty());
     }
 
     #[test]
     fn periods_lie_within_domain() {
         let c = generate(0.002, 1);
         let d = domain();
-        for name in ["employees", "salaries", "titles", "dept_emp", "dept_manager"] {
+        for name in [
+            "employees",
+            "salaries",
+            "titles",
+            "dept_emp",
+            "dept_manager",
+        ] {
             let t = c.get(name).unwrap();
             let (b, e) = t.period().unwrap();
             for r in t.rows() {
@@ -306,7 +334,10 @@ mod tests {
         let t = c.get("salaries").unwrap();
         let mut per_emp: std::collections::HashMap<i64, Vec<(i64, i64)>> = Default::default();
         for r in t.rows() {
-            per_emp.entry(r.int(0)).or_default().push((r.int(2), r.int(3)));
+            per_emp
+                .entry(r.int(0))
+                .or_default()
+                .push((r.int(2), r.int(3)));
         }
         for (_, mut ivs) in per_emp {
             ivs.sort_unstable();
@@ -319,10 +350,7 @@ mod tests {
     #[test]
     fn workload_queries_parse() {
         for (name, sql) in queries() {
-            assert!(
-                sql::parse_statement(sql).is_ok(),
-                "{name} fails to parse"
-            );
+            assert!(sql::parse_statement(sql).is_ok(), "{name} fails to parse");
         }
     }
 }

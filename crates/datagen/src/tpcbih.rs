@@ -52,7 +52,13 @@ const NATIONS: [(&str, usize); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const TYPES: [&str; 6] = [
@@ -124,7 +130,13 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
         if rng.gen_bool(0.1) {
             let split = rng.gen_range(400..DOMAIN_END - 400);
             supplier.push(row![k as i64, supp_name(k), nk, 0, split]);
-            supplier.push(row![k as i64, supp_name(k), (nk + 7) % 25, split, DOMAIN_END]);
+            supplier.push(row![
+                k as i64,
+                supp_name(k),
+                (nk + 7) % 25,
+                split,
+                DOMAIN_END
+            ]);
         } else {
             supplier.push(row![k as i64, supp_name(k), nk, 0, DOMAIN_END]);
         }
@@ -151,7 +163,15 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
             let split = rng.gen_range(400..DOMAIN_END - 400);
             customer.push(row![k as i64, cust_name(k), nk, seg, bal, 0, split]);
             let seg2 = SEGMENTS[rng.gen_range(0..SEGMENTS.len())];
-            customer.push(row![k as i64, cust_name(k), nk, seg2, bal * 1.1, split, DOMAIN_END]);
+            customer.push(row![
+                k as i64,
+                cust_name(k),
+                nk,
+                seg2,
+                bal * 1.1,
+                split,
+                DOMAIN_END
+            ]);
         } else {
             customer.push(row![k as i64, cust_name(k), nk, seg, bal, 0, DOMAIN_END]);
         }
@@ -455,7 +475,11 @@ mod tests {
         let c = generate(0.002, 11);
         let orders = c.get("orders").unwrap().len() as f64;
         let lines = c.get("lineitem").unwrap().len() as f64;
-        assert!((2.5..5.5).contains(&(lines / orders)), "lineitems/order = {}", lines / orders);
+        assert!(
+            (2.5..5.5).contains(&(lines / orders)),
+            "lineitems/order = {}",
+            lines / orders
+        );
         assert_eq!(c.get("region").unwrap().len(), 5);
         assert_eq!(c.get("nation").unwrap().len(), 25);
     }

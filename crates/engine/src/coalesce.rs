@@ -20,7 +20,10 @@ use storage::Row;
 /// columns are everything before. The output is canonically ordered (sorted
 /// rows), making the encoding unique per Definition 4.5.
 pub fn coalesce_rows(rows: &[Row], arity: usize) -> Vec<Row> {
-    assert!(arity >= 2, "period rows need at least the two period columns");
+    assert!(
+        arity >= 2,
+        "period rows need at least the two period columns"
+    );
     let data_cols = arity - 2;
 
     // Group rows by their data columns.
@@ -94,11 +97,7 @@ mod tests {
         let out = coalesce_rows(&rows, 3);
         assert_eq!(
             out,
-            vec![
-                row![30, 3, 10],
-                row![30, 3, 10],
-                row![30, 10, 13],
-            ]
+            vec![row![30, 3, 10], row![30, 3, 10], row![30, 10, 13],]
         );
     }
 
@@ -181,9 +180,7 @@ mod tests {
                 let m = rows
                     .iter()
                     .filter(|r| {
-                        r.values()[..data] == key[..]
-                            && r.int(data) <= t
-                            && t < r.int(data + 1)
+                        r.values()[..data] == key[..] && r.int(data) <= t && t < r.int(data + 1)
                     })
                     .count() as i64;
                 if m > 0 {

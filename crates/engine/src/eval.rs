@@ -210,10 +210,7 @@ mod tests {
         let r = Row::new(vec![Value::Null, Value::Int(1)]);
         assert_eq!(eval_expr(&Expr::col(0).eq(Expr::lit(1)), &r), Value::Null);
         assert_eq!(
-            eval_expr(
-                &Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)),
-                &r
-            ),
+            eval_expr(&Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1)), &r),
             Value::Null
         );
         assert!(!eval_predicate(&Expr::col(0).eq(Expr::lit(1)), &r));
@@ -223,7 +220,7 @@ mod tests {
     fn three_valued_logic() {
         let r = Row::new(vec![Value::Null]);
         let null_cmp = Expr::col(0).eq(Expr::lit(1)); // unknown
-        // false AND unknown = false
+                                                      // false AND unknown = false
         let e = Expr::binary(BinOp::And, Expr::lit(false), null_cmp.clone());
         assert_eq!(eval_expr(&e, &r), Value::Bool(false));
         // true OR unknown = true

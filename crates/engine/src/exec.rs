@@ -5,7 +5,8 @@ use crate::eval::{eval_expr, eval_predicate};
 use crate::sliding::{Partial, SlidingAgg};
 use crate::split::split_rows;
 use crate::temporal::{agg_arg_types, temporal_aggregate, temporal_except_all};
-use algebra::{BinOp, Expr, Plan, PlanNode};
+use algebra::{BinOp, Expr, JoinAlgo, Plan, PlanNode, TimesliceAlgo};
+use index::{sweep_join_presorted, IndexCatalog};
 use std::collections::{BTreeMap, HashMap};
 use storage::{Catalog, Row, Table, Value};
 
@@ -14,7 +15,9 @@ use storage::{Catalog, Row, Table, Value};
 /// The paper's experiments observed PostgreSQL and DBY using hash joins on
 /// the non-temporal attributes, while DBX used merge joins over the interval
 /// overlap predicate; both strategies are available here so the benchmark
-/// harness can reproduce that comparison.
+/// harness can reproduce that comparison. [`JoinStrategy::IndexSweep`]
+/// additionally enables the endpoint-sweep temporal join of the `index`
+/// crate even for non-indexed inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
     /// Hash join on equality conjuncts, residual predicate after (PG/DBY).
@@ -23,6 +26,9 @@ pub enum JoinStrategy {
     /// Forward-scan plane sweep over the interval overlap predicate (DBX),
     /// falling back to hash when no overlap pattern is present.
     MergeInterval,
+    /// Endpoint-sweep (sort-merge) temporal join over the interval overlap
+    /// predicate, falling back to hash when no overlap pattern is present.
+    IndexSweep,
 }
 
 /// Engine configuration.
@@ -87,7 +93,37 @@ impl Engine {
         catalog: &Catalog,
         stats: &mut ExecStats,
     ) -> Result<Table, String> {
-        let rows = self.run(plan, catalog, stats)?;
+        let rows = self.run(plan, catalog, None, stats)?;
+        let mut table = Table::new(plan.schema.clone());
+        table.extend(rows);
+        Ok(table)
+    }
+
+    /// Executes a plan with a table-index registry: joins, timeslices, and
+    /// coalescing over indexed base tables dispatch to the `index` crate's
+    /// operators; everything else (and any stale index) falls back to the
+    /// naive paths.
+    pub fn execute_indexed(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        indexes: &IndexCatalog,
+    ) -> Result<Table, String> {
+        let mut stats = ExecStats::default();
+        self.execute_indexed_with_stats(plan, catalog, indexes, &mut stats)
+    }
+
+    /// [`Engine::execute_indexed`], recording per-operator counters (the
+    /// indexed dispatches appear as `IndexSweepJoin`, `IndexTimeslice`, and
+    /// `IndexCoalesce`).
+    pub fn execute_indexed_with_stats(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        indexes: &IndexCatalog,
+        stats: &mut ExecStats,
+    ) -> Result<Table, String> {
+        let rows = self.run(plan, catalog, Some(indexes), stats)?;
         let mut table = Table::new(plan.schema.clone());
         table.extend(rows);
         Ok(table)
@@ -97,6 +133,7 @@ impl Engine {
         &self,
         plan: &Plan,
         catalog: &Catalog,
+        indexes: Option<&IndexCatalog>,
         stats: &mut ExecStats,
     ) -> Result<Vec<Row>, String> {
         let rows = match &plan.node {
@@ -113,14 +150,14 @@ impl Engine {
             }
             PlanNode::Values { rows } => rows.clone(),
             PlanNode::Filter { input, predicate } => {
-                let input_rows = self.run(input, catalog, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats)?;
                 input_rows
                     .into_iter()
                     .filter(|r| eval_predicate(predicate, r))
                     .collect()
             }
             PlanNode::Project { input, exprs } => {
-                let input_rows = self.run(input, catalog, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats)?;
                 input_rows
                     .iter()
                     .map(|r| Row::new(exprs.iter().map(|e| eval_expr(e, r)).collect()))
@@ -130,20 +167,33 @@ impl Engine {
                 left,
                 right,
                 condition,
+                algo,
             } => {
-                let l = self.run(left, catalog, stats)?;
-                let r = self.run(right, catalog, stats)?;
-                self.join(&l, &r, left.schema.arity(), right.schema.arity(), condition)
+                let l = self.run(left, catalog, indexes, stats)?;
+                let r = self.run(right, catalog, indexes, stats)?;
+                self.join(
+                    JoinInputs {
+                        left_plan: left,
+                        right_plan: right,
+                        left_rows: &l,
+                        right_rows: &r,
+                    },
+                    condition,
+                    *algo,
+                    catalog,
+                    indexes,
+                    stats,
+                )?
             }
             PlanNode::Union { left, right } => {
-                let mut l = self.run(left, catalog, stats)?;
-                let r = self.run(right, catalog, stats)?;
+                let mut l = self.run(left, catalog, indexes, stats)?;
+                let r = self.run(right, catalog, indexes, stats)?;
                 l.extend(r);
                 l
             }
             PlanNode::ExceptAll { left, right } => {
-                let l = self.run(left, catalog, stats)?;
-                let r = self.run(right, catalog, stats)?;
+                let l = self.run(left, catalog, indexes, stats)?;
+                let r = self.run(right, catalog, indexes, stats)?;
                 except_all(l, &r)
             }
             PlanNode::Aggregate {
@@ -151,17 +201,17 @@ impl Engine {
                 group_cols,
                 aggs,
             } => {
-                let input_rows = self.run(input, catalog, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats)?;
                 let arg_types = agg_arg_types(aggs, &input.schema)?;
                 hash_aggregate(&input_rows, group_cols, aggs, &arg_types)
             }
             PlanNode::Distinct { input } => {
-                let input_rows = self.run(input, catalog, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats)?;
                 let set: std::collections::BTreeSet<Row> = input_rows.into_iter().collect();
                 set.into_iter().collect()
             }
             PlanNode::Sort { input, keys } => {
-                let mut input_rows = self.run(input, catalog, stats)?;
+                let mut input_rows = self.run(input, catalog, indexes, stats)?;
                 input_rows.sort_by(|a, b| {
                     for (e, asc) in keys {
                         let (va, vb) = (eval_expr(e, a), eval_expr(e, b));
@@ -176,16 +226,51 @@ impl Engine {
                 input_rows
             }
             PlanNode::Coalesce { input } => {
-                let input_rows = self.run(input, catalog, stats)?;
-                coalesce_rows(&input_rows, input.schema.arity())
+                // Coalescing accelerator: a scan of an indexed period-last
+                // table has its per-group events presorted at index-build
+                // time; emit segments directly instead of re-sorting.
+                if let Some(accel) =
+                    indexed_scan(input, catalog, indexes)?.and_then(|(idx, _)| idx.coalesce())
+                {
+                    let rows = accel.coalesced_rows();
+                    stats.record("IndexCoalesce", rows.len());
+                    rows
+                } else {
+                    let input_rows = self.run(input, catalog, indexes, stats)?;
+                    coalesce_rows(&input_rows, input.schema.arity())
+                }
+            }
+            PlanNode::Timeslice { input, at, algo } => {
+                // Indexed route: interval-tree stabbing on a scanned table
+                // whose period sits in the trailing two columns.
+                let indexed = (*algo != TimesliceAlgo::Linear)
+                    .then(|| indexed_scan(input, catalog, indexes))
+                    .transpose()?
+                    .flatten()
+                    .filter(|(idx, _)| {
+                        let n = input.schema.arity();
+                        n >= 2 && idx.period() == (n - 2, n - 1)
+                    });
+                if let Some((idx, table)) = indexed {
+                    let rows = idx.timeslice_rows(table, *at);
+                    stats.record("IndexTimeslice", rows.len());
+                    rows
+                } else {
+                    let input_rows = self.run(input, catalog, indexes, stats)?;
+                    let n = input.schema.arity();
+                    input_rows
+                        .into_iter()
+                        .filter(|r| r.int(n - 2) <= *at && *at < r.int(n - 1))
+                        .collect()
+                }
             }
             PlanNode::Split {
                 left,
                 right,
                 group_cols,
             } => {
-                let l = self.run(left, catalog, stats)?;
-                let r = self.run(right, catalog, stats)?;
+                let l = self.run(left, catalog, indexes, stats)?;
+                let r = self.run(right, catalog, indexes, stats)?;
                 split_rows(&l, &r, group_cols, left.schema.arity())
             }
             PlanNode::TemporalAggregate {
@@ -195,7 +280,7 @@ impl Engine {
                 add_gap_neutral,
                 domain,
             } => {
-                let input_rows = self.run(input, catalog, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats)?;
                 let arg_types = agg_arg_types(aggs, &input.schema)?;
                 temporal_aggregate(
                     &input_rows,
@@ -208,8 +293,8 @@ impl Engine {
                 )
             }
             PlanNode::TemporalExceptAll { left, right } => {
-                let l = self.run(left, catalog, stats)?;
-                let r = self.run(right, catalog, stats)?;
+                let l = self.run(left, catalog, indexes, stats)?;
+                let r = self.run(right, catalog, indexes, stats)?;
                 temporal_except_all(&l, &r, left.schema.arity())
             }
         };
@@ -219,35 +304,155 @@ impl Engine {
 
     fn join(
         &self,
-        left: &[Row],
-        right: &[Row],
-        l_arity: usize,
-        r_arity: usize,
+        inputs: JoinInputs<'_>,
         condition: &Expr,
-    ) -> Vec<Row> {
+        algo: JoinAlgo,
+        catalog: &Catalog,
+        indexes: Option<&IndexCatalog>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Row>, String> {
+        let JoinInputs {
+            left_plan,
+            right_plan,
+            left_rows: left,
+            right_rows: right,
+        } = inputs;
+        let l_arity = left_plan.schema.arity();
+        let r_arity = right_plan.schema.arity();
         let conjuncts = collect_conjuncts(condition);
         let equi = equi_keys(&conjuncts, l_arity);
+        let overlap = overlap_pattern(&conjuncts, l_arity, r_arity);
 
-        if self.config.join_strategy == JoinStrategy::MergeInterval {
-            if let Some((lts, lte, rts, rte)) = overlap_pattern(&conjuncts, l_arity, r_arity) {
-                return merge_interval_join(left, right, lts, lte, rts, rte, condition);
-            }
-        }
-        if !equi.is_empty() {
-            return hash_join(left, right, &equi, condition);
-        }
-        // Nested loop fallback.
-        let mut out = Vec::new();
-        for l in left {
-            for r in right {
-                let joined = l.concat(r);
-                if eval_predicate(condition, &joined) {
-                    out.push(joined);
+        // Physical choice: the plan hint wins; Auto is index-aware. An
+        // index is only usable for the sweep when it was built on the very
+        // columns the overlap pattern sweeps (the trailing period pair) —
+        // a table whose declared period sits elsewhere would hand the
+        // sweep a begin order over the wrong columns.
+        let (l_index, r_index) = match overlap {
+            Some((lts, lte, rts, rte)) => (
+                indexed_scan(left_plan, catalog, indexes)?
+                    .filter(|(idx, _)| idx.period() == (lts, lte)),
+                indexed_scan(right_plan, catalog, indexes)?
+                    .filter(|(idx, _)| idx.period() == (rts, rte)),
+            ),
+            None => (None, None),
+        };
+        let both_indexed = l_index.is_some() && r_index.is_some();
+        // Auto resolution: a pinned engine strategy routes every overlap
+        // join its way (that is how the harness compares routes); otherwise
+        // equality conjuncts win — a hash join touches only key matches,
+        // while the sweep would enumerate every temporally co-valid pair
+        // across all keys before the equality filter. The indexed sweep is
+        // the automatic choice only for *pure* overlap joins.
+        let resolved = match algo {
+            JoinAlgo::Auto => {
+                let sweep_pinned = self.config.join_strategy == JoinStrategy::IndexSweep;
+                if overlap.is_some() && (sweep_pinned || (both_indexed && equi.is_empty())) {
+                    JoinAlgo::IndexSweep
+                } else if overlap.is_some()
+                    && self.config.join_strategy == JoinStrategy::MergeInterval
+                {
+                    JoinAlgo::MergeInterval
+                } else if !equi.is_empty() {
+                    JoinAlgo::Hash
+                } else {
+                    JoinAlgo::NestedLoop
                 }
             }
-        }
-        out
+            explicit => explicit,
+        };
+
+        Ok(match resolved {
+            JoinAlgo::IndexSweep if overlap.is_some() => {
+                let (lts, lte, rts, rte) = overlap.unwrap();
+                // Indexed scans reuse the table's begin-sorted event list
+                // (scan output preserves table row order, so the index row
+                // ids address the materialized rows directly); other inputs
+                // are sorted on the fly.
+                let l_sorted: Vec<&Row> = match &l_index {
+                    Some((idx, _)) => idx.events().begin_order().map(|i| &left[i]).collect(),
+                    None => sorted_by_begin(left, lts),
+                };
+                let r_sorted: Vec<&Row> = match &r_index {
+                    Some((idx, _)) => idx.events().begin_order().map(|i| &right[i]).collect(),
+                    None => sorted_by_begin(right, rts),
+                };
+                let mut out = Vec::new();
+                sweep_join_presorted(&l_sorted, &r_sorted, (lts, lte), (rts, rte), |lr, rr| {
+                    let joined = lr.concat(rr);
+                    if eval_predicate(condition, &joined) {
+                        out.push(joined);
+                    }
+                });
+                stats.record(
+                    if both_indexed {
+                        "IndexSweepJoin"
+                    } else {
+                        "SweepJoin"
+                    },
+                    out.len(),
+                );
+                out
+            }
+            JoinAlgo::MergeInterval if overlap.is_some() => {
+                let (lts, lte, rts, rte) = overlap.unwrap();
+                merge_interval_join(left, right, lts, lte, rts, rte, condition)
+            }
+            JoinAlgo::Hash | JoinAlgo::IndexSweep | JoinAlgo::MergeInterval if !equi.is_empty() => {
+                hash_join(left, right, &equi, condition)
+            }
+            _ => {
+                // Nested loop fallback.
+                let mut out = Vec::new();
+                for l in left {
+                    for r in right {
+                        let joined = l.concat(r);
+                        if eval_predicate(condition, &joined) {
+                            out.push(joined);
+                        }
+                    }
+                }
+                out
+            }
+        })
     }
+}
+
+/// The materialized inputs of a join together with their plans (the plans
+/// carry the schemas and reveal indexed scans).
+struct JoinInputs<'a> {
+    left_plan: &'a Plan,
+    right_plan: &'a Plan,
+    left_rows: &'a [Row],
+    right_rows: &'a [Row],
+}
+
+/// When `plan` is a scan of a table with a fresh index, returns the index
+/// and the table. Errors only when the scanned table vanished from the
+/// catalog.
+fn indexed_scan<'a>(
+    plan: &Plan,
+    catalog: &'a Catalog,
+    indexes: Option<&'a IndexCatalog>,
+) -> Result<Option<(&'a index::TableIndex, &'a Table)>, String> {
+    let Some(reg) = indexes else {
+        return Ok(None);
+    };
+    let PlanNode::Scan { table } = &plan.node else {
+        return Ok(None);
+    };
+    let t = catalog.require(table)?;
+    if t.schema().arity() != plan.schema.arity() {
+        return Ok(None); // stale binding: let the naive path report it
+    }
+    Ok(reg.get_fresh(table, t).map(|idx| (idx, t)))
+}
+
+/// Row references sorted ascending by the `ts` column.
+fn sorted_by_begin(rows: &[Row], ts: usize) -> Vec<&Row> {
+    let mut v: Vec<&Row> = rows.iter().collect();
+    v.sort_by_key(|r| r.int(ts));
+    v
 }
 
 fn op_name(node: &PlanNode) -> &'static str {
@@ -263,6 +468,7 @@ fn op_name(node: &PlanNode) -> &'static str {
         PlanNode::Distinct { .. } => "Distinct",
         PlanNode::Sort { .. } => "Sort",
         PlanNode::Coalesce { .. } => "Coalesce",
+        PlanNode::Timeslice { .. } => "Timeslice",
         PlanNode::Split { .. } => "Split",
         PlanNode::TemporalAggregate { .. } => "TemporalAggregate",
         PlanNode::TemporalExceptAll { .. } => "TemporalExceptAll",
@@ -318,6 +524,9 @@ fn overlap_pattern(
     l_arity: usize,
     r_arity: usize,
 ) -> Option<(usize, usize, usize, usize)> {
+    if l_arity < 2 || r_arity < 2 {
+        return None;
+    }
     let (lts, lte) = (l_arity - 2, l_arity - 1);
     let (rts_g, rte_g) = (l_arity + r_arity - 2, l_arity + r_arity - 1);
     let mut has_l_lt_r = false;
@@ -345,7 +554,11 @@ fn overlap_pattern(
 fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &Expr) -> Vec<Row> {
     // Build on the smaller side; probe with the larger.
     let build_left = left.len() <= right.len();
-    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let build_keys: Vec<usize> = keys
         .iter()
         .map(|&(l, r)| if build_left { l } else { r })
@@ -543,9 +756,10 @@ mod tests {
         let l = Plan::scan("works", works_schema());
         let r = Plan::scan("works", works_schema());
         // Self-join on skill with a residual inequality on names.
-        let cond = Expr::col(1)
-            .eq(Expr::col(5))
-            .and(Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4)));
+        let cond =
+            Expr::col(1)
+                .eq(Expr::col(5))
+                .and(Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4)));
         let plan = l.join(r, cond);
         let out = Engine::new().execute(&plan, &c).unwrap();
         // SP pairs with name_l < name_r: (Ann,Sam) twice (two Ann rows).
@@ -564,10 +778,8 @@ mod tests {
         t.push(row![1]);
         let mut c = Catalog::new();
         c.register("t", t);
-        let plan = Plan::scan("t", schema.clone()).join(
-            Plan::scan("t", schema),
-            Expr::col(0).eq(Expr::col(1)),
-        );
+        let plan = Plan::scan("t", schema.clone())
+            .join(Plan::scan("t", schema), Expr::col(0).eq(Expr::col(1)));
         let out = Engine::new().execute(&plan, &c).unwrap();
         assert_eq!(out.len(), 1); // only (1,1)
     }
@@ -581,8 +793,8 @@ mod tests {
             .eq(Expr::col(5))
             .and(Expr::col(lts).lt(Expr::col(rte_g)))
             .and(Expr::col(rts_g).lt(Expr::col(lte)));
-        let plan = Plan::scan("works", works_schema())
-            .join(Plan::scan("works", works_schema()), cond);
+        let plan =
+            Plan::scan("works", works_schema()).join(Plan::scan("works", works_schema()), cond);
 
         let hash = Engine::new().execute(&plan, &c).unwrap().canonicalized();
         let merge = Engine::with_config(EngineConfig {
@@ -592,7 +804,10 @@ mod tests {
         .unwrap()
         .canonicalized();
         assert_eq!(hash, merge);
-        assert!(hash.len() >= 4, "self overlap join must match each row with itself");
+        assert!(
+            hash.len() >= 4,
+            "self overlap join must match each row with itself"
+        );
     }
 
     #[test]
@@ -633,20 +848,17 @@ mod tests {
     #[test]
     fn aggregation_min_max_sum_avg() {
         let schema = Schema::of(&[("g", SqlType::Str), ("v", SqlType::Int)]);
-        let plan = Plan::values(
-            schema,
-            vec![row!["a", 1], row!["a", 5], row!["b", 10]],
-        )
-        .aggregate(
-            vec![0],
-            vec![
-                AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
-                AggExpr::new(AggFunc::Avg, Expr::col(1), "avg"),
-                AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
-                AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
-            ],
-        )
-        .unwrap();
+        let plan = Plan::values(schema, vec![row!["a", 1], row!["a", 5], row!["b", 10]])
+            .aggregate(
+                vec![0],
+                vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col(1), "s"),
+                    AggExpr::new(AggFunc::Avg, Expr::col(1), "avg"),
+                    AggExpr::new(AggFunc::Min, Expr::col(1), "lo"),
+                    AggExpr::new(AggFunc::Max, Expr::col(1), "hi"),
+                ],
+            )
+            .unwrap();
         let out = Engine::new().execute(&plan, &Catalog::new()).unwrap();
         let rows = out.canonicalized();
         assert_eq!(
@@ -668,8 +880,7 @@ mod tests {
     #[test]
     fn stats_are_collected() {
         let c = works_catalog();
-        let plan = Plan::scan("works", works_schema())
-            .filter(Expr::col(1).eq(Expr::lit("SP")));
+        let plan = Plan::scan("works", works_schema()).filter(Expr::col(1).eq(Expr::lit("SP")));
         let mut stats = ExecStats::default();
         Engine::new()
             .execute_with_stats(&plan, &c, &mut stats)
@@ -683,5 +894,213 @@ mod tests {
         let plan = Plan::scan("nope", works_schema());
         let err = Engine::new().execute(&plan, &Catalog::new()).unwrap_err();
         assert!(err.contains("unknown table"));
+    }
+
+    /// Equality on skill plus the rewriter's overlap pattern.
+    fn equi_overlap_self_join_plan() -> Plan {
+        let (lts, lte) = (2, 3);
+        let (rts_g, rte_g) = (6, 7);
+        let cond = Expr::col(1)
+            .eq(Expr::col(5))
+            .and(Expr::col(lts).lt(Expr::col(rte_g)))
+            .and(Expr::col(rts_g).lt(Expr::col(lte)));
+        Plan::scan("works", works_schema()).join(Plan::scan("works", works_schema()), cond)
+    }
+
+    /// Pure overlap join (non-equality residual on names).
+    fn pure_overlap_self_join_plan() -> Plan {
+        let (lts, lte) = (2, 3);
+        let (rts_g, rte_g) = (6, 7);
+        let cond = Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4))
+            .and(Expr::col(lts).lt(Expr::col(rte_g)))
+            .and(Expr::col(rts_g).lt(Expr::col(lte)));
+        Plan::scan("works", works_schema()).join(Plan::scan("works", works_schema()), cond)
+    }
+
+    #[test]
+    fn indexed_sweep_join_matches_naive_and_is_dispatched() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        let plan = pure_overlap_self_join_plan();
+
+        let naive = Engine::new().execute(&plan, &c).unwrap().canonicalized();
+        let mut stats = ExecStats::default();
+        let indexed = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert_eq!(naive, indexed);
+        assert!(
+            stats.get("IndexSweepJoin").is_some(),
+            "indexed dispatch must be taken: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn equi_keys_beat_the_sweep_under_auto() {
+        // Equality conjuncts present: hash is the selective choice even
+        // with fresh indexes on both sides — the sweep would enumerate all
+        // temporally co-valid pairs before the equality filter.
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        let plan = equi_overlap_self_join_plan();
+        let hash = Engine::new().execute(&plan, &c).unwrap().canonicalized();
+        let mut stats = ExecStats::default();
+        let indexed = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert_eq!(hash, indexed);
+        assert!(
+            stats.get("IndexSweepJoin").is_none() && stats.get("SweepJoin").is_none(),
+            "Auto must pick hash over the sweep for equi joins: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stale_index_falls_back_to_naive_join() {
+        let mut c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        // Mutate the table after indexing: version mismatch → fallback.
+        let mut t = c.get("works").unwrap().clone();
+        t.push(row!["Eve", "SP", 0, 2]);
+        c.register("works", t);
+
+        let plan = pure_overlap_self_join_plan();
+        let mut stats = ExecStats::default();
+        let indexed = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert!(
+            stats.get("IndexSweepJoin").is_none(),
+            "must not use stale index"
+        );
+        let naive = Engine::new().execute(&plan, &c).unwrap().canonicalized();
+        assert_eq!(naive, indexed);
+    }
+
+    #[test]
+    fn explicit_sweep_without_indexes_matches_hash() {
+        let c = works_catalog();
+        let plan = {
+            let (lts, lte) = (2, 3);
+            let (rts_g, rte_g) = (6, 7);
+            let cond = Expr::col(1)
+                .eq(Expr::col(5))
+                .and(Expr::col(lts).lt(Expr::col(rte_g)))
+                .and(Expr::col(rts_g).lt(Expr::col(lte)));
+            Plan::scan("works", works_schema()).join_with(
+                Plan::scan("works", works_schema()),
+                cond,
+                algebra::JoinAlgo::IndexSweep,
+            )
+        };
+        let mut stats = ExecStats::default();
+        let sweep = Engine::new()
+            .execute_with_stats(&plan, &c, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert!(
+            stats.get("SweepJoin").is_some(),
+            "sort-on-the-fly sweep used"
+        );
+        let hash = Engine::new()
+            .execute(&equi_overlap_self_join_plan(), &c)
+            .unwrap()
+            .canonicalized();
+        assert_eq!(hash, sweep);
+    }
+
+    #[test]
+    fn index_on_non_sweep_columns_is_not_used_for_the_sweep() {
+        // The table's declared period is columns (0, 1), but the overlap
+        // pattern always sweeps the trailing two columns (2, 3) of each
+        // side. The index's begin order is over the wrong columns, so the
+        // engine must ignore it (hash fallback), not feed it to the sweep.
+        let schema = Schema::of(&[
+            ("a", SqlType::Int),
+            ("b", SqlType::Int),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]);
+        let mut t = Table::with_period(schema.clone(), 0, 1);
+        // Declared period (cols 0..1) deliberately orders differently than
+        // the trailing columns the join sweeps.
+        t.push(row![1, 9, 5, 7]);
+        t.push(row![2, 9, 0, 6]);
+        t.push(row![3, 9, 6, 8]);
+        let mut c = Catalog::new();
+        c.register("t", t);
+        let indexes = IndexCatalog::build_all(&c);
+        assert_eq!(indexes.len(), 1, "the (0,1) period is indexed");
+
+        let (lts, lte) = (2, 3);
+        let (rts_g, rte_g) = (6, 7);
+        let cond = Expr::col(lts)
+            .lt(Expr::col(rte_g))
+            .and(Expr::col(rts_g).lt(Expr::col(lte)));
+        let plan = Plan::scan("t", schema.clone()).join(Plan::scan("t", schema), cond);
+        let naive = Engine::new().execute(&plan, &c).unwrap().canonicalized();
+        let mut stats = ExecStats::default();
+        let indexed = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert_eq!(naive, indexed);
+        assert!(
+            stats.get("IndexSweepJoin").is_none(),
+            "mismatched period columns must not drive the sweep: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn timeslice_indexed_and_linear_agree() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        for at in -1..25 {
+            let plan = Plan::scan("works", works_schema()).timeslice(at);
+            let linear = Engine::new().execute(&plan, &c).unwrap();
+            let mut stats = ExecStats::default();
+            let indexed = Engine::new()
+                .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+                .unwrap();
+            assert_eq!(linear, indexed, "timeslice at {at}");
+            assert!(
+                stats.get("IndexTimeslice").is_some(),
+                "indexed stabbing must be taken"
+            );
+        }
+    }
+
+    #[test]
+    fn timeslice_respects_linear_hint() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        let plan =
+            Plan::scan("works", works_schema()).timeslice_with(9, algebra::TimesliceAlgo::Linear);
+        let mut stats = ExecStats::default();
+        let out = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap();
+        assert!(stats.get("IndexTimeslice").is_none());
+        assert_eq!(out.len(), 3); // Ann [3,10), Joe [8,16), Sam [8,16)
+    }
+
+    #[test]
+    fn coalesce_over_indexed_scan_uses_accelerator() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        let plan = Plan::scan("works", works_schema()).coalesce();
+        let naive = Engine::new().execute(&plan, &c).unwrap();
+        let mut stats = ExecStats::default();
+        let accel = Engine::new()
+            .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+            .unwrap();
+        assert_eq!(naive, accel);
+        assert!(
+            stats.get("IndexCoalesce").is_some(),
+            "accelerator must be taken"
+        );
     }
 }

@@ -52,10 +52,18 @@ impl Partial {
             Value::Double(d) => self.sum_double += d,
             _ => {}
         }
-        if self.min.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less)) {
+        if self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+        {
             self.min = Some(v.clone());
         }
-        if self.max.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater)) {
+        if self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+        {
             self.max = Some(v.clone());
         }
     }
@@ -67,12 +75,20 @@ impl Partial {
         self.sum_int += other.sum_int;
         self.sum_double += other.sum_double;
         if let Some(m) = &other.min {
-            if self.min.as_ref().is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Less)) {
+            if self
+                .min
+                .as_ref()
+                .is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Less))
+            {
                 self.min = Some(m.clone());
             }
         }
         if let Some(m) = &other.max {
-            if self.max.as_ref().is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)) {
+            if self
+                .max
+                .as_ref()
+                .is_none_or(|cur| m.sql_cmp(cur) == Some(std::cmp::Ordering::Greater))
+            {
                 self.max = Some(m.clone());
             }
         }
@@ -181,18 +197,8 @@ impl SlidingAgg {
                     Value::Double(total / self.non_null as f64)
                 }
             }
-            AggFunc::Min => self
-                .mins
-                .keys()
-                .next()
-                .cloned()
-                .unwrap_or(Value::Null),
-            AggFunc::Max => self
-                .maxs
-                .keys()
-                .next_back()
-                .cloned()
-                .unwrap_or(Value::Null),
+            AggFunc::Min => self.mins.keys().next().cloned().unwrap_or(Value::Null),
+            AggFunc::Max => self.maxs.keys().next_back().cloned().unwrap_or(Value::Null),
         }
     }
 

@@ -15,16 +15,9 @@ use storage::{Row, Value};
 /// Both inputs carry the period in their last two columns; `group_cols`
 /// are data-column positions meaningful in both schemas (union-compatible
 /// inputs). Returns the refined version of `left`.
-pub fn split_rows(
-    left: &[Row],
-    right: &[Row],
-    group_cols: &[usize],
-    arity: usize,
-) -> Vec<Row> {
+pub fn split_rows(left: &[Row], right: &[Row], group_cols: &[usize], arity: usize) -> Vec<Row> {
     let (ts, te) = (arity - 2, arity - 1);
-    let key_of = |r: &Row| -> Vec<Value> {
-        group_cols.iter().map(|&i| r.get(i).clone()).collect()
-    };
+    let key_of = |r: &Row| -> Vec<Value> { group_cols.iter().map(|&i| r.get(i).clone()).collect() };
 
     // Endpoint sets per group, from both inputs (EP_G of Def. 8.3).
     let mut endpoints: HashMap<Vec<Value>, Vec<i64>> = HashMap::new();
@@ -150,10 +143,7 @@ mod tests {
                 .iter()
                 .filter(|r| r.int(1) <= t && t < r.int(2))
                 .count();
-            let after = out
-                .iter()
-                .filter(|r| r.int(1) <= t && t < r.int(2))
-                .count();
+            let after = out.iter().filter(|r| r.int(1) <= t && t < r.int(2)).count();
             assert_eq!(before, after, "multiplicity changed at {t}");
         }
     }

@@ -230,15 +230,7 @@ mod tests {
         // σ_skill=SP(works) projected to (ts, te) only: arity 2.
         let rows = vec![row![3, 10], row![8, 16], row![18, 20]];
         let aggs = vec![AggExpr::count_star("cnt")];
-        let out = temporal_aggregate(
-            &rows,
-            2,
-            &[],
-            &aggs,
-            &[SqlType::Int],
-            true,
-            (0, 24),
-        );
+        let out = temporal_aggregate(&rows, 2, &[], &aggs, &[SqlType::Int], true, (0, 24));
         let mut got: Vec<(i64, i64, i64)> =
             out.iter().map(|r| (r.int(1), r.int(2), r.int(0))).collect();
         got.sort_unstable();
@@ -265,25 +257,10 @@ mod tests {
             row!["d2", 50, 2, 4],
         ];
         let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "total")];
-        let out = temporal_aggregate(
-            &rows,
-            4,
-            &[0],
-            &aggs,
-            &[SqlType::Int],
-            false,
-            (0, 24),
-        );
+        let out = temporal_aggregate(&rows, 4, &[0], &aggs, &[SqlType::Int], false, (0, 24));
         let mut got: Vec<(String, i64, i64, Value)> = out
             .iter()
-            .map(|r| {
-                (
-                    r.get(0).to_string(),
-                    r.int(2),
-                    r.int(3),
-                    r.get(1).clone(),
-                )
-            })
+            .map(|r| (r.get(0).to_string(), r.int(2), r.int(3), r.get(1).clone()))
             .collect();
         got.sort();
         assert_eq!(
@@ -317,25 +294,14 @@ mod tests {
             .map(|r| (r.int(3), r.int(4), r.int(1), r.int(2)))
             .collect();
         got.sort_unstable();
-        assert_eq!(
-            got,
-            vec![(0, 3, 5, 5), (3, 6, 1, 5), (6, 10, 5, 5)]
-        );
+        assert_eq!(got, vec![(0, 3, 5, 5), (3, 6, 1, 5), (6, 10, 5, 5)]);
     }
 
     #[test]
     fn avg_over_gap_is_null() {
         let rows = vec![row![10, 2, 4]];
         let aggs = vec![AggExpr::new(AggFunc::Avg, Expr::col(0), "a")];
-        let out = temporal_aggregate(
-            &rows,
-            3,
-            &[],
-            &aggs,
-            &[SqlType::Int],
-            true,
-            (0, 6),
-        );
+        let out = temporal_aggregate(&rows, 3, &[], &aggs, &[SqlType::Int], true, (0, 6));
         let mut got: Vec<(i64, i64, Value)> = out
             .iter()
             .map(|r| (r.int(1), r.int(2), r.get(0).clone()))
@@ -365,16 +331,17 @@ mod tests {
     fn figure_1c_except_all() {
         // Π_skill(assign) EXCEPT ALL Π_skill(works), periods attached.
         let assign = vec![row!["SP", 3, 12], row!["SP", 6, 14], row!["NS", 3, 16]];
-        let works = vec![row!["SP", 3, 10], row!["SP", 8, 16], row!["SP", 18, 20], row!["NS", 8, 16]];
+        let works = vec![
+            row!["SP", 3, 10],
+            row!["SP", 8, 16],
+            row!["SP", 18, 20],
+            row!["NS", 8, 16],
+        ];
         let mut out = temporal_except_all(&assign, &works, 3);
         out.sort();
         assert_eq!(
             out,
-            vec![
-                row!["NS", 3, 8],
-                row!["SP", 6, 8],
-                row!["SP", 10, 12],
-            ]
+            vec![row!["NS", 3, 8], row!["SP", 6, 8], row!["SP", 10, 12],]
         );
     }
 

@@ -1,0 +1,110 @@
+//! Endpoint event lists: the sweep-line backbone.
+//!
+//! An [`EventList`] stores a period relation's rows twice, once ordered by
+//! interval begin and once by interval end. Every sweep-line algorithm in
+//! this subsystem (sort-merge temporal join, timeslice pre-filtering,
+//! coalescing) starts from one of these orders; building them once per
+//! table and reusing them replaces the per-operator `O(n log n)` sorts of
+//! the naive paths with `O(n)` merges.
+
+use storage::Row;
+
+/// Sorted endpoint views of a multiset of period rows.
+///
+/// Row ids are positions in the original row slice; intervals are the
+/// half-open `[begin, end)` values of the period columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventList {
+    /// `(begin, row id)`, ascending.
+    by_begin: Vec<(i64, u32)>,
+    /// `(end, row id)`, ascending.
+    by_end: Vec<(i64, u32)>,
+}
+
+impl EventList {
+    /// Builds the event list for `rows`, reading the period from columns
+    /// `ts`/`te`.
+    ///
+    /// # Panics
+    /// Panics when a row's period columns are not integers, or when the
+    /// relation has more than `u32::MAX` rows.
+    pub fn build(rows: &[Row], ts: usize, te: usize) -> EventList {
+        assert!(
+            u32::try_from(rows.len()).is_ok(),
+            "EventList supports at most u32::MAX rows"
+        );
+        let mut by_begin: Vec<(i64, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.int(ts), i as u32))
+            .collect();
+        let mut by_end: Vec<(i64, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.int(te), i as u32))
+            .collect();
+        by_begin.sort_unstable();
+        by_end.sort_unstable();
+        EventList { by_begin, by_end }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.by_begin.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_begin.is_empty()
+    }
+
+    /// `(begin, row id)` pairs, ascending by begin (ties by row id).
+    pub fn by_begin(&self) -> &[(i64, u32)] {
+        &self.by_begin
+    }
+
+    /// `(end, row id)` pairs, ascending by end (ties by row id).
+    pub fn by_end(&self) -> &[(i64, u32)] {
+        &self.by_end
+    }
+
+    /// Row ids in begin order — the input order of every sweep.
+    pub fn begin_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_begin.iter().map(|&(_, id)| id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::row;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            row!["a", 3, 10],
+            row!["b", 8, 16],
+            row!["c", 0, 4],
+            row!["d", 8, 9],
+        ]
+    }
+
+    #[test]
+    fn orders_are_sorted() {
+        let ev = EventList::build(&rows(), 1, 2);
+        assert_eq!(ev.len(), 4);
+        assert_eq!(
+            ev.by_begin(),
+            &[(0, 2), (3, 0), (8, 1), (8, 3)],
+            "begin order with ties by row id"
+        );
+        assert_eq!(ev.by_end(), &[(4, 2), (9, 3), (10, 0), (16, 1)]);
+        assert_eq!(ev.begin_order().collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        let ev = EventList::build(&[], 0, 1);
+        assert!(ev.is_empty());
+        assert_eq!(ev.begin_order().count(), 0);
+    }
+}

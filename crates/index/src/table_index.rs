@@ -1,0 +1,257 @@
+//! Per-table index bundles and the catalog-level index registry.
+
+use crate::{CoalesceIndex, EventList, IntervalTree};
+use storage::{Catalog, Row, Table};
+
+/// The full index bundle of one stored period table:
+///
+/// * an [`EventList`] — sorted begin/end event lists, the sweep-line
+///   backbone reused by the sort-merge temporal join,
+/// * an [`IntervalTree`] — `O(log n + k)` timeslice stabbing and overlap
+///   probes,
+/// * a [`CoalesceIndex`] — presorted per-group events for the coalescing
+///   accelerator (only when the period is stored in the trailing two
+///   columns, the engine's temporal-operator convention).
+///
+/// An index is a snapshot of the table at one [`Table::version`];
+/// [`TableIndex::is_fresh`] detects staleness and [`IndexCatalog::ensure`]
+/// rebuilds on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableIndex {
+    version: u64,
+    period: (usize, usize),
+    events: EventList,
+    tree: IntervalTree,
+    coalesce: Option<CoalesceIndex>,
+}
+
+impl TableIndex {
+    /// Builds the index bundle for a period table; returns `None` for
+    /// non-temporal tables (nothing to index).
+    pub fn build(table: &Table) -> Option<TableIndex> {
+        let (ts, te) = table.period()?;
+        let rows = table.rows();
+        let events = EventList::build(rows, ts, te);
+        let intervals: Vec<(i64, i64)> = rows.iter().map(|r| (r.int(ts), r.int(te))).collect();
+        let tree = IntervalTree::build(&intervals);
+        let arity = table.schema().arity();
+        let coalesce = (arity >= 2 && (ts, te) == (arity - 2, arity - 1))
+            .then(|| CoalesceIndex::build(rows, arity));
+        Some(TableIndex {
+            version: table.version(),
+            period: (ts, te),
+            events,
+            tree,
+            coalesce,
+        })
+    }
+
+    /// Whether the index still matches the table contents (version-based:
+    /// every mutation of [`Table`] bumps its version).
+    pub fn is_fresh(&self, table: &Table) -> bool {
+        self.version == table.version() && Some(self.period) == table.period()
+    }
+
+    /// The table version the index was built at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The indexed period columns.
+    pub fn period(&self) -> (usize, usize) {
+        self.period
+    }
+
+    /// The endpoint event lists.
+    pub fn events(&self) -> &EventList {
+        &self.events
+    }
+
+    /// The interval tree.
+    pub fn tree(&self) -> &IntervalTree {
+        &self.tree
+    }
+
+    /// The coalescing accelerator (period-last tables only).
+    pub fn coalesce(&self) -> Option<&CoalesceIndex> {
+        self.coalesce.as_ref()
+    }
+
+    /// The timeslice at `t`: clones of all rows valid at `t`, in table
+    /// order. `O(log n + k)` via interval-tree stabbing.
+    pub fn timeslice_rows(&self, table: &Table, t: i64) -> Vec<Row> {
+        debug_assert!(self.is_fresh(table));
+        let rows = table.rows();
+        self.tree
+            .stab(t)
+            .into_iter()
+            .map(|id| rows[id].clone())
+            .collect()
+    }
+}
+
+/// The namespace of table indexes, mirroring [`storage::Catalog`].
+///
+/// The registry is deliberately separate from the catalog (the storage
+/// layer stays index-agnostic); the engine consults it at dispatch time and
+/// silently falls back to the naive operators for unindexed or stale
+/// entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexCatalog {
+    indexes: std::collections::BTreeMap<String, TableIndex>,
+}
+
+impl IndexCatalog {
+    /// An empty registry.
+    pub fn new() -> Self {
+        IndexCatalog::default()
+    }
+
+    /// Builds indexes for every period table of the catalog.
+    pub fn build_all(catalog: &Catalog) -> Self {
+        let mut reg = IndexCatalog::new();
+        for name in catalog.table_names().collect::<Vec<_>>() {
+            let table = catalog.get(name).unwrap();
+            if let Some(idx) = TableIndex::build(table) {
+                reg.indexes.insert(name.to_string(), idx);
+            }
+        }
+        reg
+    }
+
+    /// Registers (or replaces) an index for `name`.
+    pub fn register(&mut self, name: impl Into<String>, index: TableIndex) {
+        self.indexes.insert(name.into(), index);
+    }
+
+    /// A fresh index for `name`, or `None` when missing or stale.
+    pub fn get_fresh(&self, name: &str, table: &Table) -> Option<&TableIndex> {
+        self.indexes.get(name).filter(|idx| idx.is_fresh(table))
+    }
+
+    /// Index maintenance: rebuilds the entry when missing or stale, then
+    /// returns it (`None` for non-temporal tables).
+    pub fn ensure(&mut self, name: &str, table: &Table) -> Option<&TableIndex> {
+        let stale = self
+            .indexes
+            .get(name)
+            .map(|idx| !idx.is_fresh(table))
+            .unwrap_or(true);
+        if stale {
+            match TableIndex::build(table) {
+                Some(idx) => {
+                    self.indexes.insert(name.to_string(), idx);
+                }
+                None => {
+                    self.indexes.remove(name);
+                }
+            }
+        }
+        self.indexes.get(name)
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Names of all indexed tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.indexes.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{row, Schema, SqlType};
+
+    fn works_table() -> Table {
+        let schema = Schema::of(&[
+            ("name", SqlType::Str),
+            ("skill", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ]);
+        let mut t = Table::with_period(schema, 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        t.push(row!["Joe", "NS", 8, 16]);
+        t.push(row!["Sam", "SP", 8, 16]);
+        t.push(row!["Ann", "SP", 18, 20]);
+        t
+    }
+
+    #[test]
+    fn builds_for_period_tables_only() {
+        let t = works_table();
+        let idx = TableIndex::build(&t).unwrap();
+        assert_eq!(idx.period(), (2, 3));
+        assert_eq!(idx.events().len(), 4);
+        assert!(idx.coalesce().is_some(), "trailing period: accelerator on");
+
+        let plain = Table::new(Schema::of(&[("x", SqlType::Int)]));
+        assert!(TableIndex::build(&plain).is_none());
+    }
+
+    #[test]
+    fn timeslice_matches_scan() {
+        let t = works_table();
+        let idx = TableIndex::build(&t).unwrap();
+        for at in -1..25 {
+            let via_index = idx.timeslice_rows(&t, at);
+            let via_scan: Vec<Row> = t
+                .rows()
+                .iter()
+                .filter(|r| r.int(2) <= at && at < r.int(3))
+                .cloned()
+                .collect();
+            assert_eq!(via_index, via_scan, "timeslice at {at}");
+        }
+    }
+
+    #[test]
+    fn staleness_detected_and_repaired() {
+        let mut t = works_table();
+        let idx = TableIndex::build(&t).unwrap();
+        assert!(idx.is_fresh(&t));
+        t.push(row!["Eve", "SP", 0, 2]);
+        assert!(!idx.is_fresh(&t), "mutation must invalidate");
+
+        let mut c = Catalog::new();
+        c.register("works", t.clone());
+        let mut reg = IndexCatalog::build_all(&c);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get_fresh("works", &t).is_some());
+
+        t.push(row!["Zed", "NS", 1, 3]);
+        assert!(reg.get_fresh("works", &t).is_none(), "stale after push");
+        let rebuilt = reg.ensure("works", &t).unwrap();
+        assert_eq!(rebuilt.version(), t.version());
+        assert_eq!(rebuilt.events().len(), 6);
+    }
+
+    #[test]
+    fn begin_order_is_begin_sorted() {
+        let t = works_table();
+        let idx = TableIndex::build(&t).unwrap();
+        let rows = t.rows();
+        let begins: Vec<i64> = idx.events().begin_order().map(|i| rows[i].int(2)).collect();
+        let mut sorted = begins.clone();
+        sorted.sort_unstable();
+        assert_eq!(begins, sorted);
+    }
+
+    #[test]
+    fn build_all_skips_non_temporal() {
+        let mut c = Catalog::new();
+        c.register("works", works_table());
+        c.register("plain", Table::new(Schema::of(&[("x", SqlType::Int)])));
+        let reg = IndexCatalog::build_all(&c);
+        assert_eq!(reg.table_names().collect::<Vec<_>>(), vec!["works"]);
+    }
+}

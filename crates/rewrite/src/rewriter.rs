@@ -1,6 +1,6 @@
 //! The `REWR` rewriting (paper Figure 4) with the Section 9 optimizations.
 
-use algebra::{AggExpr, AggFunc, Expr, Plan, SnapshotNode, SnapshotPlan};
+use algebra::{AggExpr, AggFunc, Expr, JoinAlgo, Plan, SnapshotNode, SnapshotPlan};
 use sql::BoundStatement;
 use storage::{Catalog, Row, Value};
 use timeline::TimeDomain;
@@ -16,6 +16,11 @@ pub struct RewriteOptions {
     /// snapshot aggregation and bag difference instead of materializing
     /// `N_G` output.
     pub fused_split: bool,
+    /// Physical-choice hint stamped on the interval-overlap joins the
+    /// rewriting produces. [`JoinAlgo::Auto`] (the default) lets the engine
+    /// pick the indexed sweep when table indexes are available; pinning a
+    /// variant is how the harness compares join routes.
+    pub temporal_join_algo: JoinAlgo,
 }
 
 impl Default for RewriteOptions {
@@ -23,6 +28,7 @@ impl Default for RewriteOptions {
         RewriteOptions {
             final_coalesce_only: true,
             fused_split: true,
+            temporal_join_algo: JoinAlgo::Auto,
         }
     }
 }
@@ -86,6 +92,110 @@ impl SnapshotCompiler {
         }
     }
 
+    /// Compiles a snapshot plan into a *point-in-time* plan: the snapshot of
+    /// the query result at time `at`, as a plain (non-temporal) relation.
+    ///
+    /// Because the timeslice is a semiring homomorphism it commutes with
+    /// every snapshot operator (Theorem 6.3), so instead of evaluating the
+    /// full temporal query and slicing the result, the timeslice is pushed
+    /// to the leaves: each base-table access becomes
+    /// `Timeslice(Scan)` — which the engine answers with an `O(log n + k)`
+    /// interval-tree stab when the table is indexed — and the query above it
+    /// runs as an ordinary non-temporal plan.
+    pub fn compile_timeslice(
+        &self,
+        plan: &SnapshotPlan,
+        catalog: &Catalog,
+        at: i64,
+    ) -> Result<Plan, String> {
+        match &plan.node {
+            SnapshotNode::Access {
+                table,
+                data_cols,
+                period,
+            } => {
+                let stored = catalog.require(table)?;
+                let scan = Plan::scan(table.clone(), stored.schema().clone());
+                let n = stored.schema().arity();
+                let trailing_period = *period == (n.saturating_sub(2), n.saturating_sub(1));
+                // Keep the timeslice directly over the scan when the stored
+                // period already sits in the trailing columns (the indexed
+                // fast path); otherwise reshape to period-last first.
+                let sliced = if trailing_period {
+                    scan.timeslice(at)
+                } else {
+                    let mut exprs: Vec<Expr> = (0..n)
+                        .filter(|i| *i != period.0 && *i != period.1)
+                        .map(Expr::Col)
+                        .collect();
+                    exprs.push(Expr::Col(period.0));
+                    exprs.push(Expr::Col(period.1));
+                    let names: Vec<String> = (0..exprs.len()).map(|i| format!("__c{i}")).collect();
+                    scan.project(exprs, names)?.timeslice(at)
+                };
+                // Project to the visible data columns, in `data_cols` order.
+                let mut exprs = Vec::with_capacity(data_cols.len());
+                if trailing_period {
+                    exprs.extend(data_cols.iter().map(|&i| Expr::Col(i)));
+                } else {
+                    // After the reshape, data columns are the stored order
+                    // with the period columns removed.
+                    let kept: Vec<usize> = (0..n)
+                        .filter(|i| *i != period.0 && *i != period.1)
+                        .collect();
+                    for &want in data_cols {
+                        let pos = kept
+                            .iter()
+                            .position(|&k| k == want)
+                            .ok_or_else(|| format!("data column {want} is a period column"))?;
+                        exprs.push(Expr::Col(pos));
+                    }
+                }
+                let names: Vec<String> = plan
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                sliced.project(exprs, names)
+            }
+            SnapshotNode::Filter { input, predicate } => Ok(self
+                .compile_timeslice(input, catalog, at)?
+                .filter(predicate.clone())),
+            SnapshotNode::Project { input, exprs } => {
+                let names: Vec<String> = plan
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                self.compile_timeslice(input, catalog, at)?
+                    .project(exprs.clone(), names)
+            }
+            SnapshotNode::Join {
+                left,
+                right,
+                condition,
+            } => Ok(self.compile_timeslice(left, catalog, at)?.join(
+                self.compile_timeslice(right, catalog, at)?,
+                condition.clone(),
+            )),
+            SnapshotNode::Union { left, right } => self
+                .compile_timeslice(left, catalog, at)?
+                .union(self.compile_timeslice(right, catalog, at)?),
+            SnapshotNode::ExceptAll { left, right } => self
+                .compile_timeslice(left, catalog, at)?
+                .except_all(self.compile_timeslice(right, catalog, at)?),
+            SnapshotNode::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => self
+                .compile_timeslice(input, catalog, at)?
+                .aggregate(group_cols.clone(), aggs.clone()),
+        }
+    }
+
     fn maybe_c(&self, plan: Plan) -> Plan {
         if self.options.final_coalesce_only {
             plan
@@ -103,6 +213,15 @@ impl SnapshotCompiler {
             } => {
                 let stored = catalog.require(table)?;
                 let scan = Plan::scan(table.clone(), stored.schema().clone());
+                let n = stored.schema().arity();
+                // Identity access (data columns in stored order, period
+                // already trailing): keep the bare scan. Besides skipping a
+                // full-copy projection, this is what lets the engine see
+                // indexed base tables underneath temporal joins, timeslices,
+                // and coalescing (`indexed_scan` matches `Scan` leaves only).
+                if *period == (n - 2, n - 1) && data_cols.iter().copied().eq(0..n - 2) {
+                    return Ok(scan);
+                }
                 let mut exprs: Vec<Expr> = data_cols.iter().map(|&i| Expr::Col(i)).collect();
                 exprs.push(Expr::Col(period.0));
                 exprs.push(Expr::Col(period.1));
@@ -155,7 +274,7 @@ impl SnapshotCompiler {
                 let full = shifted
                     .and(Expr::Col(lts).lt(Expr::Col(rte)))
                     .and(Expr::Col(rts).lt(Expr::Col(lte)));
-                let joined = l.join(r, full);
+                let joined = l.join_with(r, full, self.options.temporal_join_algo);
                 // Π over data columns plus the intersected period:
                 // [max(lts, rts), min(lte, rte)).
                 let mut exprs: Vec<Expr> = (0..ld).map(Expr::Col).collect();
@@ -409,22 +528,13 @@ mod tests {
         );
         assert_eq!(
             out.rows(),
-            &[
-                row!["NS", 3, 8],
-                row!["SP", 6, 8],
-                row!["SP", 10, 12],
-            ]
+            &[row!["NS", 3, 8], row!["SP", 6, 8], row!["SP", 10, 12],]
         );
     }
 
     #[test]
     fn all_option_combinations_agree() {
-        let combos = [
-            (true, true),
-            (true, false),
-            (false, true),
-            (false, false),
-        ];
+        let combos = [(true, true), (true, false), (false, true), (false, false)];
         let queries = [
             "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
             "SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)",
@@ -440,6 +550,7 @@ mod tests {
                     RewriteOptions {
                         final_coalesce_only: fc,
                         fused_split: fs,
+                        ..RewriteOptions::default()
                     },
                 );
                 assert_eq!(
@@ -481,9 +592,8 @@ mod tests {
     #[test]
     fn rewritten_plan_contains_expected_operators() {
         let c = catalog();
-        let stmt =
-            parse_statement("SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')")
-                .unwrap();
+        let stmt = parse_statement("SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')")
+            .unwrap();
         let bound = bind_statement(&stmt, &c).unwrap();
         let plan = SnapshotCompiler::new(TimeDomain::new(0, 24))
             .compile_statement(&bound, &c)
@@ -504,16 +614,14 @@ mod tests {
     #[test]
     fn naive_options_insert_per_operator_coalesce() {
         let c = catalog();
-        let stmt = parse_statement(
-            "SEQ VT (SELECT skill FROM works WHERE skill = 'SP')",
-        )
-        .unwrap();
+        let stmt = parse_statement("SEQ VT (SELECT skill FROM works WHERE skill = 'SP')").unwrap();
         let bound = bind_statement(&stmt, &c).unwrap();
         let plan = SnapshotCompiler::with_options(
             TimeDomain::new(0, 24),
             RewriteOptions {
                 final_coalesce_only: false,
                 fused_split: false,
+                ..RewriteOptions::default()
             },
         )
         .compile_statement(&bound, &c)

@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn alternatives_are_preserved() {
         // (t1 joins t3) union (t2 joins t3): two alternative witnesses.
-        let q = Why::of(1).times(&Why::of(3)).plus(&Why::of(2).times(&Why::of(3)));
+        let q = Why::of(1)
+            .times(&Why::of(3))
+            .plus(&Why::of(2).times(&Why::of(3)));
         assert_eq!(q, Why::from_witnesses([vec![1, 3], vec![2, 3]]));
         assert_eq!(q.witness_count(), 2);
     }

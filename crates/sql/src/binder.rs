@@ -235,7 +235,11 @@ fn bind_plain_select(sel: &SelectStmt, bound: Bound) -> Result<Bound, String> {
     Ok(Bound { qb, visible })
 }
 
-fn bind_aggregate_select(sel: &SelectStmt, bound: Bound, _catalog: &Catalog) -> Result<Bound, String> {
+fn bind_aggregate_select(
+    sel: &SelectStmt,
+    bound: Bound,
+    _catalog: &Catalog,
+) -> Result<Bound, String> {
     // GROUP BY: bare columns only (pre-project for anything else).
     let mut group_cols = Vec::new();
     for g in &sel.group_by {
@@ -316,9 +320,7 @@ fn bind_from_item(item: &FromItem, catalog: &Catalog, mode: Mode) -> Result<Boun
                             if table.schema().column(b).ty != SqlType::Int
                                 || table.schema().column(e).ty != SqlType::Int
                             {
-                                return Err(format!(
-                                    "period attributes of '{name}' must be INT"
-                                ));
+                                return Err(format!("period attributes of '{name}' must be INT"));
                             }
                             (b, e)
                         }
@@ -421,8 +423,8 @@ fn bind_expr(ast: &AstExpr, schema: &Schema) -> Result<Expr, String> {
             let e = bind_expr(expr, schema)?;
             let lo = bind_expr(low, schema)?;
             let hi = bind_expr(high, schema)?;
-            let in_range = Expr::binary(BinOp::Geq, e.clone(), lo)
-                .and(Expr::binary(BinOp::Leq, e, hi));
+            let in_range =
+                Expr::binary(BinOp::Geq, e.clone(), lo).and(Expr::binary(BinOp::Leq, e, hi));
             Ok(if *negated {
                 Expr::Not(Box::new(in_range))
             } else {
@@ -524,9 +526,7 @@ fn bind_post_agg(
         AstExpr::Column { table, name } => {
             let i = input.resolve(table.as_deref(), name)?;
             let pos = group_cols.iter().position(|&g| g == i).ok_or_else(|| {
-                format!(
-                    "column {name} must appear in GROUP BY or be used in an aggregate"
-                )
+                format!("column {name} must appear in GROUP BY or be used in an aggregate")
             })?;
             Ok(Expr::Col(pos))
         }
@@ -558,9 +558,7 @@ fn bind_post_agg(
                 .collect::<Result<_, String>>()?,
             else_expr: else_expr
                 .as_ref()
-                .map(|e| {
-                    Ok::<_, String>(Box::new(bind_post_agg(e, input, group_cols, aggs)?))
-                })
+                .map(|e| Ok::<_, String>(Box::new(bind_post_agg(e, input, group_cols, aggs)?)))
                 .transpose()?,
         }),
         AstExpr::Like {
@@ -612,9 +610,9 @@ fn contains_aggregate(ast: &AstExpr) -> bool {
                 || else_expr.as_deref().is_some_and(contains_aggregate)
         }
         AstExpr::Like { expr, .. } => contains_aggregate(expr),
-        AstExpr::Between { expr, low, high, .. } => {
-            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
-        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
         AstExpr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
@@ -716,10 +714,7 @@ mod tests {
 
     #[test]
     fn q_onduty_binds() {
-        let b = bind(
-            "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
-        )
-        .unwrap();
+        let b = bind("SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')").unwrap();
         let BoundStatement::Snapshot { plan, .. } = b else {
             panic!()
         };
@@ -729,10 +724,8 @@ mod tests {
 
     #[test]
     fn q_skillreq_binds() {
-        let b = bind(
-            "SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)",
-        )
-        .unwrap();
+        let b =
+            bind("SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)").unwrap();
         assert!(matches!(b, BoundStatement::Snapshot { .. }));
     }
 
@@ -784,10 +777,7 @@ mod tests {
     #[test]
     fn missing_period_reported() {
         let mut c = catalog();
-        c.register(
-            "noperiod",
-            Table::new(Schema::of(&[("x", SqlType::Int)])),
-        );
+        c.register("noperiod", Table::new(Schema::of(&[("x", SqlType::Int)])));
         let stmt = parse_statement("SEQ VT (SELECT x FROM noperiod)").unwrap();
         let err = bind_statement(&stmt, &c).unwrap_err();
         assert!(err.contains("without a period"));
@@ -801,17 +791,13 @@ mod tests {
 
     #[test]
     fn ambiguous_columns_detected() {
-        let err =
-            bind("SELECT skill FROM works w JOIN assign a ON w.skill = a.skill").unwrap_err();
+        let err = bind("SELECT skill FROM works w JOIN assign a ON w.skill = a.skill").unwrap_err();
         assert!(err.contains("ambiguous"));
     }
 
     #[test]
     fn subquery_alias_requalifies() {
-        let b = bind(
-            "SELECT s.n FROM (SELECT name AS n FROM works) s WHERE s.n <> 'Joe'",
-        )
-        .unwrap();
+        let b = bind("SELECT s.n FROM (SELECT name AS n FROM works) s WHERE s.n <> 'Joe'").unwrap();
         assert!(matches!(b, BoundStatement::Query(_)));
     }
 

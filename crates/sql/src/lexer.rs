@@ -127,22 +127,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 out.push(Token::Symbol(Sym::Neq));
                 i += 2;
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('=') => {
-                        out.push(Token::Symbol(Sym::Leq));
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token::Symbol(Sym::Neq));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Symbol(Sym::Leq));
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token::Symbol(Sym::Neq));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     out.push(Token::Symbol(Sym::Geq));
@@ -195,11 +193,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 let text: String = chars[start..i].iter().collect();
                 if saw_dot {
                     out.push(Token::Double(
-                        text.parse().map_err(|e| format!("bad number '{text}': {e}"))?,
+                        text.parse()
+                            .map_err(|e| format!("bad number '{text}': {e}"))?,
                     ));
                 } else {
                     out.push(Token::Int(
-                        text.parse().map_err(|e| format!("bad number '{text}': {e}"))?,
+                        text.parse()
+                            .map_err(|e| format!("bad number '{text}': {e}"))?,
                     ));
                 }
             }

@@ -182,9 +182,9 @@ impl Parser {
             }
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+        let alias = if self.eat_keyword("as")
+            || matches!(self.peek(), Token::Ident(s) if !is_reserved(s))
+        {
             Some(self.expect_ident()?)
         } else {
             None
@@ -236,9 +236,9 @@ impl Parser {
         } else {
             None
         };
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+        let alias = if self.eat_keyword("as")
+            || matches!(self.peek(), Token::Ident(s) if !is_reserved(s))
+        {
             Some(self.expect_ident()?)
         } else {
             None

@@ -88,10 +88,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn of(cols: &[(&str, SqlType)]) -> Self {
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
+            columns: cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
         }
     }
 

@@ -2,16 +2,42 @@
 
 use crate::{Row, Schema, SqlType, Value};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use timeline::Interval;
+
+/// Process-wide version epoch source: every table construction and every
+/// mutation draws a fresh, never-repeated value. Uniqueness (rather than a
+/// per-instance counter) is what makes version comparison a sound staleness
+/// check even when a catalog entry is *replaced* by a different table, or
+/// when two clones of one table diverge independently.
+static VERSION_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSION_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A stored relation: a schema, a multiset of rows (duplicates are separate
 /// rows, as in SQL), and an optional *period specification* naming the two
 /// integer columns that hold each tuple's validity interval `[begin, end)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every construction and mutation stamps the table with a fresh, globally
+/// unique [`Table::version`] epoch — the maintenance hook the `index` crate
+/// uses to detect stale table indexes without storing back-pointers in the
+/// storage layer.
+#[derive(Debug, Clone, Eq)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
     period: Option<(usize, usize)>,
+    version: u64,
+}
+
+// Equality ignores the version counter: two tables with the same schema,
+// rows, and period are the same relation regardless of mutation history.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows && self.period == other.period
+    }
 }
 
 impl Table {
@@ -21,6 +47,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             period: None,
+            version: next_version(),
         }
     }
 
@@ -43,6 +70,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             period: Some((begin, end)),
+            version: next_version(),
         }
     }
 
@@ -59,6 +87,17 @@ impl Table {
     /// The period column indices, when this is a period table.
     pub fn period(&self) -> Option<(usize, usize)> {
         self.period
+    }
+
+    /// The version epoch: refreshed to a globally unique value by every
+    /// content change ([`Table::push`], [`Table::extend`],
+    /// [`Table::canonicalize`]). Index structures record the version they
+    /// were built at and treat any mismatch as stale; uniqueness across
+    /// tables means a replaced catalog entry can never masquerade as the
+    /// indexed one. Clones share the epoch until either side mutates (a
+    /// clone has identical content, so sharing is sound).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of rows.
@@ -92,6 +131,7 @@ impl Table {
             );
         }
         self.rows.push(row);
+        self.version = next_version();
     }
 
     /// Bulk-extends the table.
@@ -115,6 +155,7 @@ impl Table {
     /// implementation layer.
     pub fn canonicalize(&mut self) {
         self.rows.sort_unstable();
+        self.version = next_version();
     }
 
     /// A canonically sorted copy.
@@ -237,6 +278,33 @@ mod tests {
     #[should_panic(expected = "must be INT")]
     fn period_column_type_checked() {
         let _ = Table::with_period(works_schema(), 0, 3);
+    }
+
+    #[test]
+    fn versions_are_globally_unique_epochs() {
+        // Two tables built with identical push sequences must not share a
+        // version: a catalog entry replaced by a look-alike table has to
+        // read as stale to any index built on the original.
+        let build = || {
+            let mut t = Table::with_period(works_schema(), 2, 3);
+            t.push(row!["Ann", "SP", 3, 10]);
+            t
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b, "content-equal (version ignored by Eq)");
+        assert_ne!(a.version(), b.version(), "but version epochs differ");
+
+        // Divergent clones also end on different epochs.
+        let (mut c1, mut c2) = (a.clone(), a.clone());
+        assert_eq!(c1.version(), c2.version(), "unchanged clones share");
+        c1.push(row!["Joe", "NS", 8, 16]);
+        c2.push(row!["Sam", "SP", 8, 16]);
+        assert_ne!(c1.version(), c2.version());
+
+        // Every mutation refreshes the epoch.
+        let before = c1.version();
+        c1.canonicalize();
+        assert_ne!(before, c1.version());
     }
 
     #[test]

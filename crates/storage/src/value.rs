@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn double_total_order_handles_nan() {
-        let mut vs = vec![Value::Double(f64::NAN), Value::Double(1.0)];
+        let mut vs = [Value::Double(f64::NAN), Value::Double(1.0)];
         vs.sort();
         assert_eq!(vs[0], Value::Double(1.0));
     }

@@ -142,10 +142,19 @@ mod tests {
     #[test]
     fn domain_clamp() {
         let d = TimeDomain::new(0, 10);
-        assert_eq!(d.clamp_interval(Interval::new(-5, 5)), Some(Interval::new(0, 5)));
-        assert_eq!(d.clamp_interval(Interval::new(8, 20)), Some(Interval::new(8, 10)));
+        assert_eq!(
+            d.clamp_interval(Interval::new(-5, 5)),
+            Some(Interval::new(0, 5))
+        );
+        assert_eq!(
+            d.clamp_interval(Interval::new(8, 20)),
+            Some(Interval::new(8, 10))
+        );
         assert_eq!(d.clamp_interval(Interval::new(12, 20)), None);
-        assert_eq!(d.clamp_interval(Interval::new(0, 10)), Some(Interval::new(0, 10)));
+        assert_eq!(
+            d.clamp_interval(Interval::new(0, 10)),
+            Some(Interval::new(0, 10))
+        );
     }
 
     #[test]

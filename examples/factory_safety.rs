@@ -79,8 +79,7 @@ fn main() -> Result<(), String> {
     );
 
     // --- Q_skillreq: missing skills per moment (Figure 1c) --------------
-    let q_skillreq =
-        "SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)";
+    let q_skillreq = "SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)";
     let stmt = parse_statement(q_skillreq)?;
     let bound = bind_statement(&stmt, &catalog)?;
     let plan = compiler.compile_statement(&bound, &catalog)?;

@@ -20,7 +20,7 @@ fn main() -> Result<(), String> {
 
     let compiler = SnapshotCompiler::new(domain);
     let engine = Engine::new();
-    let mut run = |title: &str, sql: &str, preview: usize| -> Result<(), String> {
+    let run = |title: &str, sql: &str, preview: usize| -> Result<(), String> {
         let stmt = parse_statement(sql)?;
         let bound = bind_statement(&stmt, &catalog)?;
         let plan = compiler.compile_statement(&bound, &catalog)?;

@@ -57,6 +57,7 @@ fn main() -> Result<(), String> {
             RewriteOptions {
                 final_coalesce_only: false,
                 fused_split: false,
+                ..RewriteOptions::default()
             },
         )
         .compile_statement(&bound, &catalog)?;

@@ -10,6 +10,8 @@
 //! * [`snapshot_core`] — temporal K-elements, K-coalescing, period semirings,
 //!   snapshot/period K-relations (the paper's abstract + logical models),
 //! * [`storage`] — values, rows, schemas, period relations, catalog,
+//! * [`index`] — sweep-line interval indexes (endpoint event lists,
+//!   interval trees, coalescing accelerators) over stored period tables,
 //! * [`algebra`] — logical plans and scalar expressions,
 //! * [`engine`] — the embedded multiset execution engine,
 //! * [`sql`] — the SQL dialect with `SEQ VT (...)` snapshot blocks,
@@ -22,6 +24,7 @@ pub use algebra;
 pub use baseline;
 pub use datagen;
 pub use engine;
+pub use index;
 pub use rewrite;
 pub use semiring;
 pub use snapshot_core;

@@ -45,7 +45,7 @@ fn krel_multiset<T: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug>(
     rel: &KRelation<T, Natural>,
     to_row: impl Fn(&T) -> Row,
 ) -> Vec<Row> {
-    let mut rows: Vec<Row> = rel.expand().iter().map(|t| to_row(t)).collect();
+    let mut rows: Vec<Row> = rel.expand().iter().map(to_row).collect();
     rows.sort_unstable();
     rows
 }

@@ -73,6 +73,7 @@ fn middleware_matches_oracle_on_random_databases() {
                             RewriteOptions {
                                 final_coalesce_only: fc,
                                 fused_split: fs,
+                                ..RewriteOptions::default()
                             },
                         );
                         let compiled = compiler.compile_statement(&bound, &catalog).unwrap();
@@ -127,13 +128,9 @@ fn baselines_safe_on_ra_plus_buggy_beyond() {
                 .unwrap();
             for kind in [BaselineKind::Alignment, BaselineKind::IntervalPreservation] {
                 let out = NativeEvaluator::new(kind).eval(plan, &catalog).unwrap();
-                let clean = bugs::diff_against_oracle(
-                    out.rows(),
-                    &oracle,
-                    out.schema().arity(),
-                    domain,
-                )
-                .is_clean();
+                let clean =
+                    bugs::diff_against_oracle(out.rows(), &oracle, out.schema().arity(), domain)
+                        .is_clean();
                 if qi < ra_plus.len() {
                     assert!(
                         clean,

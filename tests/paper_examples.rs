@@ -137,10 +137,8 @@ fn example_5_3_figure_3() {
         t30k.entries(),
         &[(iv(3, 10), Natural(2)), (iv(10, 13), Natural(1))]
     );
-    let t30k_b = TemporalElement::from_pairs([
-        (iv(3, 10), Boolean(true)),
-        (iv(3, 13), Boolean(true)),
-    ]);
+    let t30k_b =
+        TemporalElement::from_pairs([(iv(3, 10), Boolean(true)), (iv(3, 13), Boolean(true))]);
     assert_eq!(t30k_b.entries(), &[(iv(3, 13), Boolean(true))]);
 }
 
@@ -163,8 +161,7 @@ fn example_6_1_period_sum() {
 /// The Section 7.1 worked monus computation for Q_skillreq's SP tuple.
 #[test]
 fn section_7_1_monus_computation() {
-    let assign_sp =
-        TemporalElement::from_pairs([(iv(3, 12), Natural(1)), (iv(6, 14), Natural(1))]);
+    let assign_sp = TemporalElement::from_pairs([(iv(3, 12), Natural(1)), (iv(6, 14), Natural(1))]);
     assert_eq!(
         assign_sp.entries(),
         &[

@@ -47,10 +47,7 @@ fn why_provenance_keeps_alternatives_apart() {
     let sp = works.project(|t| t.1).annotation(&"SP");
     // During the overlap there are two independent witnesses, not one
     // merged set — that is the Why vs Lineage distinction.
-    assert_eq!(
-        sp.at(TimePoint::new(9)).unwrap().witness_count(),
-        2
-    );
+    assert_eq!(sp.at(TimePoint::new(9)).unwrap().witness_count(), 2);
     assert_eq!(sp.at(TimePoint::new(4)).unwrap().witness_count(), 1);
 }
 

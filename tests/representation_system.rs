@@ -94,8 +94,7 @@ fn rewr_commutes_with_logical_model() {
             domain,
             "SEQ VT (SELECT r.i0, s.i0 FROM r JOIN s ON r.s0 = s.s0)",
             r.join(&s, |a, b| {
-                (a.get(1) == b.get(1))
-                    .then(|| Row::new(vec![a.get(0).clone(), b.get(0).clone()]))
+                (a.get(1) == b.get(1)).then(|| Row::new(vec![a.get(0).clone(), b.get(0).clone()]))
             }),
         );
         // grouped count
@@ -152,8 +151,11 @@ fn full_stack_snapshot_reducibility() {
         .compile_statement(&bound, &catalog)
         .unwrap();
     let table = Engine::new().execute(&compiled, &catalog).unwrap();
-    let via_engine =
-        snapshot_semantics::rewrite::periodenc::decode_rows(table.rows(), table.schema().arity(), domain);
+    let via_engine = snapshot_semantics::rewrite::periodenc::decode_rows(
+        table.rows(),
+        table.schema().arity(),
+        domain,
+    );
 
     // Via the point-wise oracle (abstract model).
     let via_oracle = PointwiseOracle::new(domain).eval(plan, &catalog).unwrap();

@@ -38,27 +38,20 @@ fn plain_queries_see_period_columns_as_data() {
     let rows = run("SELECT name, te - ts AS hours FROM works WHERE skill = 'SP'").unwrap();
     let mut sorted = rows;
     sorted.sort_unstable();
-    assert_eq!(
-        sorted,
-        vec![row!["Ann", 2], row!["Ann", 7], row!["Sam", 8]]
-    );
+    assert_eq!(sorted, vec![row!["Ann", 2], row!["Ann", 7], row!["Sam", 8]]);
 }
 
 #[test]
 fn plain_aggregation_and_order_by() {
-    let rows = run(
-        "SELECT skill, count(*) AS c FROM works GROUP BY skill ORDER BY c DESC",
-    )
-    .unwrap();
+    let rows =
+        run("SELECT skill, count(*) AS c FROM works GROUP BY skill ORDER BY c DESC").unwrap();
     assert_eq!(rows, vec![row!["SP", 3], row!["NS", 1]]);
 }
 
 #[test]
 fn snapshot_query_with_outer_order_by() {
-    let rows = run(
-        "SEQ VT (SELECT skill, count(*) AS c FROM works GROUP BY skill) ORDER BY skill",
-    )
-    .unwrap();
+    let rows = run("SEQ VT (SELECT skill, count(*) AS c FROM works GROUP BY skill) ORDER BY skill")
+        .unwrap();
     // NS rows sort before SP rows; periods trail each data row.
     assert!(!rows.is_empty());
     let first_sp = rows.iter().position(|r| r.get(0) == &"SP".into()).unwrap();
@@ -75,12 +68,20 @@ fn order_by_inside_seq_vt_is_rejected() {
 
 #[test]
 fn helpful_binder_errors() {
-    assert!(run("SELECT nope FROM works").unwrap_err().contains("unknown column"));
-    assert!(run("SELECT * FROM nope").unwrap_err().contains("unknown table"));
-    assert!(run("SELECT name FROM works WHERE name").unwrap_err().contains("boolean"));
-    assert!(run("SEQ VT (SELECT skill FROM works) UNION ALL SELECT skill FROM works")
+    assert!(run("SELECT nope FROM works")
         .unwrap_err()
-        .contains("top level"));
+        .contains("unknown column"));
+    assert!(run("SELECT * FROM nope")
+        .unwrap_err()
+        .contains("unknown table"));
+    assert!(run("SELECT name FROM works WHERE name")
+        .unwrap_err()
+        .contains("boolean"));
+    assert!(
+        run("SEQ VT (SELECT skill FROM works) UNION ALL SELECT skill FROM works")
+            .unwrap_err()
+            .contains("top level")
+    );
 }
 
 #[test]
@@ -102,10 +103,8 @@ fn string_escapes_and_case_expressions() {
 
 #[test]
 fn seq_vt_of_set_operations_binds_whole_tree() {
-    let rows = run(
-        "SEQ VT (SELECT skill FROM works WHERE name = 'Ann' \
-         UNION ALL SELECT skill FROM works WHERE name = 'Sam')",
-    )
+    let rows = run("SEQ VT (SELECT skill FROM works WHERE name = 'Ann' \
+         UNION ALL SELECT skill FROM works WHERE name = 'Sam')")
     .unwrap();
     // Ann SP [3,10)+[18,20), Sam SP [8,16) — summed and coalesced.
     let mut sorted = rows;

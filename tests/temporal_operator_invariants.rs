@@ -14,9 +14,8 @@ const HORIZON: i64 = 40;
 
 fn arb_period_rows() -> impl Strategy<Value = Vec<Row>> {
     proptest::collection::vec(
-        (0i64..3, 0i64..HORIZON - 1, 1i64..10).prop_map(|(v, b, len)| {
-            row![v, b, (b + len).min(HORIZON)]
-        }),
+        (0i64..3, 0i64..HORIZON - 1, 1i64..10)
+            .prop_map(|(v, b, len)| row![v, b, (b + len).min(HORIZON)]),
         0..20,
     )
 }

@@ -42,12 +42,13 @@ fn employee_workload_options_agree() {
             JoinStrategy::Hash,
             RewriteOptions::default(),
         );
-        assert!(reference.len() > 0, "{name} returned nothing");
+        assert!(!reference.is_empty(), "{name} returned nothing");
         for strategy in [JoinStrategy::Hash, JoinStrategy::MergeInterval] {
             for fused in [true, false] {
                 let options = RewriteOptions {
                     final_coalesce_only: true,
                     fused_split: fused,
+                    ..RewriteOptions::default()
                 };
                 let out = run(sql, &catalog, domain, strategy, options);
                 assert_eq!(
