@@ -137,6 +137,20 @@ pub enum PlanNode {
         /// Physical-choice hint (index-aware when [`TimesliceAlgo::Auto`]).
         algo: TimesliceAlgo,
     },
+    /// Time-range selection (period-last convention): keeps every row whose
+    /// validity interval overlaps the half-open window `[begin, end)`. The
+    /// schema is unchanged; clipping the survivors' periods to the window
+    /// (a projection above) yields the range-restricted encoding. Indexed
+    /// scans answer this with an `O(log n + k)` interval-tree overlap
+    /// probe.
+    TimeRange {
+        /// Input plan (period-last convention).
+        input: Box<Plan>,
+        /// The half-open query window `[begin, end)`.
+        range: (i64, i64),
+        /// Physical-choice hint (index-aware when [`TimesliceAlgo::Auto`]).
+        algo: TimesliceAlgo,
+    },
     /// The split operator `N_G(left, right)` (Def. 8.3): refines the
     /// intervals of `left` rows at all endpoints of `left ∪ right` rows in
     /// the same group. Output schema = left schema.
@@ -372,6 +386,30 @@ impl Plan {
         }
     }
 
+    /// Time-range selection over `[begin, end)` (period-last convention).
+    /// The engine picks the physical route ([`TimesliceAlgo::Auto`]).
+    ///
+    /// # Panics
+    /// Panics when the window is empty (`begin >= end`).
+    pub fn time_range(self, begin: i64, end: i64) -> Plan {
+        self.time_range_with(begin, end, TimesliceAlgo::Auto)
+    }
+
+    /// Time-range selection with an explicit physical-choice hint.
+    pub fn time_range_with(self, begin: i64, end: i64, algo: TimesliceAlgo) -> Plan {
+        assert_period_last(&self.schema);
+        assert!(begin < end, "empty time range [{begin}, {end})");
+        let schema = self.schema.clone();
+        Plan {
+            node: PlanNode::TimeRange {
+                input: Box::new(self),
+                range: (begin, end),
+                algo,
+            },
+            schema,
+        }
+    }
+
     /// The split operator `N_G`.
     pub fn split(self, right: Plan, group_cols: Vec<usize>) -> Result<Plan, String> {
         assert_period_last(&self.schema);
@@ -432,6 +470,41 @@ impl Plan {
         })
     }
 
+    /// Names of every catalog table this plan scans, sorted and
+    /// deduplicated — what the session layer refreshes indexes for before
+    /// executing.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_tables(&mut names);
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match &self.node {
+            PlanNode::Scan { table } => out.push(table.clone()),
+            PlanNode::Values { .. } => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Coalesce { input }
+            | PlanNode::Timeslice { input, .. }
+            | PlanNode::TimeRange { input, .. }
+            | PlanNode::TemporalAggregate { input, .. } => input.collect_tables(out),
+            PlanNode::Join { left, right, .. }
+            | PlanNode::Union { left, right }
+            | PlanNode::ExceptAll { left, right }
+            | PlanNode::Split { left, right, .. }
+            | PlanNode::TemporalExceptAll { left, right } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
     /// Renders the plan as an indented tree (EXPLAIN-style).
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -487,6 +560,13 @@ impl Plan {
                     format!("Timeslice[{algo:?}] at {at}")
                 }
             }
+            PlanNode::TimeRange { range, algo, .. } => {
+                if *algo == TimesliceAlgo::Auto {
+                    format!("TimeRange [{}, {})", range.0, range.1)
+                } else {
+                    format!("TimeRange[{algo:?}] [{}, {})", range.0, range.1)
+                }
+            }
             PlanNode::Split { group_cols, .. } => {
                 let gs: Vec<String> = group_cols.iter().map(|g| format!("#{g}")).collect();
                 format!("Split N_G group=[{}]", gs.join(","))
@@ -520,6 +600,7 @@ impl Plan {
             | PlanNode::Sort { input, .. }
             | PlanNode::Coalesce { input }
             | PlanNode::Timeslice { input, .. }
+            | PlanNode::TimeRange { input, .. }
             | PlanNode::TemporalAggregate { input, .. } => input.explain_into(out, depth + 1),
             PlanNode::Join { left, right, .. }
             | PlanNode::Union { left, right }
@@ -659,5 +740,25 @@ mod tests {
         assert!(text.contains("Coalesce"));
         assert!(text.contains("Filter"));
         assert!(text.contains("Scan works"));
+    }
+
+    #[test]
+    fn time_range_schema_and_explain() {
+        let p = Plan::scan("works", works_schema()).time_range(3, 9);
+        assert_eq!(p.schema.arity(), 4);
+        assert!(p.explain().contains("TimeRange [3, 9)"));
+        assert!(
+            std::panic::catch_unwind(|| Plan::scan("works", works_schema()).time_range(9, 9))
+                .is_err(),
+            "empty windows are rejected"
+        );
+    }
+
+    #[test]
+    fn referenced_tables_deduplicated() {
+        let p = Plan::scan("a", works_schema())
+            .join(Plan::scan("b", works_schema()), Expr::lit(true))
+            .join(Plan::scan("a", works_schema()), Expr::lit(true));
+        assert_eq!(p.referenced_tables(), vec!["a", "b"]);
     }
 }

@@ -264,6 +264,31 @@ impl Engine {
                         .collect()
                 }
             }
+            PlanNode::TimeRange { input, range, algo } => {
+                // Indexed route: interval-tree overlap probing on a scanned
+                // table whose period sits in the trailing two columns.
+                let (b, e) = *range;
+                let indexed = (*algo != TimesliceAlgo::Linear)
+                    .then(|| indexed_scan(input, catalog, indexes))
+                    .transpose()?
+                    .flatten()
+                    .filter(|(idx, _)| {
+                        let n = input.schema.arity();
+                        n >= 2 && idx.period() == (n - 2, n - 1)
+                    });
+                if let Some((idx, table)) = indexed {
+                    let rows = idx.overlapping_rows(table, b, e);
+                    stats.record("IndexTimeRange", rows.len());
+                    rows
+                } else {
+                    let input_rows = self.run(input, catalog, indexes, stats)?;
+                    let n = input.schema.arity();
+                    input_rows
+                        .into_iter()
+                        .filter(|r| r.int(n - 2) < e && b < r.int(n - 1))
+                        .collect()
+                }
+            }
             PlanNode::Split {
                 left,
                 right,
@@ -469,6 +494,7 @@ fn op_name(node: &PlanNode) -> &'static str {
         PlanNode::Sort { .. } => "Sort",
         PlanNode::Coalesce { .. } => "Coalesce",
         PlanNode::Timeslice { .. } => "Timeslice",
+        PlanNode::TimeRange { .. } => "TimeRange",
         PlanNode::Split { .. } => "Split",
         PlanNode::TemporalAggregate { .. } => "TemporalAggregate",
         PlanNode::TemporalExceptAll { .. } => "TemporalExceptAll",
@@ -1085,6 +1111,36 @@ mod tests {
             .unwrap();
         assert!(stats.get("IndexTimeslice").is_none());
         assert_eq!(out.len(), 3); // Ann [3,10), Joe [8,16), Sam [8,16)
+    }
+
+    #[test]
+    fn time_range_indexed_and_linear_agree() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        for b in -1..22 {
+            for e in [b + 1, b + 4, b + 12] {
+                let plan = Plan::scan("works", works_schema()).time_range(b, e);
+                let linear = Engine::new()
+                    .execute(
+                        &Plan::scan("works", works_schema()).time_range_with(
+                            b,
+                            e,
+                            algebra::TimesliceAlgo::Linear,
+                        ),
+                        &c,
+                    )
+                    .unwrap();
+                let mut stats = ExecStats::default();
+                let indexed = Engine::new()
+                    .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+                    .unwrap();
+                assert_eq!(linear, indexed, "time range [{b}, {e})");
+                assert!(
+                    stats.get("IndexTimeRange").is_some(),
+                    "indexed overlap probe must be taken"
+                );
+            }
+        }
     }
 
     #[test]

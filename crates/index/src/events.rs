@@ -48,6 +48,40 @@ impl EventList {
         EventList { by_begin, by_end }
     }
 
+    /// The event list for `rows` given that `rows[0..old_len]` is exactly
+    /// the multiset this list was built over, in the same order: the new
+    /// rows' events are sorted (`O(k log k)`) and merged with the existing
+    /// orders (`O(n + k)`), replacing the full `O(n log n)` re-sort of
+    /// [`EventList::build`].
+    ///
+    /// # Panics
+    /// Panics when `old_len` disagrees with the indexed length, the period
+    /// columns are not integers, or the result exceeds `u32::MAX` rows.
+    pub fn extended(&self, rows: &[Row], ts: usize, te: usize, old_len: usize) -> EventList {
+        assert_eq!(old_len, self.len(), "extended from a different prefix");
+        assert!(
+            u32::try_from(rows.len()).is_ok(),
+            "EventList supports at most u32::MAX rows"
+        );
+        let fresh = &rows[old_len..];
+        let mut new_begin: Vec<(i64, u32)> = fresh
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.int(ts), (old_len + i) as u32))
+            .collect();
+        let mut new_end: Vec<(i64, u32)> = fresh
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.int(te), (old_len + i) as u32))
+            .collect();
+        new_begin.sort_unstable();
+        new_end.sort_unstable();
+        EventList {
+            by_begin: merge_sorted(&self.by_begin, &new_begin),
+            by_end: merge_sorted(&self.by_end, &new_end),
+        }
+    }
+
     /// Number of indexed rows.
     pub fn len(&self) -> usize {
         self.by_begin.len()
@@ -72,6 +106,25 @@ impl EventList {
     pub fn begin_order(&self) -> impl Iterator<Item = usize> + '_ {
         self.by_begin.iter().map(|&(_, id)| id as usize)
     }
+}
+
+/// Linear merge of two `(key, id)` lists sorted ascending (ties broken by
+/// id, which the inputs already respect because new ids are larger).
+fn merge_sorted(a: &[(i64, u32)], b: &[(i64, u32)]) -> Vec<(i64, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 #[cfg(test)]
@@ -106,5 +159,19 @@ mod tests {
         let ev = EventList::build(&[], 0, 1);
         assert!(ev.is_empty());
         assert_eq!(ev.begin_order().count(), 0);
+    }
+
+    #[test]
+    fn extended_matches_full_build() {
+        let mut all = rows();
+        let ev_prefix = EventList::build(&all, 1, 2);
+        all.push(row!["e", 1, 20]);
+        all.push(row!["f", 8, 12]);
+        all.push(row!["g", 0, 1]);
+        let merged = ev_prefix.extended(&all, 1, 2, 4);
+        assert_eq!(merged, EventList::build(&all, 1, 2));
+
+        // Extending by nothing is the identity.
+        assert_eq!(ev_prefix.extended(&rows(), 1, 2, 4), ev_prefix);
     }
 }

@@ -23,7 +23,13 @@
 //! the engine falls back to the naive operators whenever an index is
 //! missing or stale, so both routes stay live and comparable (the
 //! differential tests and the `baseline` oracle validate them against each
-//! other).
+//! other). Maintenance is version-driven: [`IndexCatalog::ensure`] repairs
+//! a stale entry by *extending* it when the table's append-checkpoint
+//! history proves only appends happened since the indexed version
+//! ([`TableIndex::extend_appended`] — event lists and coalesce groups
+//! merge in `O(n + k log k)` instead of re-sorting; the static interval
+//! tree is still rebuilt), and by a full rebuild of everything otherwise
+//! (deletes, updates, replaced tables).
 
 pub mod coalesce;
 pub mod events;
@@ -35,4 +41,4 @@ pub use coalesce::CoalesceIndex;
 pub use events::EventList;
 pub use interval_tree::IntervalTree;
 pub use join::{sweep_join, sweep_join_presorted};
-pub use table_index::{IndexCatalog, TableIndex};
+pub use table_index::{IndexCatalog, MaintenanceStats, TableIndex};

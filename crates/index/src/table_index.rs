@@ -46,6 +46,38 @@ impl TableIndex {
         })
     }
 
+    /// Incremental maintenance: the index for `table` given that this index
+    /// covers exactly `table.rows()[0..old_len]` (i.e. only appends happened
+    /// since it was built — the caller establishes this via
+    /// [`Table::appended_since`]). The endpoint event lists and the
+    /// coalescing accelerator *merge* the new rows' events into the existing
+    /// sorted structures instead of re-sorting everything; only the static
+    /// interval tree is rebuilt. Returns `None` when the table's period
+    /// moved or `old_len` is inconsistent — callers then fall back to
+    /// [`TableIndex::build`].
+    pub fn extend_appended(&self, table: &Table, old_len: usize) -> Option<TableIndex> {
+        let (ts, te) = table.period()?;
+        if (ts, te) != self.period || old_len != self.events.len() || old_len > table.len() {
+            return None;
+        }
+        let rows = table.rows();
+        let events = self.events.extended(rows, ts, te, old_len);
+        let intervals: Vec<(i64, i64)> = rows.iter().map(|r| (r.int(ts), r.int(te))).collect();
+        let tree = IntervalTree::build(&intervals);
+        let arity = table.schema().arity();
+        let coalesce = self
+            .coalesce
+            .as_ref()
+            .map(|c| c.merged_with(&rows[old_len..], arity));
+        Some(TableIndex {
+            version: table.version(),
+            period: self.period,
+            events,
+            tree,
+            coalesce,
+        })
+    }
+
     /// Whether the index still matches the table contents (version-based:
     /// every mutation of [`Table`] bumps its version).
     pub fn is_fresh(&self, table: &Table) -> bool {
@@ -88,6 +120,34 @@ impl TableIndex {
             .map(|id| rows[id].clone())
             .collect()
     }
+
+    /// All rows whose validity interval overlaps the half-open query
+    /// `[b, e)`, in table order. `O(log n + k)` via interval-tree overlap
+    /// probing — the physical backbone of range-restricted
+    /// (`SEQ VT BETWEEN`) evaluation.
+    ///
+    /// # Panics
+    /// Panics when the query interval is empty.
+    pub fn overlapping_rows(&self, table: &Table, b: i64, e: i64) -> Vec<Row> {
+        debug_assert!(self.is_fresh(table));
+        let rows = table.rows();
+        self.tree
+            .overlapping(b, e)
+            .into_iter()
+            .map(|id| rows[id].clone())
+            .collect()
+    }
+}
+
+/// Counters describing how [`IndexCatalog::ensure`] repaired stale entries
+/// — the observable split between full rebuilds and the append-only
+/// incremental fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Indexes built from scratch (first build, or structural mutation).
+    pub full_builds: u64,
+    /// Indexes extended in place after pure appends.
+    pub incremental_builds: u64,
 }
 
 /// The namespace of table indexes, mirroring [`storage::Catalog`].
@@ -96,9 +156,18 @@ impl TableIndex {
 /// layer stays index-agnostic); the engine consults it at dispatch time and
 /// silently falls back to the naive operators for unindexed or stale
 /// entries.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct IndexCatalog {
     indexes: std::collections::BTreeMap<String, TableIndex>,
+    maintenance: MaintenanceStats,
+}
+
+// Equality compares the registered indexes only; the maintenance counters
+// are observability, not state.
+impl PartialEq for IndexCatalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.indexes == other.indexes
+    }
 }
 
 impl IndexCatalog {
@@ -129,8 +198,15 @@ impl IndexCatalog {
         self.indexes.get(name).filter(|idx| idx.is_fresh(table))
     }
 
-    /// Index maintenance: rebuilds the entry when missing or stale, then
+    /// Index maintenance: repairs the entry when missing or stale, then
     /// returns it (`None` for non-temporal tables).
+    ///
+    /// When the table's [`Table::appended_since`] history shows that only
+    /// appends happened since the indexed version, the existing index is
+    /// *extended* ([`TableIndex::extend_appended`] — sorted structures
+    /// merge instead of re-sorting); deletes, updates, and replaced tables
+    /// fall back to a full [`TableIndex::build`]. The split is observable
+    /// via [`IndexCatalog::maintenance`].
     pub fn ensure(&mut self, name: &str, table: &Table) -> Option<&TableIndex> {
         let stale = self
             .indexes
@@ -138,8 +214,22 @@ impl IndexCatalog {
             .map(|idx| !idx.is_fresh(table))
             .unwrap_or(true);
         if stale {
-            match TableIndex::build(table) {
+            let incremental = self.indexes.get(name).and_then(|idx| {
+                table
+                    .appended_since(idx.version())
+                    .and_then(|old_len| idx.extend_appended(table, old_len))
+            });
+            let (built, was_incremental) = match incremental {
+                Some(idx) => (Some(idx), true),
+                None => (TableIndex::build(table), false),
+            };
+            match built {
                 Some(idx) => {
+                    if was_incremental {
+                        self.maintenance.incremental_builds += 1;
+                    } else {
+                        self.maintenance.full_builds += 1;
+                    }
                     self.indexes.insert(name.to_string(), idx);
                 }
                 None => {
@@ -148,6 +238,16 @@ impl IndexCatalog {
             }
         }
         self.indexes.get(name)
+    }
+
+    /// Drops the index for `name` (table dropped or replaced).
+    pub fn remove(&mut self, name: &str) -> Option<TableIndex> {
+        self.indexes.remove(name)
+    }
+
+    /// How `ensure` repaired stale entries so far.
+    pub fn maintenance(&self) -> MaintenanceStats {
+        self.maintenance
     }
 
     /// Number of registered indexes.
@@ -244,6 +344,88 @@ mod tests {
         let mut sorted = begins.clone();
         sorted.sort_unstable();
         assert_eq!(begins, sorted);
+    }
+
+    #[test]
+    fn append_only_mutations_take_the_incremental_path() {
+        let mut t = works_table();
+        let mut c = Catalog::new();
+        c.register("works", t.clone());
+        let mut reg = IndexCatalog::build_all(&c);
+        assert_eq!(reg.maintenance(), MaintenanceStats::default());
+
+        // Pure appends: the repaired index must equal a full rebuild, via
+        // the incremental path.
+        t.push(row!["Eve", "SP", 0, 2]);
+        t.extend(vec![row!["Zed", "NS", 1, 3], row!["Pam", "SP", 2, 19]]);
+        let repaired = reg.ensure("works", &t).unwrap().clone();
+        assert_eq!(repaired, TableIndex::build(&t).unwrap());
+        assert_eq!(repaired.version(), t.version());
+        assert_eq!(
+            reg.maintenance(),
+            MaintenanceStats {
+                full_builds: 0,
+                incremental_builds: 1
+            }
+        );
+
+        // The incremental index answers probes exactly like a fresh one.
+        for at in -1..21 {
+            let via_index = repaired.timeslice_rows(&t, at);
+            let via_scan: Vec<Row> = t
+                .rows()
+                .iter()
+                .filter(|r| r.int(2) <= at && at < r.int(3))
+                .cloned()
+                .collect();
+            assert_eq!(via_index, via_scan, "timeslice at {at}");
+        }
+
+        // A structural mutation forces the full rebuild path.
+        t.delete_where(|r| r.int(2) >= 18);
+        reg.ensure("works", &t).unwrap();
+        assert_eq!(
+            reg.maintenance(),
+            MaintenanceStats {
+                full_builds: 1,
+                incremental_builds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn replaced_table_never_takes_the_incremental_path() {
+        // A look-alike table replacing the catalog entry must not be
+        // treated as "the indexed table plus appends".
+        let t = works_table();
+        let mut c = Catalog::new();
+        c.register("works", t.clone());
+        let mut reg = IndexCatalog::build_all(&c);
+
+        let mut replacement = works_table();
+        replacement.push(row!["Eve", "SP", 0, 2]);
+        let repaired = reg.ensure("works", &replacement).unwrap();
+        assert_eq!(repaired.version(), replacement.version());
+        assert_eq!(reg.maintenance().full_builds, 1);
+        assert_eq!(reg.maintenance().incremental_builds, 0);
+    }
+
+    #[test]
+    fn overlapping_rows_matches_scan() {
+        let t = works_table();
+        let idx = TableIndex::build(&t).unwrap();
+        for b in -2..22 {
+            for e in (b + 1)..23 {
+                let via_index = idx.overlapping_rows(&t, b, e);
+                let via_scan: Vec<Row> = t
+                    .rows()
+                    .iter()
+                    .filter(|r| r.int(2) < e && b < r.int(3))
+                    .cloned()
+                    .collect();
+                assert_eq!(via_index, via_scan, "overlap [{b}, {e})");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `REWR` rewriting (paper Figure 4) with the Section 9 optimizations.
 
 use algebra::{AggExpr, AggFunc, Expr, JoinAlgo, Plan, SnapshotNode, SnapshotPlan};
-use sql::BoundStatement;
+use sql::{BoundStatement, SeqWindow};
 use storage::{Catalog, Row, Value};
 use timeline::TimeDomain;
 
@@ -64,7 +64,7 @@ impl SnapshotCompiler {
     /// over the period encoding whose schema is the snapshot plan's data
     /// schema followed by the two period columns.
     pub fn compile(&self, plan: &SnapshotPlan, catalog: &Catalog) -> Result<Plan, String> {
-        let rewritten = self.rewr(plan, catalog)?;
+        let rewritten = self.rewr(plan, catalog, None)?;
         Ok(if self.options.final_coalesce_only {
             rewritten.coalesce()
         } else {
@@ -73,8 +73,10 @@ impl SnapshotCompiler {
     }
 
     /// Convenience: compiles a bound statement — snapshot queries via
-    /// [`SnapshotCompiler::compile`] (plus outer ORDER BY), plain queries
-    /// pass through.
+    /// [`SnapshotCompiler::compile`], [`SnapshotCompiler::compile_timeslice`]
+    /// (`AS OF`), or [`SnapshotCompiler::compile_between`] (`BETWEEN`)
+    /// according to the block's window, plus the outer ORDER BY; plain
+    /// queries pass through.
     pub fn compile_statement(
         &self,
         bound: &BoundStatement,
@@ -82,14 +84,57 @@ impl SnapshotCompiler {
     ) -> Result<Plan, String> {
         match bound {
             BoundStatement::Query(p) => Ok(p.clone()),
-            BoundStatement::Snapshot { plan, order_by } => {
-                let mut p = self.compile(plan, catalog)?;
+            BoundStatement::Snapshot {
+                plan,
+                order_by,
+                window,
+            } => {
+                let mut p = match window {
+                    SeqWindow::Full => self.compile(plan, catalog)?,
+                    SeqWindow::AsOf(at) => self.compile_timeslice(plan, catalog, *at)?,
+                    SeqWindow::Between(t1, t2) => self.compile_between(plan, catalog, *t1, *t2)?,
+                };
                 if !order_by.is_empty() {
                     p = p.sort(order_by.clone());
                 }
                 Ok(p)
             }
         }
+    }
+
+    /// Compiles a snapshot plan into a *range-restricted* plan: the period
+    /// encoding of the query result over the snapshots at `t1 <= t <= t2`
+    /// (both inclusive), i.e. the full result with every interval clipped
+    /// to the window and window-external tuples dropped.
+    ///
+    /// Like [`SnapshotCompiler::compile_timeslice`], the restriction is
+    /// pushed to the leaves (timeslices commute with every snapshot
+    /// operator, Theorem 6.3, applied point-wise across the window): each
+    /// base-table access keeps only the rows whose validity interval
+    /// overlaps the window — an `O(log n + k)` interval-tree probe
+    /// (`IntervalTree::overlapping`) when the table is indexed — with their
+    /// periods clipped to it, and the ordinary `REWR` rewriting runs on
+    /// top. Gap rows of global aggregation span the window instead of the
+    /// full time domain.
+    pub fn compile_between(
+        &self,
+        plan: &SnapshotPlan,
+        catalog: &Catalog,
+        t1: i64,
+        t2: i64,
+    ) -> Result<Plan, String> {
+        if t1 > t2 {
+            return Err(format!(
+                "empty SEQ VT window: BETWEEN {t1} AND {t2} has no time points"
+            ));
+        }
+        let window = (t1, t2.saturating_add(1));
+        let rewritten = self.rewr(plan, catalog, Some(window))?;
+        Ok(if self.options.final_coalesce_only {
+            rewritten.coalesce()
+        } else {
+            rewritten
+        })
     }
 
     /// Compiles a snapshot plan into a *point-in-time* plan: the snapshot of
@@ -204,7 +249,20 @@ impl SnapshotCompiler {
         }
     }
 
-    fn rewr(&self, plan: &SnapshotPlan, catalog: &Catalog) -> Result<Plan, String> {
+    /// The `REWR` recursion. With `window = Some([w0, w1))` the compilation
+    /// is *range-restricted*: every base access keeps only rows overlapping
+    /// the window (a [`Plan::time_range`] the engine can answer with an
+    /// interval-tree overlap probe) with their periods clipped to it, and
+    /// gap rows of global aggregation span the window instead of the time
+    /// domain. Snapshot-at-`t` of the clipped access equals that of the
+    /// stored table for every `t` in the window, so the rewriting above the
+    /// leaves is unchanged.
+    fn rewr(
+        &self,
+        plan: &SnapshotPlan,
+        catalog: &Catalog,
+        window: Option<(i64, i64)>,
+    ) -> Result<Plan, String> {
         match &plan.node {
             SnapshotNode::Access {
                 table,
@@ -219,12 +277,34 @@ impl SnapshotCompiler {
                 // full-copy projection, this is what lets the engine see
                 // indexed base tables underneath temporal joins, timeslices,
                 // and coalescing (`indexed_scan` matches `Scan` leaves only).
-                if *period == (n - 2, n - 1) && data_cols.iter().copied().eq(0..n - 2) {
-                    return Ok(scan);
-                }
-                let mut exprs: Vec<Expr> = data_cols.iter().map(|&i| Expr::Col(i)).collect();
-                exprs.push(Expr::Col(period.0));
-                exprs.push(Expr::Col(period.1));
+                let identity = *period == (n - 2, n - 1) && data_cols.iter().copied().eq(0..n - 2);
+                let base = if identity {
+                    scan
+                } else {
+                    let mut exprs: Vec<Expr> = data_cols.iter().map(|&i| Expr::Col(i)).collect();
+                    exprs.push(Expr::Col(period.0));
+                    exprs.push(Expr::Col(period.1));
+                    let mut names: Vec<String> = plan
+                        .schema
+                        .columns()
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect();
+                    names.push("__ts".into());
+                    names.push("__te".into());
+                    scan.project(exprs, names)?
+                };
+                // REWR(R) = R: no coalescing on base access (Figure 4).
+                let Some((w0, w1)) = window else {
+                    return Ok(base);
+                };
+                // Range restriction: keep overlapping rows (indexed overlap
+                // probe for identity accesses) and clip periods to the
+                // window.
+                let d = base.schema.arity() - 2;
+                let mut exprs: Vec<Expr> = (0..d).map(Expr::Col).collect();
+                exprs.push(Expr::Greatest(vec![Expr::Col(d), Expr::lit(w0)]));
+                exprs.push(Expr::Least(vec![Expr::Col(d + 1), Expr::lit(w1)]));
                 let mut names: Vec<String> = plan
                     .schema
                     .columns()
@@ -233,15 +313,14 @@ impl SnapshotCompiler {
                     .collect();
                 names.push("__ts".into());
                 names.push("__te".into());
-                // REWR(R) = R: no coalescing on base access (Figure 4).
-                scan.project(exprs, names)
+                base.time_range(w0, w1).project(exprs, names)
             }
             SnapshotNode::Filter { input, predicate } => {
-                let rin = self.rewr(input, catalog)?;
+                let rin = self.rewr(input, catalog, window)?;
                 Ok(self.maybe_c(rin.filter(predicate.clone())))
             }
             SnapshotNode::Project { input, exprs } => {
-                let rin = self.rewr(input, catalog)?;
+                let rin = self.rewr(input, catalog, window)?;
                 let d = rin.schema.arity() - 2;
                 let mut all = exprs.clone();
                 all.push(Expr::Col(d));
@@ -261,8 +340,8 @@ impl SnapshotCompiler {
                 right,
                 condition,
             } => {
-                let l = self.rewr(left, catalog)?;
-                let r = self.rewr(right, catalog)?;
+                let l = self.rewr(left, catalog, window)?;
+                let r = self.rewr(right, catalog, window)?;
                 let ld = l.schema.arity() - 2; // left data arity
                 let rd = r.schema.arity() - 2;
                 // The snapshot condition addresses [0..ld) ++ [ld..ld+rd);
@@ -292,13 +371,13 @@ impl SnapshotCompiler {
                 Ok(self.maybe_c(joined.project(exprs, names)?))
             }
             SnapshotNode::Union { left, right } => {
-                let l = self.rewr(left, catalog)?;
-                let r = self.rewr(right, catalog)?;
+                let l = self.rewr(left, catalog, window)?;
+                let r = self.rewr(right, catalog, window)?;
                 Ok(self.maybe_c(l.union(r)?))
             }
             SnapshotNode::ExceptAll { left, right } => {
-                let l = self.rewr(left, catalog)?;
-                let r = self.rewr(right, catalog)?;
+                let l = self.rewr(left, catalog, window)?;
+                let r = self.rewr(right, catalog, window)?;
                 if self.options.fused_split {
                     return Ok(self.maybe_c(l.temporal_except_all(r)?));
                 }
@@ -314,8 +393,9 @@ impl SnapshotCompiler {
                 group_cols,
                 aggs,
             } => {
-                let rin = self.rewr(input, catalog)?;
-                let (tmin, tmax) = (self.domain.tmin().value(), self.domain.tmax().value());
+                let rin = self.rewr(input, catalog, window)?;
+                let (tmin, tmax) = window
+                    .unwrap_or_else(|| (self.domain.tmin().value(), self.domain.tmax().value()));
                 if self.options.fused_split {
                     return Ok(self.maybe_c(rin.temporal_aggregate(
                         group_cols.clone(),
@@ -627,6 +707,108 @@ mod tests {
         .compile_statement(&bound, &c)
         .unwrap();
         assert!(plan.explain().matches("Coalesce").count() >= 2);
+    }
+
+    #[test]
+    fn compile_timeslice_via_as_of_window() {
+        // `SEQ VT AS OF t` routes through compile_timeslice and yields the
+        // Figure 1b snapshot at t as a plain relation.
+        let c = catalog();
+        let stmt = parse_statement(
+            "SEQ VT AS OF 9 (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+        )
+        .unwrap();
+        let bound = bind_statement(&stmt, &c).unwrap();
+        let plan = SnapshotCompiler::new(TimeDomain::new(0, 24))
+            .compile_statement(&bound, &c)
+            .unwrap();
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        assert_eq!(out.rows(), &[row![2]]); // Ann [3,10) and Sam [8,16)
+        assert!(plan.explain().contains("Timeslice"));
+    }
+
+    #[test]
+    fn compile_between_matches_clipped_full_result() {
+        // The range-restricted compilation equals the full compilation with
+        // every interval clipped to the (inclusive) window, for the whole
+        // query suite of this module.
+        let c = catalog();
+        let domain = TimeDomain::new(0, 24);
+        let queries = [
+            "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+            "SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)",
+            "SEQ VT (SELECT skill, count(*) AS c FROM works GROUP BY skill)",
+            "SEQ VT (SELECT w.name, a.mach FROM works w JOIN assign a ON w.skill = a.skill)",
+            "SEQ VT (SELECT name FROM works UNION ALL SELECT mach FROM assign)",
+        ];
+        let compiler = SnapshotCompiler::new(domain);
+        for q in queries {
+            let stmt = parse_statement(q).unwrap();
+            let bound = bind_statement(&stmt, &c).unwrap();
+            let BoundStatement::Snapshot { plan, .. } = &bound else {
+                panic!()
+            };
+            for (t1, t2) in [(0i64, 23i64), (5, 12), (9, 9)] {
+                let ranged = compiler.compile_between(plan, &c, t1, t2).unwrap();
+                let got = Engine::new().execute(&ranged, &c).unwrap().canonicalized();
+
+                // Reference: clip the full result to [t1, t2 + 1).
+                let full_plan = compiler.compile(plan, &c).unwrap();
+                let full = Engine::new().execute(&full_plan, &c).unwrap();
+                let n = full.schema().arity();
+                let (w0, w1) = (t1, t2 + 1);
+                let mut want: Vec<Row> = full
+                    .rows()
+                    .iter()
+                    .filter(|r| r.int(n - 2) < w1 && w0 < r.int(n - 1))
+                    .map(|r| {
+                        let mut vals = r.values().to_vec();
+                        vals[n - 2] = Value::Int(r.int(n - 2).max(w0));
+                        vals[n - 1] = Value::Int(r.int(n - 1).min(w1));
+                        Row::new(vals)
+                    })
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got.rows(), want.as_slice(), "{q} BETWEEN {t1} AND {t2}");
+            }
+        }
+        // Degenerate windows are rejected.
+        let stmt = parse_statement(queries[0]).unwrap();
+        let bound = bind_statement(&stmt, &c).unwrap();
+        let BoundStatement::Snapshot { plan, .. } = &bound else {
+            panic!()
+        };
+        assert!(compiler.compile_between(plan, &c, 5, 4).is_err());
+
+        // A window reaching beyond the stored data behaves like AS OF does
+        // there: the global count is 0, as gap rows span the *window*.
+        let ranged = compiler.compile_between(plan, &c, -3, 40).unwrap();
+        let got = Engine::new().execute(&ranged, &c).unwrap().canonicalized();
+        assert!(got.rows().contains(&row![0, -3, 3]), "{got}");
+        assert!(got.rows().contains(&row![0, 20, 41]), "{got}");
+    }
+
+    #[test]
+    fn compile_between_via_sql_window_uses_time_range() {
+        let c = catalog();
+        let stmt = parse_statement(
+            "SEQ VT BETWEEN 5 AND 12 (SELECT skill, count(*) AS c FROM works GROUP BY skill)",
+        )
+        .unwrap();
+        let bound = bind_statement(&stmt, &c).unwrap();
+        let plan = SnapshotCompiler::new(TimeDomain::new(0, 24))
+            .compile_statement(&bound, &c)
+            .unwrap();
+        let text = plan.explain();
+        assert!(
+            text.contains("TimeRange [5, 13)"),
+            "range pushdown:\n{text}"
+        );
+        let out = Engine::new().execute(&plan, &c).unwrap();
+        let n = out.schema().arity();
+        for r in out.rows() {
+            assert!(r.int(n - 2) >= 5 && r.int(n - 1) <= 13, "clipped: {r}");
+        }
     }
 
     #[test]

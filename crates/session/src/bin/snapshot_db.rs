@@ -1,0 +1,313 @@
+//! `snapshot_db` — a line-oriented shell over [`snapshot_session`].
+//!
+//! Statements in, pretty tables and timings out:
+//!
+//! ```text
+//! $ snapshot_db
+//! snapshot_db> CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te);
+//! CREATE TABLE works [0.1 ms]
+//! snapshot_db> INSERT INTO works VALUES ('Ann', 'SP', 3, 10);
+//! INSERT 1 INTO works [0.1 ms]
+//! snapshot_db> SEQ VT (SELECT count(*) AS cnt FROM works);
+//! ...
+//! ```
+//!
+//! Usage: `snapshot_db [--script FILE] [--no-index] [--verify] [--quiet]`.
+//! Without `--script`, reads statements from stdin (a statement runs once a
+//! line ends with `;`). Lines starting with `.` are meta commands — see
+//! `.help`.
+
+use snapshot_session::{Database, Session, SessionOptions, StatementResult};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+fn main() {
+    let mut script: Option<String> = None;
+    let mut options = SessionOptions::default();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--script" => match args.next() {
+                Some(path) => script = Some(path),
+                None => die("--script requires a file path"),
+            },
+            "--no-index" => options.use_indexes = false,
+            "--verify" => options.verify_indexed = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+
+    let mut shell = Shell {
+        session: Session::with_options(Database::new(), options),
+        quiet,
+        interactive: script.is_none(),
+        pending: String::new(),
+    };
+
+    match script {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => die(&format!("cannot read script '{path}': {e}")),
+            };
+            for line in text.lines() {
+                match shell.feed_line(line) {
+                    Flow::Continue => {}
+                    Flow::Quit => return, // .quit ends the script successfully
+                    Flow::Fail => std::process::exit(1),
+                }
+            }
+            if shell.flush_pending() == Flow::Fail {
+                std::process::exit(1);
+            }
+        }
+        None => {
+            println!("snapshot_db — temporal SQL shell (.help for help, .quit to exit)");
+            let stdin = std::io::stdin();
+            shell.prompt();
+            for line in stdin.lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => die(&format!("stdin error: {e}")),
+                };
+                if shell.feed_line(&line) == Flow::Quit {
+                    break;
+                }
+                shell.prompt();
+            }
+        }
+    }
+}
+
+/// What a processed line means for the surrounding loop. Interactive
+/// sessions report errors and continue (never `Fail`); script mode turns
+/// every error into `Fail` (exit status 1) while `.quit` stays a success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Quit,
+    Fail,
+}
+
+const USAGE: &str = "usage: snapshot_db [--script FILE] [--no-index] [--verify] [--quiet]
+  --script FILE  execute a .sql script (meta commands allowed) and exit
+  --no-index     execute queries on the naive route only
+  --verify       re-run every indexed query naively and fail on divergence
+  --quiet        print summaries and timings but not result tables";
+
+const HELP: &str = "statements end with ';' and may span lines. Meta commands:
+  .help              this help
+  .tables            list tables (rows, period, index state)
+  .load employees N  load the synthetic Employees dataset (~N employees)
+  .index [t]         refresh the index of table t (all tables when omitted)
+  .explain SQL       show the compiled physical plan of a query
+  .verify on|off     cross-check indexed queries against the naive route
+  .quit              exit";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1)
+}
+
+struct Shell {
+    session: Session,
+    quiet: bool,
+    interactive: bool,
+    /// Multi-line statement accumulator (REPL and scripts alike).
+    pending: String,
+}
+
+impl Shell {
+    fn prompt(&self) {
+        print!("snapshot_db> ");
+        let _ = std::io::stdout().flush();
+    }
+
+    /// Handles one input line.
+    fn feed_line(&mut self, line: &str) -> Flow {
+        let trimmed = line.trim();
+        if self.pending.is_empty() {
+            if trimmed.is_empty() || trimmed.starts_with("--") {
+                return Flow::Continue;
+            }
+            if let Some(meta) = trimmed.strip_prefix('.') {
+                return self.run_meta(meta);
+            }
+        }
+        self.pending.push_str(line);
+        self.pending.push('\n');
+        if trimmed.ends_with(';') {
+            return self.flush_pending();
+        }
+        Flow::Continue
+    }
+
+    /// Reports an error; interactive sessions carry on, scripts fail.
+    fn fail(&self, e: &str) -> Flow {
+        eprintln!("error: {e}");
+        if self.interactive {
+            Flow::Continue
+        } else {
+            Flow::Fail
+        }
+    }
+
+    /// Executes the accumulated statement buffer, if any.
+    fn flush_pending(&mut self) -> Flow {
+        if self.pending.trim().is_empty() {
+            self.pending.clear();
+            return Flow::Continue;
+        }
+        let sql = std::mem::take(&mut self.pending);
+        if !self.interactive {
+            for line in sql.trim_end().lines() {
+                println!("> {line}");
+            }
+        }
+        let started = Instant::now();
+        match self.session.execute_script(&sql) {
+            Ok(results) => {
+                let elapsed = started.elapsed();
+                for r in &results {
+                    if let (false, StatementResult::Rows(t)) = (self.quiet, r) {
+                        print!("{}", t.to_pretty_string());
+                    }
+                    println!("{r} [{:.3} ms]", elapsed.as_secs_f64() * 1e3);
+                }
+                Flow::Continue
+            }
+            Err(e) => self.fail(&e),
+        }
+    }
+
+    fn run_meta(&mut self, meta: &str) -> Flow {
+        let mut words = meta.split_whitespace();
+        let cmd = words.next().unwrap_or("");
+        let ok = match cmd {
+            "help" => {
+                println!("{HELP}");
+                Ok(())
+            }
+            "quit" | "exit" => return Flow::Quit,
+            "tables" => {
+                self.show_tables();
+                Ok(())
+            }
+            "load" => self.load_dataset(words.next(), words.next()),
+            "index" => self.refresh_index(words.next()),
+            "explain" => {
+                let rest = meta.strip_prefix("explain").unwrap_or("").trim();
+                self.explain(rest)
+            }
+            "verify" => match words.next() {
+                Some("on") => {
+                    self.session.options_mut().verify_indexed = true;
+                    println!("verify: on (indexed queries are cross-checked)");
+                    Ok(())
+                }
+                Some("off") => {
+                    self.session.options_mut().verify_indexed = false;
+                    println!("verify: off");
+                    Ok(())
+                }
+                _ => Err("usage: .verify on|off".to_string()),
+            },
+            other => Err(format!("unknown meta command '.{other}' (try .help)")),
+        };
+        match ok {
+            Ok(()) => Flow::Continue,
+            Err(e) => self.fail(&e),
+        }
+    }
+
+    fn show_tables(&self) {
+        let db = self.session.database();
+        let names: Vec<String> = db.catalog().table_names().map(String::from).collect();
+        if names.is_empty() {
+            println!("(no tables)");
+            return;
+        }
+        for name in names {
+            let t = db.catalog().get(&name).unwrap();
+            let period = match t.period() {
+                Some((b, e)) => format!(
+                    " PERIOD ({}, {})",
+                    t.schema().column(b).name,
+                    t.schema().column(e).name
+                ),
+                None => String::new(),
+            };
+            let index = match db.indexes().get_fresh(&name, t) {
+                Some(_) => " [indexed]",
+                None => "",
+            };
+            println!("{name} {}{period} — {} rows{index}", t.schema(), t.len());
+        }
+    }
+
+    fn load_dataset(&mut self, which: Option<&str>, size: Option<&str>) -> Result<(), String> {
+        match which {
+            Some("employees") => {
+                let n: f64 = size
+                    .unwrap_or("600")
+                    .parse()
+                    .map_err(|_| "usage: .load employees N".to_string())?;
+                let scale = n / 300_000.0;
+                let started = Instant::now();
+                let catalog = datagen::employees::generate(scale, 42);
+                let total = catalog.total_rows();
+                let names: Vec<String> = catalog.table_names().map(String::from).collect();
+                for name in &names {
+                    let table = catalog.get(name).unwrap().clone();
+                    self.session.database_mut().register_table(name, table);
+                }
+                println!(
+                    "loaded employees (~{n} employees): {} tables, {total} rows [{:.1} ms]",
+                    names.len(),
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+                Ok(())
+            }
+            _ => Err("usage: .load employees N".to_string()),
+        }
+    }
+
+    fn refresh_index(&mut self, table: Option<&str>) -> Result<(), String> {
+        let db = self.session.database_mut();
+        let before = db.index_maintenance();
+        let started = Instant::now();
+        match table {
+            Some(name) => {
+                let name = name.to_lowercase();
+                if db.catalog().get(&name).is_none() {
+                    return Err(format!("unknown table '{name}'"));
+                }
+                db.refresh_indexes(&[name]);
+            }
+            None => db.refresh_all_indexes(),
+        }
+        let after = db.index_maintenance();
+        println!(
+            "indexes: {} full build(s), {} incremental [{:.3} ms]",
+            after.full_builds - before.full_builds,
+            after.incremental_builds - before.incremental_builds,
+            started.elapsed().as_secs_f64() * 1e3
+        );
+        Ok(())
+    }
+
+    fn explain(&self, sql: &str) -> Result<(), String> {
+        if sql.is_empty() {
+            return Err("usage: .explain SELECT ...".to_string());
+        }
+        let plan = self.session.compile(sql.trim_end_matches(';'))?;
+        print!("{}", plan.explain());
+        Ok(())
+    }
+}

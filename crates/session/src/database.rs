@@ -1,0 +1,277 @@
+//! The database: the storage catalog and the index registry under one
+//! owner, with validated mutation entry points.
+//!
+//! The storage layer stays index-agnostic and the index layer stays
+//! storage-agnostic (PR 1); this type is where the two meet. Every mutation
+//! goes through [`storage::Table`]'s version-bumping API, so indexes
+//! invalidate automatically, and [`Database::refresh_indexes`] repairs them
+//! lazily right before an indexed query — taking the append-only
+//! incremental path whenever the table's checkpoint history allows it.
+
+use index::{IndexCatalog, MaintenanceStats};
+use storage::{Catalog, Row, Schema, SqlType, Table, Value};
+
+/// A live database: named tables plus their (lazily maintained) indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    indexes: IndexCatalog,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// A database over an existing catalog (indexes are built lazily, on
+    /// first indexed query).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            catalog,
+            indexes: IndexCatalog::new(),
+        }
+    }
+
+    /// The table namespace.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The index registry.
+    pub fn indexes(&self) -> &IndexCatalog {
+        &self.indexes
+    }
+
+    /// How index maintenance repaired stale entries so far (full rebuilds
+    /// vs. append-only incremental extensions).
+    pub fn index_maintenance(&self) -> MaintenanceStats {
+        self.indexes.maintenance()
+    }
+
+    /// Creates a table. `period` names the two INT columns holding each
+    /// tuple's validity interval; without it the table is non-temporal.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        period: Option<(usize, usize)>,
+    ) -> Result<(), String> {
+        if self.catalog.get(name).is_some() {
+            return Err(format!("table '{name}' already exists"));
+        }
+        for (i, a) in schema.columns().iter().enumerate() {
+            for b in schema.columns().iter().skip(i + 1) {
+                if a.name == b.name {
+                    return Err(format!("duplicate column '{}' in table '{name}'", a.name));
+                }
+            }
+        }
+        let table = match period {
+            Some((b, e)) => {
+                if b == e {
+                    return Err("period begin and end must be distinct columns".into());
+                }
+                for idx in [b, e] {
+                    if schema.column(idx).ty != SqlType::Int {
+                        return Err(format!(
+                            "period column '{}' must be INT",
+                            schema.column(idx).name
+                        ));
+                    }
+                }
+                Table::with_period(schema, b, e)
+            }
+            None => Table::new(schema),
+        };
+        self.catalog.register(name, table);
+        Ok(())
+    }
+
+    /// Drops a table, returning whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.indexes.remove(name);
+        self.catalog.remove(name).is_some()
+    }
+
+    /// Registers (or replaces) a table wholesale — the bulk-load entry
+    /// point (`.load` in the shell). Any index on a replaced entry reads as
+    /// stale through the version epoch.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register(name, table);
+    }
+
+    /// Inserts rows into a table after conforming each one to the schema
+    /// (type check with Int→Double widening) and validating arity and
+    /// period. Validation is atomic: on any error nothing is inserted.
+    pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize, String> {
+        let table = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| format!("unknown table '{name}'"))?;
+        let mut conformed = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = conform_row(table.schema(), row)?;
+            table.check_row(&row)?;
+            conformed.push(row);
+        }
+        let n = conformed.len();
+        self.catalog
+            .get_mut(name)
+            .expect("checked above")
+            .extend(conformed);
+        Ok(n)
+    }
+
+    /// Deletes every row of `name` matching `pred`.
+    pub fn delete_where<P: FnMut(&Row) -> bool>(
+        &mut self,
+        name: &str,
+        pred: P,
+    ) -> Result<usize, String> {
+        let table = self
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| format!("unknown table '{name}'"))?;
+        Ok(table.delete_where(pred))
+    }
+
+    /// Replaces every row of `name` matching `pred` with `update(row)`
+    /// (atomic, fallible updater — see [`Table::update_where`]).
+    pub fn update_where<P, U>(&mut self, name: &str, pred: P, update: U) -> Result<usize, String>
+    where
+        P: FnMut(&Row) -> bool,
+        U: FnMut(&Row) -> Result<Row, String>,
+    {
+        let table = self
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| format!("unknown table '{name}'"))?;
+        table.update_where(pred, update)
+    }
+
+    /// Repairs the indexes of the named tables (incremental when only
+    /// appends happened, full rebuild otherwise). Non-temporal and unknown
+    /// names are skipped.
+    pub fn refresh_indexes(&mut self, tables: &[String]) {
+        for name in tables {
+            if let Some(table) = self.catalog.get(name) {
+                self.indexes.ensure(name, table);
+            }
+        }
+    }
+
+    /// Repairs the indexes of every period table.
+    pub fn refresh_all_indexes(&mut self) {
+        let names: Vec<String> = self.catalog.table_names().map(String::from).collect();
+        self.refresh_indexes(&names);
+    }
+}
+
+/// Conforms a row to a schema: checks arity, checks each value against the
+/// column type, and widens Int values into DOUBLE columns. NULL conforms to
+/// every column type (period endpoints are rejected later by
+/// [`Table::check_row`]).
+pub fn conform_row(schema: &Schema, row: Row) -> Result<Row, String> {
+    if row.arity() != schema.arity() {
+        return Err(format!(
+            "row arity {} does not match schema arity {}",
+            row.arity(),
+            schema.arity()
+        ));
+    }
+    let mut values = row.0;
+    for (i, v) in values.iter_mut().enumerate() {
+        let col = schema.column(i);
+        let ok = match (&*v, col.ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), SqlType::Int) => true,
+            (Value::Int(n), SqlType::Double) => {
+                *v = Value::Double(*n as f64);
+                true
+            }
+            (Value::Double(_), SqlType::Double) => true,
+            (Value::Str(_), SqlType::Str) => true,
+            (Value::Bool(_), SqlType::Bool) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(format!(
+                "value {v} does not fit column '{}' of type {}",
+                col.name, col.ty
+            ));
+        }
+    }
+    Ok(Row::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::row;
+
+    fn works_schema() -> Schema {
+        Schema::of(&[
+            ("name", SqlType::Str),
+            ("skill", SqlType::Str),
+            ("ts", SqlType::Int),
+            ("te", SqlType::Int),
+        ])
+    }
+
+    #[test]
+    fn create_insert_drop() {
+        let mut db = Database::new();
+        db.create_table("works", works_schema(), Some((2, 3)))
+            .unwrap();
+        assert!(db
+            .create_table("works", works_schema(), None)
+            .unwrap_err()
+            .contains("already exists"));
+        assert_eq!(
+            db.insert_rows("works", vec![row!["Ann", "SP", 3, 10]])
+                .unwrap(),
+            1
+        );
+        assert_eq!(db.catalog().get("works").unwrap().len(), 1);
+        assert!(db.drop_table("works"));
+        assert!(!db.drop_table("works"));
+    }
+
+    #[test]
+    fn create_table_validates_period() {
+        let mut db = Database::new();
+        assert!(db
+            .create_table("t", works_schema(), Some((0, 3)))
+            .unwrap_err()
+            .contains("must be INT"));
+        assert!(db
+            .create_table("t", works_schema(), Some((2, 2)))
+            .unwrap_err()
+            .contains("distinct"));
+        let dup = Schema::of(&[("x", SqlType::Int), ("x", SqlType::Int)]);
+        assert!(db
+            .create_table("t", dup, None)
+            .unwrap_err()
+            .contains("duplicate column"));
+    }
+
+    #[test]
+    fn insert_is_atomic_and_conforms_types() {
+        let mut db = Database::new();
+        let schema = Schema::of(&[("x", SqlType::Int), ("d", SqlType::Double)]);
+        db.create_table("t", schema, None).unwrap();
+        // Second row fails the type check: nothing is inserted.
+        let err = db
+            .insert_rows("t", vec![row![1, 2], row!["oops", 3]])
+            .unwrap_err();
+        assert!(err.contains("does not fit"));
+        assert_eq!(db.catalog().get("t").unwrap().len(), 0);
+        // Int widens into DOUBLE.
+        db.insert_rows("t", vec![row![1, 2]]).unwrap();
+        assert_eq!(
+            db.catalog().get("t").unwrap().rows()[0].get(1),
+            &Value::Double(2.0)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Statement-level database subsystem: sessions, temporal DDL/DML, and the
+//! `snapshot_db` shell.
+//!
+//! The paper's middleware (Section 9) exposes snapshot semantics as a SQL
+//! language feature over a *live* database. This crate supplies the
+//! "live" part on top of every other layer of the reproduction:
+//!
+//! * [`Database`] — owns the [`storage::Catalog`] and the
+//!   [`index::IndexCatalog`], with validated mutation entry points; every
+//!   mutation bumps [`storage::Table::version`], so indexes invalidate
+//!   automatically and are repaired lazily (incrementally after pure
+//!   appends) right before the next indexed query,
+//! * [`Session`] — the `execute(sql) -> StatementResult` pipeline: DDL
+//!   (`CREATE TABLE ... PERIOD (b, e)`, `DROP TABLE`), non-sequenced DML
+//!   (`INSERT ... VALUES`/`... SELECT`, `DELETE`, `UPDATE`), and queries —
+//!   plain, `SEQ VT (...)`, `SEQ VT AS OF t (...)` (timeslice pushdown,
+//!   Theorem 6.3), and `SEQ VT BETWEEN t1 AND t2 (...)` (range-restricted
+//!   compilation over interval-tree overlap probes),
+//! * `snapshot_db` (`src/bin/`) — the line-oriented shell driving a
+//!   session interactively or from `.sql` scripts.
+
+pub mod database;
+pub mod session;
+
+pub use database::Database;
+pub use session::{Session, SessionOptions, StatementResult};

@@ -1,0 +1,373 @@
+//! Sessions: the statement-level execution pipeline.
+//!
+//! [`Session::execute`] runs one SQL statement end-to-end against a
+//! [`Database`]: parse → (for queries) bind and `REWR`-compile → refresh
+//! the indexes of the scanned tables → execute, or (for DDL/DML) validate
+//! and apply the mutation through the storage layer's version-bumping API.
+//! This is the paper's middleware picture (Section 9) made operational: the
+//! `SEQ VT` language feature over a *live* database instead of a preloaded
+//! one.
+
+use crate::database::{conform_row, Database};
+use algebra::Plan;
+use engine::{eval_expr, eval_predicate, Engine};
+use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
+use sql::{
+    bind_scalar_expr, bind_statement, parse_script, parse_sql_statement, AstExpr, ColumnDef,
+    InsertSource, SqlStatement, Statement,
+};
+use std::fmt;
+use storage::{Column, Row, Schema, SqlType, Table};
+
+/// What executing one statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// A query result.
+    Rows(Table),
+    /// `CREATE TABLE` succeeded.
+    Created {
+        /// The new table's name.
+        table: String,
+    },
+    /// `DROP TABLE` succeeded.
+    Dropped {
+        /// The dropped table's name.
+        table: String,
+        /// Whether the table existed (`false` only under `IF EXISTS`).
+        existed: bool,
+    },
+    /// `INSERT` succeeded.
+    Inserted {
+        /// Target table.
+        table: String,
+        /// Rows inserted.
+        rows: usize,
+    },
+    /// `DELETE` succeeded.
+    Deleted {
+        /// Target table.
+        table: String,
+        /// Rows removed.
+        rows: usize,
+    },
+    /// `UPDATE` succeeded.
+    Updated {
+        /// Target table.
+        table: String,
+        /// Rows changed.
+        rows: usize,
+    },
+}
+
+impl StatementResult {
+    /// The result table, for query statements.
+    pub fn rows(&self) -> Option<&Table> {
+        match self {
+            StatementResult::Rows(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StatementResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementResult::Rows(t) => write!(f, "SELECT {}", t.len()),
+            StatementResult::Created { table } => write!(f, "CREATE TABLE {table}"),
+            StatementResult::Dropped { table, existed } => {
+                if *existed {
+                    write!(f, "DROP TABLE {table}")
+                } else {
+                    write!(f, "DROP TABLE {table} (did not exist)")
+                }
+            }
+            StatementResult::Inserted { table, rows } => write!(f, "INSERT {rows} INTO {table}"),
+            StatementResult::Deleted { table, rows } => write!(f, "DELETE {rows} FROM {table}"),
+            StatementResult::Updated { table, rows } => write!(f, "UPDATE {rows} IN {table}"),
+        }
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionOptions {
+    /// Route queries through the index registry (on by default; indexes
+    /// are refreshed lazily before each indexed query).
+    pub use_indexes: bool,
+    /// After every indexed query, re-execute on the naive route and fail
+    /// on divergence — the end-to-end check that version-based index
+    /// invalidation works (used by the test suite and `.verify on`).
+    pub verify_indexed: bool,
+    /// Rewriting options for `SEQ VT` compilation.
+    pub rewrite: RewriteOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            use_indexes: true,
+            verify_indexed: false,
+            rewrite: RewriteOptions::default(),
+        }
+    }
+}
+
+/// A statement-level connection to a [`Database`].
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    db: Database,
+    engine: Engine,
+    options: SessionOptions,
+}
+
+impl Session {
+    /// A session over a database, with default options.
+    pub fn new(db: Database) -> Self {
+        Session {
+            db,
+            engine: Engine::new(),
+            options: SessionOptions::default(),
+        }
+    }
+
+    /// A session with explicit options.
+    pub fn with_options(db: Database, options: SessionOptions) -> Self {
+        Session {
+            db,
+            engine: Engine::new(),
+            options,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The underlying database, mutably (bulk loads, direct inspection).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// The session options, mutably (`.verify on`, pinned join routes...).
+    pub fn options_mut(&mut self) -> &mut SessionOptions {
+        &mut self.options
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, String> {
+        let stmt = parse_sql_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Parses and executes a `;`-separated script, stopping at the first
+    /// error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, String> {
+        let stmts = parse_script(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute_statement(&mut self, stmt: &SqlStatement) -> Result<StatementResult, String> {
+        match stmt {
+            SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
+            SqlStatement::CreateTable {
+                name,
+                columns,
+                period,
+            } => self.create_table(name, columns, period.as_ref()),
+            SqlStatement::DropTable { name, if_exists } => {
+                let existed = self.db.drop_table(name);
+                if !existed && !if_exists {
+                    return Err(format!("unknown table '{name}'"));
+                }
+                Ok(StatementResult::Dropped {
+                    table: name.clone(),
+                    existed,
+                })
+            }
+            SqlStatement::Insert { table, source } => self.insert(table, source),
+            SqlStatement::Delete {
+                table,
+                where_clause,
+            } => self.delete(table, where_clause.as_ref()),
+            SqlStatement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.update(table, assignments, where_clause.as_ref()),
+        }
+    }
+
+    /// Compiles a query statement to its physical plan without executing it
+    /// (the `.explain` entry point).
+    pub fn compile(&self, sql: &str) -> Result<Plan, String> {
+        let stmt = parse_sql_statement(sql)?;
+        let SqlStatement::Query(q) = stmt else {
+            return Err("only query statements have plans to explain".into());
+        };
+        self.compile_query(&q)
+    }
+
+    fn compile_query(&self, stmt: &Statement) -> Result<Plan, String> {
+        let catalog = self.db.catalog();
+        let bound = bind_statement(stmt, catalog)?;
+        let compiler = SnapshotCompiler::with_options(infer_domain(catalog), self.options.rewrite);
+        compiler.compile_statement(&bound, catalog)
+    }
+
+    fn run_query(&mut self, stmt: &Statement) -> Result<Table, String> {
+        let plan = self.compile_query(stmt)?;
+        if !self.options.use_indexes {
+            return self.engine.execute(&plan, self.db.catalog());
+        }
+        self.db.refresh_indexes(&plan.referenced_tables());
+        let indexed = self
+            .engine
+            .execute_indexed(&plan, self.db.catalog(), self.db.indexes())?;
+        if self.options.verify_indexed {
+            let naive = self.engine.execute(&plan, self.db.catalog())?;
+            if naive.canonicalized() != indexed.canonicalized() {
+                return Err(format!(
+                    "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
+                    indexed.len(),
+                    naive.len()
+                ));
+            }
+        }
+        Ok(indexed)
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDef],
+        period: Option<&(String, String)>,
+    ) -> Result<StatementResult, String> {
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|c| Column::new(c.name.clone(), c.ty))
+                .collect(),
+        );
+        let period = period
+            .map(|(b, e)| Ok::<_, String>((schema.resolve(None, b)?, schema.resolve(None, e)?)))
+            .transpose()?;
+        self.db.create_table(name, schema, period)?;
+        Ok(StatementResult::Created {
+            table: name.to_string(),
+        })
+    }
+
+    fn insert(&mut self, table: &str, source: &InsertSource) -> Result<StatementResult, String> {
+        let rows = match source {
+            InsertSource::Values(value_rows) => {
+                // Constant rows: bind against the empty schema (so stray
+                // column references are rejected) and evaluate.
+                let empty = Schema::default();
+                let mut rows = Vec::with_capacity(value_rows.len());
+                for exprs in value_rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for ast in exprs {
+                        let e = bind_scalar_expr(ast, &empty)?;
+                        values.push(eval_expr(&e, &Row::default()));
+                    }
+                    rows.push(Row::new(values));
+                }
+                rows
+            }
+            InsertSource::Query(q) => self.run_query(q)?.rows().to_vec(),
+        };
+        let n = self.db.insert_rows(table, rows)?;
+        Ok(StatementResult::Inserted {
+            table: table.to_string(),
+            rows: n,
+        })
+    }
+
+    /// Binds an optional WHERE clause against the table's schema (columns
+    /// resolvable bare or qualified by the table name) and checks it is
+    /// boolean. `None` means "all rows".
+    fn bind_where(
+        &self,
+        table: &str,
+        where_clause: Option<&AstExpr>,
+    ) -> Result<(Schema, Option<algebra::Expr>), String> {
+        let stored = self
+            .db
+            .catalog()
+            .get(table)
+            .ok_or_else(|| format!("unknown table '{table}'"))?;
+        let schema = stored.schema().with_qualifier(table);
+        let pred = where_clause
+            .map(|ast| {
+                let e = bind_scalar_expr(ast, &schema)?;
+                if e.infer_type(&schema)? != SqlType::Bool {
+                    return Err("WHERE predicate must be boolean".into());
+                }
+                Ok::<_, String>(e)
+            })
+            .transpose()?;
+        Ok((schema, pred))
+    }
+
+    fn delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&AstExpr>,
+    ) -> Result<StatementResult, String> {
+        let (_, pred) = self.bind_where(table, where_clause)?;
+        let rows = self.db.delete_where(table, |r| {
+            pred.as_ref().is_none_or(|p| eval_predicate(p, r))
+        })?;
+        Ok(StatementResult::Deleted {
+            table: table.to_string(),
+            rows,
+        })
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, AstExpr)],
+        where_clause: Option<&AstExpr>,
+    ) -> Result<StatementResult, String> {
+        let (schema, pred) = self.bind_where(table, where_clause)?;
+        let mut bound: Vec<(usize, algebra::Expr)> = Vec::with_capacity(assignments.len());
+        for (col, ast) in assignments {
+            let idx = schema.resolve(None, col)?;
+            bound.push((idx, bind_scalar_expr(ast, &schema)?));
+        }
+        let matches = |r: &Row| pred.as_ref().is_none_or(|p| eval_predicate(p, r));
+        // One pass: evaluate the assignments and conform each replacement to
+        // the schema; `Table::update_where` folds in the arity/period check
+        // and applies atomically (any error leaves the table untouched).
+        let stored_schema = self
+            .db
+            .catalog()
+            .get(table)
+            .expect("bound above")
+            .schema()
+            .clone();
+        let rows = self.db.update_where(table, matches, |r| {
+            let mut values = r.values().to_vec();
+            for (idx, e) in &bound {
+                values[*idx] = eval_expr(e, r);
+            }
+            conform_row(&stored_schema, Row::new(values))
+        })?;
+        Ok(StatementResult::Updated {
+            table: table.to_string(),
+            rows,
+        })
+    }
+}

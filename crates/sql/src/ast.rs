@@ -1,7 +1,91 @@
 //! The parse tree of the SQL dialect.
 
 use algebra::BinOp;
-use storage::Value;
+use storage::{SqlType, Value};
+
+/// A parsed SQL statement: a query, or one of the DDL/DML commands the
+/// session layer executes against a live [`storage::Catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStatement {
+    /// A query statement (possibly a `SEQ VT` snapshot query).
+    Query(Statement),
+    /// `CREATE TABLE name (col type, ...) [PERIOD (b, e)]`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions in order.
+        columns: Vec<ColumnDef>,
+        /// `PERIOD (begin_col, end_col)` — names of the period attributes.
+        period: Option<(String, String)>,
+    },
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Whether `IF EXISTS` was given.
+        if_exists: bool,
+    },
+    /// `INSERT INTO name VALUES (...), ...` or `INSERT INTO name query`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The inserted rows.
+        source: InsertSource,
+    },
+    /// `DELETE FROM name [WHERE pred]` (non-sequenced: the period columns
+    /// are ordinary columns of the predicate, per the paper's storage
+    /// model).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row predicate (`None` deletes everything).
+        where_clause: Option<AstExpr>,
+    },
+    /// `UPDATE name SET col = expr, ... [WHERE pred]` (non-sequenced).
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value expression)` assignments.
+        assignments: Vec<(String, AstExpr)>,
+        /// Row predicate (`None` updates everything).
+        where_clause: Option<AstExpr>,
+    },
+}
+
+/// One column of a `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (lower-cased by the lexer).
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+}
+
+/// The row source of an `INSERT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (expr, ...), (expr, ...)` — constant rows.
+    Values(Vec<Vec<AstExpr>>),
+    /// `INSERT INTO t SELECT ...` (or any query statement, including
+    /// `SEQ VT` blocks).
+    Query(Box<Statement>),
+}
+
+/// The temporal window of a `SEQ VT` block.
+///
+/// `SEQ VT (...)` evaluates the snapshot query over the whole time domain;
+/// `SEQ VT AS OF t (...)` asks for the single snapshot at `t` (a plain,
+/// non-temporal result); `SEQ VT BETWEEN t1 AND t2 (...)` restricts
+/// evaluation to the snapshots with `t1 <= t <= t2` (both inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqWindow {
+    /// The whole time domain.
+    Full,
+    /// A single time point.
+    AsOf(i64),
+    /// An inclusive range of time points.
+    Between(i64, i64),
+}
 
 /// A parsed statement: a query expression plus an optional top-level
 /// `ORDER BY` (sorting a snapshot query's result happens *outside* the
@@ -32,8 +116,9 @@ pub enum QueryExpr {
     UnionAll(Box<QueryExpr>, Box<QueryExpr>),
     /// `EXCEPT ALL`.
     ExceptAll(Box<QueryExpr>, Box<QueryExpr>),
-    /// `SEQ VT ( query )`: evaluate under snapshot semantics.
-    SeqVt(Box<QueryExpr>),
+    /// `SEQ VT [AS OF t | BETWEEN t1 AND t2] ( query )`: evaluate under
+    /// snapshot semantics over the given temporal window.
+    SeqVt(Box<QueryExpr>, SeqWindow),
 }
 
 /// A `SELECT` statement.

@@ -21,19 +21,22 @@ pub enum BoundStatement {
     ///
     /// The sort keys are bound against the snapshot plan's data schema;
     /// after rewriting, the period columns are appended *behind* the data
-    /// columns, so the key indices stay valid.
+    /// columns, so the key indices stay valid (and for an `AS OF` window,
+    /// whose result has no period columns, they address the data directly).
     Snapshot {
         /// The snapshot plan for `rewrite::SnapshotCompiler`.
         plan: SnapshotPlan,
         /// Bound `(key, ascending)` pairs.
         order_by: Vec<(Expr, bool)>,
+        /// The temporal window of the `SEQ VT` block.
+        window: SeqWindow,
     },
 }
 
 /// Binds a parsed statement against a catalog.
 pub fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<BoundStatement, String> {
     match &stmt.query {
-        QueryExpr::SeqVt(inner) => {
+        QueryExpr::SeqVt(inner, window) => {
             let bound = bind_query(inner, catalog, Mode::Snapshot)?;
             let QB::Snap(plan) = bound.qb else {
                 unreachable!("snapshot mode produced a plain plan")
@@ -43,7 +46,11 @@ pub fn bind_statement(stmt: &Statement, catalog: &Catalog) -> Result<BoundStatem
                 let e = bind_order_key(&item.expr, &plan.schema)?;
                 order_by.push((e, item.asc));
             }
-            Ok(BoundStatement::Snapshot { plan, order_by })
+            Ok(BoundStatement::Snapshot {
+                plan,
+                order_by,
+                window: *window,
+            })
         }
         _ => {
             let bound = bind_query(&stmt.query, catalog, Mode::Plain)?;
@@ -156,7 +163,7 @@ fn bind_query(query: &QueryExpr, catalog: &Catalog, mode: Mode) -> Result<Bound,
                 visible,
             })
         }
-        QueryExpr::SeqVt(_) => {
+        QueryExpr::SeqVt(..) => {
             Err("SEQ VT is only supported at the top level of a statement".into())
         }
     }
@@ -374,6 +381,14 @@ fn bind_from_item(item: &FromItem, catalog: &Catalog, mode: Mode) -> Result<Boun
 }
 
 // ---- expression binding ---------------------------------------------
+
+/// Binds a scalar (non-aggregate) expression against a schema — the entry
+/// point the session layer uses for DML: `WHERE` predicates of
+/// `DELETE`/`UPDATE`, `SET` value expressions, and `INSERT ... VALUES`
+/// literals (bound against the empty schema).
+pub fn bind_scalar_expr(ast: &AstExpr, schema: &Schema) -> Result<Expr, String> {
+    bind_expr(ast, schema)
+}
 
 fn bind_expr(ast: &AstExpr, schema: &Schema) -> Result<Expr, String> {
     match ast {
@@ -822,5 +837,46 @@ mod tests {
             panic!()
         };
         assert_eq!(order_by, vec![(Expr::Col(1), true)]);
+    }
+
+    #[test]
+    fn seq_vt_window_carried_through_binding() {
+        let b = bind("SEQ VT AS OF 7 (SELECT name FROM works)").unwrap();
+        let BoundStatement::Snapshot { window, .. } = b else {
+            panic!()
+        };
+        assert_eq!(window, crate::ast::SeqWindow::AsOf(7));
+
+        let b = bind("SEQ VT BETWEEN 3 AND 9 (SELECT name FROM works)").unwrap();
+        let BoundStatement::Snapshot { window, .. } = b else {
+            panic!()
+        };
+        assert_eq!(window, crate::ast::SeqWindow::Between(3, 9));
+    }
+
+    #[test]
+    fn scalar_expr_binding_for_dml() {
+        let schema = catalog()
+            .get("works")
+            .unwrap()
+            .schema()
+            .with_qualifier("works");
+        let ast = crate::parser::parse_sql_statement("DELETE FROM works WHERE te <= 10").unwrap();
+        let crate::ast::SqlStatement::Delete {
+            where_clause: Some(pred),
+            ..
+        } = ast
+        else {
+            panic!()
+        };
+        let bound = bind_scalar_expr(&pred, &schema).unwrap();
+        assert_eq!(bound.infer_type(&schema).unwrap(), SqlType::Bool);
+        // Aggregates are rejected in scalar position.
+        let bad = AstExpr::Func {
+            name: "count".into(),
+            args: vec![],
+            star: true,
+        };
+        assert!(bind_scalar_expr(&bad, &schema).is_err());
     }
 }

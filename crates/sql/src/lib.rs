@@ -19,12 +19,24 @@
 //! `SEQ VT` is supported at statement level (optionally under a top-level
 //! `ORDER BY`), which covers every query of the paper's evaluation;
 //! `ORDER BY` *inside* a snapshot block is rejected, as in the paper.
+//!
+//! Beyond queries, the dialect covers the statement surface the session
+//! layer (`snapshot_session`) executes against a live database: temporal
+//! DDL (`CREATE TABLE ... PERIOD (b, e)`, `DROP TABLE`), non-sequenced DML
+//! (`INSERT ... VALUES`/`... SELECT`, `DELETE`, `UPDATE`), and windowed
+//! snapshot queries (`SEQ VT AS OF t (...)`,
+//! `SEQ VT BETWEEN t1 AND t2 (...)`). Use [`parse_sql_statement`] /
+//! [`parse_script`] for the full dialect and [`parse_statement`] for
+//! queries alone.
 
 pub mod ast;
 pub mod binder;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AstExpr, FromItem, OrderItem, QueryExpr, SelectItem, SelectStmt, Statement};
-pub use binder::{bind_statement, BoundStatement};
-pub use parser::parse_statement;
+pub use ast::{
+    AstExpr, ColumnDef, FromItem, InsertSource, OrderItem, QueryExpr, SelectItem, SelectStmt,
+    SeqWindow, SqlStatement, Statement,
+};
+pub use binder::{bind_scalar_expr, bind_statement, BoundStatement};
+pub use parser::{parse_script, parse_sql_statement, parse_statement};

@@ -3,23 +3,48 @@
 use crate::ast::*;
 use crate::lexer::{tokenize, Sym, Token};
 use algebra::BinOp;
-use storage::Value;
+use storage::{SqlType, Value};
 
-/// Parses one statement (queries with an optional top-level `ORDER BY` and
-/// optional trailing `;`).
+/// Parses one *query* statement (a query with an optional top-level
+/// `ORDER BY` and optional trailing `;`).
 pub fn parse_statement(input: &str) -> Result<Statement, String> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
-    let query = p.parse_query()?;
-    let order_by = if p.eat_keyword("order") {
-        p.expect_keyword("by")?;
-        p.parse_order_items()?
-    } else {
-        Vec::new()
-    };
+    let stmt = p.parse_query_statement()?;
     let _ = p.eat_symbol(Sym::Semicolon);
     p.expect_eof()?;
-    Ok(Statement { query, order_by })
+    Ok(stmt)
+}
+
+/// Parses one statement of the full dialect: a query, or one of the
+/// DDL/DML commands (`CREATE TABLE`, `DROP TABLE`, `INSERT`, `DELETE`,
+/// `UPDATE`). A trailing `;` is optional.
+pub fn parse_sql_statement(input: &str) -> Result<SqlStatement, String> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_sql_statement()?;
+    let _ = p.eat_symbol(Sym::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script into its statements. Empty statements
+/// (stray semicolons) are skipped; the final `;` is optional.
+pub fn parse_script(input: &str) -> Result<Vec<SqlStatement>, String> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(Sym::Semicolon) {}
+        if p.peek() == &Token::Eof {
+            return Ok(out);
+        }
+        out.push(p.parse_sql_statement()?);
+        if !p.eat_symbol(Sym::Semicolon) {
+            p.expect_eof()?;
+            return Ok(out);
+        }
+    }
 }
 
 struct Parser {
@@ -97,6 +122,161 @@ impl Parser {
         }
     }
 
+    // ---- statements -------------------------------------------------
+
+    fn parse_query_statement(&mut self) -> Result<Statement, String> {
+        let query = self.parse_query()?;
+        let order_by = if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            self.parse_order_items()?
+        } else {
+            Vec::new()
+        };
+        Ok(Statement { query, order_by })
+    }
+
+    fn parse_sql_statement(&mut self) -> Result<SqlStatement, String> {
+        if self.at_keyword("create") {
+            return self.parse_create_table();
+        }
+        if self.at_keyword("drop") {
+            return self.parse_drop_table();
+        }
+        if self.at_keyword("insert") {
+            return self.parse_insert();
+        }
+        if self.at_keyword("delete") {
+            return self.parse_delete();
+        }
+        if self.at_keyword("update") {
+            return self.parse_update();
+        }
+        Ok(SqlStatement::Query(self.parse_query_statement()?))
+    }
+
+    fn parse_create_table(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("table")?;
+        let name = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            let ty = self.parse_sql_type()?;
+            columns.push(ColumnDef { name: col, ty });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        let period = if self.eat_keyword("period") {
+            self.expect_symbol(Sym::LParen)?;
+            let b = self.expect_ident()?;
+            self.expect_symbol(Sym::Comma)?;
+            let e = self.expect_ident()?;
+            self.expect_symbol(Sym::RParen)?;
+            Some((b, e))
+        } else {
+            None
+        };
+        Ok(SqlStatement::CreateTable {
+            name,
+            columns,
+            period,
+        })
+    }
+
+    fn parse_sql_type(&mut self) -> Result<SqlType, String> {
+        let word = self.expect_ident()?;
+        match word.as_str() {
+            "int" | "integer" | "bigint" => Ok(SqlType::Int),
+            "double" | "float" | "real" => Ok(SqlType::Double),
+            "text" | "string" | "varchar" | "char" => Ok(SqlType::Str),
+            "bool" | "boolean" => Ok(SqlType::Bool),
+            other => Err(format!("unknown column type '{other}'")),
+        }
+    }
+
+    fn parse_drop_table(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("drop")?;
+        self.expect_keyword("table")?;
+        let if_exists = if self.at_keyword("if") {
+            self.bump();
+            self.expect_keyword("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        Ok(SqlStatement::DropTable { name, if_exists })
+    }
+
+    fn parse_insert(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let table = self.expect_ident()?;
+        let source = if self.at_keyword("values") {
+            self.bump();
+            let mut rows = Vec::new();
+            loop {
+                self.expect_symbol(Sym::LParen)?;
+                let mut row = vec![self.parse_expr()?];
+                while self.eat_symbol(Sym::Comma) {
+                    row.push(self.parse_expr()?);
+                }
+                self.expect_symbol(Sym::RParen)?;
+                rows.push(row);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else {
+            InsertSource::Query(Box::new(self.parse_query_statement()?))
+        };
+        Ok(SqlStatement::Insert { table, source })
+    }
+
+    fn parse_delete(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let table = self.expect_ident()?;
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStatement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("update")?;
+        let table = self.expect_ident()?;
+        self.expect_keyword("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            assignments.push((col, self.parse_expr()?));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStatement::Update {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
     // ---- queries ----------------------------------------------------
 
     fn parse_query(&mut self) -> Result<QueryExpr, String> {
@@ -122,10 +302,23 @@ impl Parser {
         if self.at_keyword("seq") {
             self.bump();
             self.expect_keyword("vt")?;
+            let window = if self.at_keyword("as") {
+                self.bump();
+                self.expect_keyword("of")?;
+                SeqWindow::AsOf(self.parse_time_literal()?)
+            } else if self.at_keyword("between") {
+                self.bump();
+                let t1 = self.parse_time_literal()?;
+                self.expect_keyword("and")?;
+                let t2 = self.parse_time_literal()?;
+                SeqWindow::Between(t1, t2)
+            } else {
+                SeqWindow::Full
+            };
             self.expect_symbol(Sym::LParen)?;
             let inner = self.parse_query()?;
             self.expect_symbol(Sym::RParen)?;
-            return Ok(QueryExpr::SeqVt(Box::new(inner)));
+            return Ok(QueryExpr::SeqVt(Box::new(inner), window));
         }
         if self.eat_symbol(Sym::LParen) {
             let inner = self.parse_query()?;
@@ -248,6 +441,15 @@ impl Parser {
             alias,
             period,
         })
+    }
+
+    /// An integer time-point literal, with optional leading minus.
+    fn parse_time_literal(&mut self) -> Result<i64, String> {
+        let negated = self.eat_symbol(Sym::Minus);
+        match self.bump() {
+            Token::Int(i) => Ok(if negated { -i } else { i }),
+            other => Err(format!("expected an integer time point, found '{other}'")),
+        }
     }
 
     fn parse_order_items(&mut self) -> Result<Vec<OrderItem>, String> {
@@ -554,9 +756,21 @@ fn is_reserved(word: &str) -> bool {
             | "end"
             | "seq"
             | "vt"
+            | "of"
             | "period"
             | "asc"
             | "desc"
+            | "create"
+            | "table"
+            | "drop"
+            | "if"
+            | "exists"
+            | "insert"
+            | "into"
+            | "values"
+            | "delete"
+            | "update"
+            | "set"
     )
 }
 
@@ -570,9 +784,10 @@ mod tests {
             "SEQ VT (SELECT count(*) AS cnt FROM works PERIOD (ts, te) WHERE skill = 'SP')",
         )
         .unwrap();
-        let QueryExpr::SeqVt(inner) = stmt.query else {
+        let QueryExpr::SeqVt(inner, window) = stmt.query else {
             panic!("expected SEQ VT");
         };
+        assert_eq!(window, SeqWindow::Full);
         let QueryExpr::Select(sel) = *inner else {
             panic!("expected SELECT");
         };
@@ -594,10 +809,122 @@ mod tests {
              EXCEPT ALL SELECT skill FROM works PERIOD (ts, te))",
         )
         .unwrap();
-        let QueryExpr::SeqVt(inner) = stmt.query else {
+        let QueryExpr::SeqVt(inner, _) = stmt.query else {
             panic!("expected SEQ VT");
         };
         assert!(matches!(*inner, QueryExpr::ExceptAll(_, _)));
+    }
+
+    #[test]
+    fn seq_vt_windows_parse() {
+        let stmt = parse_statement("SEQ VT AS OF 7 (SELECT name FROM works)").unwrap();
+        let QueryExpr::SeqVt(_, window) = stmt.query else {
+            panic!("expected SEQ VT");
+        };
+        assert_eq!(window, SeqWindow::AsOf(7));
+
+        let stmt = parse_statement("SEQ VT BETWEEN -2 AND 9 (SELECT name FROM works)").unwrap();
+        let QueryExpr::SeqVt(_, window) = stmt.query else {
+            panic!("expected SEQ VT");
+        };
+        assert_eq!(window, SeqWindow::Between(-2, 9));
+
+        assert!(parse_statement("SEQ VT AS OF x (SELECT 1 FROM t)").is_err());
+        assert!(parse_statement("SEQ VT BETWEEN 1 (SELECT 1 FROM t)").is_err());
+    }
+
+    #[test]
+    fn create_table_parses() {
+        let stmt = parse_sql_statement(
+            "CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te)",
+        )
+        .unwrap();
+        let SqlStatement::CreateTable {
+            name,
+            columns,
+            period,
+        } = stmt
+        else {
+            panic!("expected CREATE TABLE");
+        };
+        assert_eq!(name, "works");
+        assert_eq!(columns.len(), 4);
+        assert_eq!(columns[0].name, "name");
+        assert_eq!(columns[0].ty, SqlType::Str);
+        assert_eq!(columns[2].ty, SqlType::Int);
+        assert_eq!(period, Some(("ts".into(), "te".into())));
+
+        assert!(parse_sql_statement("CREATE TABLE t (x blob)").is_err());
+    }
+
+    #[test]
+    fn drop_insert_delete_update_parse() {
+        assert_eq!(
+            parse_sql_statement("DROP TABLE IF EXISTS t;").unwrap(),
+            SqlStatement::DropTable {
+                name: "t".into(),
+                if_exists: true
+            }
+        );
+
+        let SqlStatement::Insert { table, source } = parse_sql_statement(
+            "INSERT INTO works VALUES ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16)",
+        )
+        .unwrap() else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(table, "works");
+        let InsertSource::Values(rows) = source else {
+            panic!("expected VALUES");
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 4);
+
+        let SqlStatement::Insert { source, .. } =
+            parse_sql_statement("INSERT INTO archive SELECT * FROM works WHERE te <= 10").unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(source, InsertSource::Query(_)));
+
+        let SqlStatement::Delete {
+            table,
+            where_clause,
+        } = parse_sql_statement("DELETE FROM works WHERE name = 'Joe'").unwrap()
+        else {
+            panic!("expected DELETE");
+        };
+        assert_eq!(table, "works");
+        assert!(where_clause.is_some());
+
+        let SqlStatement::Update {
+            table,
+            assignments,
+            where_clause,
+        } = parse_sql_statement("UPDATE works SET skill = 'NS', te = te + 1 WHERE name = 'Ann'")
+            .unwrap()
+        else {
+            panic!("expected UPDATE");
+        };
+        assert_eq!(table, "works");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[0].0, "skill");
+        assert!(where_clause.is_some());
+    }
+
+    #[test]
+    fn scripts_split_on_semicolons() {
+        let script =
+            "CREATE TABLE t (x INT);\n-- a comment\nINSERT INTO t VALUES (1);;\nSELECT x FROM t;";
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], SqlStatement::CreateTable { .. }));
+        assert!(matches!(stmts[1], SqlStatement::Insert { .. }));
+        assert!(matches!(stmts[2], SqlStatement::Query(_)));
+
+        // Missing semicolon between statements is an error.
+        assert!(parse_script("SELECT 1 FROM t SELECT 2 FROM t").is_err());
+        assert!(parse_script("").unwrap().is_empty());
     }
 
     #[test]

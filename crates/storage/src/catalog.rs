@@ -20,9 +20,19 @@ impl Catalog {
         self.tables.insert(name.into(), table);
     }
 
+    /// Removes (drops) a table, returning it when it existed.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
     /// Looks up a table.
     pub fn get(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
+    }
+
+    /// Looks up a table mutably (DML entry point of the session layer).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
     }
 
     /// Looks up a table, with a useful error.

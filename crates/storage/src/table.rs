@@ -16,6 +16,11 @@ fn next_version() -> u64 {
     VERSION_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
+/// How many append checkpoints a table keeps (see
+/// [`Table::appended_since`]): an index older than this many append batches
+/// falls back to a full rebuild.
+const MAX_APPEND_CHECKPOINTS: usize = 64;
+
 /// A stored relation: a schema, a multiset of rows (duplicates are separate
 /// rows, as in SQL), and an optional *period specification* naming the two
 /// integer columns that hold each tuple's validity interval `[begin, end)`.
@@ -30,6 +35,13 @@ pub struct Table {
     rows: Vec<Row>,
     period: Option<(usize, usize)>,
     version: u64,
+    /// Recent `(version, len)` states reachable from the current state by
+    /// *removing appended rows only*: entry `(v, l)` means "at version `v`
+    /// this table was exactly `rows[0..l]`". Appends push a checkpoint;
+    /// structural mutations (sort, delete, update) clear the history. This
+    /// is what lets index maintenance extend an index incrementally instead
+    /// of rebuilding — see [`Table::appended_since`].
+    append_checkpoints: Vec<(u64, usize)>,
 }
 
 // Equality ignores the version counter: two tables with the same schema,
@@ -43,11 +55,13 @@ impl PartialEq for Table {
 impl Table {
     /// Creates an empty, non-temporal table.
     pub fn new(schema: Schema) -> Self {
+        let version = next_version();
         Table {
             schema,
             rows: Vec::new(),
             period: None,
-            version: next_version(),
+            version,
+            append_checkpoints: vec![(version, 0)],
         }
     }
 
@@ -66,11 +80,13 @@ impl Table {
             SqlType::Int,
             "period end column must be INT"
         );
+        let version = next_version();
         Table {
             schema,
             rows: Vec::new(),
             period: Some((begin, end)),
-            version: next_version(),
+            version,
+            append_checkpoints: vec![(version, 0)],
         }
     }
 
@@ -91,6 +107,7 @@ impl Table {
 
     /// The version epoch: refreshed to a globally unique value by every
     /// content change ([`Table::push`], [`Table::extend`],
+    /// [`Table::delete_where`], [`Table::update_where`],
     /// [`Table::canonicalize`]). Index structures record the version they
     /// were built at and treat any mismatch as stale; uniqueness across
     /// tables means a replaced catalog entry can never masquerade as the
@@ -110,35 +127,139 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Validates a row against the schema (arity, and `begin < end` for
+    /// period tables), returning a diagnostic instead of panicking.
+    pub fn check_row(&self, row: &Row) -> Result<(), String> {
+        if row.arity() != self.schema.arity() {
+            return Err(format!(
+                "row arity {} does not match schema arity {}",
+                row.arity(),
+                self.schema.arity()
+            ));
+        }
+        if let Some((b, e)) = self.period {
+            let (vb, ve) = (row.get(b), row.get(e));
+            let (Some(ib), Some(ie)) = (vb.as_int(), ve.as_int()) else {
+                return Err(format!(
+                    "period endpoints must be non-NULL integers, got ({vb}, {ve})"
+                ));
+            };
+            if ib >= ie {
+                return Err(format!(
+                    "period tuple must satisfy begin < end, got [{ib}, {ie})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Refreshes the version after an append batch, checkpointing the new
+    /// state so indexes can catch up incrementally.
+    fn bump_append(&mut self) {
+        self.version = next_version();
+        self.append_checkpoints
+            .push((self.version, self.rows.len()));
+        if self.append_checkpoints.len() > MAX_APPEND_CHECKPOINTS {
+            let excess = self.append_checkpoints.len() - MAX_APPEND_CHECKPOINTS;
+            self.append_checkpoints.drain(..excess);
+        }
+    }
+
+    /// Refreshes the version after a structural mutation (anything that is
+    /// not a pure append): the checkpoint history restarts here.
+    fn bump_structural(&mut self) {
+        self.version = next_version();
+        self.append_checkpoints.clear();
+        self.append_checkpoints
+            .push((self.version, self.rows.len()));
+    }
+
     /// Appends a row.
     ///
     /// # Panics
     /// Panics on arity mismatch or (for period tables) `begin >= end`.
     pub fn push(&mut self, row: Row) {
-        assert_eq!(
-            row.arity(),
-            self.schema.arity(),
-            "row arity {} does not match schema arity {}",
-            row.arity(),
-            self.schema.arity()
-        );
-        if let Some((b, e)) = self.period {
-            assert!(
-                row.int(b) < row.int(e),
-                "period tuple must satisfy begin < end, got [{}, {})",
-                row.int(b),
-                row.int(e)
-            );
+        if let Err(e) = self.check_row(&row) {
+            panic!("{e}");
         }
         self.rows.push(row);
-        self.version = next_version();
+        self.bump_append();
     }
 
-    /// Bulk-extends the table.
+    /// Bulk-extends the table (one version bump for the whole batch).
+    ///
+    /// # Panics
+    /// Panics when any row fails [`Table::check_row`]; rows before the
+    /// offending one stay appended.
     pub fn extend<I: IntoIterator<Item = Row>>(&mut self, rows: I) {
+        let mut appended = false;
         for r in rows {
-            self.push(r);
+            if let Err(e) = self.check_row(&r) {
+                if appended {
+                    self.bump_append();
+                }
+                panic!("{e}");
+            }
+            self.rows.push(r);
+            appended = true;
         }
+        if appended {
+            self.bump_append();
+        }
+    }
+
+    /// Deletes every row matching `pred`, returning how many were removed.
+    /// A no-op delete leaves the version (and thus any index) untouched.
+    pub fn delete_where<P: FnMut(&Row) -> bool>(&mut self, mut pred: P) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.bump_structural();
+        }
+        removed
+    }
+
+    /// Replaces every row matching `pred` with `update(row)`, returning how
+    /// many rows changed. The updater is fallible so callers can fold their
+    /// own validation (e.g. type conformance) into the single pass.
+    /// Validation is atomic: if `update` errors or any replacement row is
+    /// invalid (arity, period), the table is left untouched and an error is
+    /// returned. A no-op update leaves the version untouched.
+    pub fn update_where<P, U>(&mut self, mut pred: P, mut update: U) -> Result<usize, String>
+    where
+        P: FnMut(&Row) -> bool,
+        U: FnMut(&Row) -> Result<Row, String>,
+    {
+        let mut replacements: Vec<(usize, Row)> = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if pred(row) {
+                let new_row = update(row)?;
+                self.check_row(&new_row)?;
+                replacements.push((i, new_row));
+            }
+        }
+        let updated = replacements.len();
+        for (i, new_row) in replacements {
+            self.rows[i] = new_row;
+        }
+        if updated > 0 {
+            self.bump_structural();
+        }
+        Ok(updated)
+    }
+
+    /// When the table state at `version` was exactly the current
+    /// `rows[0..l]` and only appends happened since, returns `Some(l)`;
+    /// otherwise `None` (structural change, unknown version, or history
+    /// trimmed past [`MAX_APPEND_CHECKPOINTS`] append batches). Versions are
+    /// globally unique, so a checkpoint hit can never be a look-alike from
+    /// another table or a diverged clone.
+    pub fn appended_since(&self, version: u64) -> Option<usize> {
+        self.append_checkpoints
+            .iter()
+            .find(|&&(v, _)| v == version)
+            .map(|&(_, len)| len)
     }
 
     /// The validity interval of a row (requires a period table).
@@ -155,7 +276,7 @@ impl Table {
     /// implementation layer.
     pub fn canonicalize(&mut self) {
         self.rows.sort_unstable();
-        self.version = next_version();
+        self.bump_structural();
     }
 
     /// A canonically sorted copy.
@@ -305,6 +426,118 @@ mod tests {
         let before = c1.version();
         c1.canonicalize();
         assert_ne!(before, c1.version());
+    }
+
+    #[test]
+    fn delete_and_update_where() {
+        let mut t = Table::with_period(works_schema(), 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        t.push(row!["Joe", "NS", 8, 16]);
+        t.push(row!["Sam", "SP", 8, 16]);
+
+        let v = t.version();
+        assert_eq!(t.delete_where(|r| r.get(0) == &Value::str("Zed")), 0);
+        assert_eq!(t.version(), v, "no-op delete keeps the version");
+
+        assert_eq!(t.delete_where(|r| r.get(1) == &Value::str("NS")), 1);
+        assert_eq!(t.len(), 2);
+        assert_ne!(t.version(), v);
+
+        let updated = t
+            .update_where(
+                |r| r.get(0) == &Value::str("Ann"),
+                |r| {
+                    let mut vals = r.values().to_vec();
+                    vals[1] = Value::str("NS");
+                    Ok(Row::new(vals))
+                },
+            )
+            .unwrap();
+        assert_eq!(updated, 1);
+        assert_eq!(t.rows()[0].get(1), &Value::str("NS"));
+
+        // Invalid replacement rows leave the table untouched.
+        let before = t.clone();
+        let err = t
+            .update_where(|_| true, |r| Ok(Row::new(r.values()[..2].to_vec())))
+            .unwrap_err();
+        assert!(err.contains("arity"));
+        assert_eq!(t, before);
+        assert_eq!(t.version(), before.version());
+
+        let err = t
+            .update_where(
+                |_| true,
+                |r| {
+                    let mut vals = r.values().to_vec();
+                    vals[2] = Value::Int(99);
+                    vals[3] = Value::Int(1);
+                    Ok(Row::new(vals))
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("begin < end"));
+        assert_eq!(t, before);
+
+        // An updater error aborts atomically, too.
+        let err = t
+            .update_where(|_| true, |_| Err::<Row, _>("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn append_checkpoints_track_pure_appends() {
+        let mut t = Table::with_period(works_schema(), 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        let v1 = t.version();
+        t.push(row!["Joe", "NS", 8, 16]);
+        t.extend(vec![row!["Sam", "SP", 8, 16], row!["Eve", "SP", 0, 2]]);
+        // From v1 (one row), only appends happened.
+        assert_eq!(t.appended_since(v1), Some(1));
+        assert_eq!(t.appended_since(t.version()), Some(4));
+        // Unknown versions (e.g. from another table) never match.
+        let other = Table::with_period(works_schema(), 2, 3);
+        assert_eq!(t.appended_since(other.version()), None);
+
+        // A structural mutation invalidates the history...
+        t.delete_where(|r| r.get(0) == &Value::str("Eve"));
+        assert_eq!(t.appended_since(v1), None);
+        // ...but the post-mutation state checkpoints again.
+        let v2 = t.version();
+        t.push(row!["Zed", "NS", 1, 3]);
+        assert_eq!(t.appended_since(v2), Some(3));
+
+        // Divergent clones do not see each other's append checkpoints.
+        let (mut a, mut b) = (t.clone(), t.clone());
+        a.push(row!["A1", "SP", 2, 4]);
+        b.push(row!["B1", "SP", 2, 4]);
+        assert_eq!(b.appended_since(a.version()), None);
+        assert_eq!(a.appended_since(b.version()), None);
+    }
+
+    #[test]
+    fn check_row_reports_instead_of_panicking() {
+        let t = Table::with_period(works_schema(), 2, 3);
+        assert!(t.check_row(&row!["Ann", "SP", 3, 10]).is_ok());
+        assert!(t
+            .check_row(&row!["Ann", "SP", 10, 3])
+            .unwrap_err()
+            .contains("begin < end"));
+        assert!(t
+            .check_row(&row!["Ann", "SP"])
+            .unwrap_err()
+            .contains("arity"));
+        assert!(t
+            .check_row(&Row::new(vec![
+                Value::str("Ann"),
+                Value::str("SP"),
+                Value::Null,
+                Value::Int(3),
+            ]))
+            .unwrap_err()
+            .contains("non-NULL"));
     }
 
     #[test]

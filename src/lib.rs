@@ -14,8 +14,11 @@
 //!   interval trees, coalescing accelerators) over stored period tables,
 //! * [`algebra`] — logical plans and scalar expressions,
 //! * [`engine`] — the embedded multiset execution engine,
-//! * [`sql`] — the SQL dialect with `SEQ VT (...)` snapshot blocks,
+//! * [`sql`] — the SQL dialect with `SEQ VT (...)` snapshot blocks (plus
+//!   `AS OF`/`BETWEEN` windows) and temporal DDL/DML,
 //! * [`rewrite`] — `PERIODENC` and the `REWR` rewriting scheme,
+//! * [`session`] — the statement-level database subsystem (`Database`,
+//!   `Session::execute`, the `snapshot_db` shell),
 //! * [`baseline`] — comparator implementations (point-wise oracle, ATSQL
 //!   interval preservation, alignment-based native evaluation),
 //! * [`datagen`] — synthetic Employees / TPC-BiH-style datasets.
@@ -28,6 +31,7 @@ pub use index;
 pub use rewrite;
 pub use semiring;
 pub use snapshot_core;
+pub use snapshot_session as session;
 pub use sql;
 pub use storage;
 pub use timeline;

@@ -1,0 +1,54 @@
+-- snapshot_db smoke script (run by CI):
+-- create a period table, populate it, index it, run SEQ VT queries, mutate
+-- the table, and re-run the queries. With .verify on, every query is
+-- executed on both the indexed and the naive route and the shell fails on
+-- any divergence — proving version-based index invalidation end-to-end.
+
+.verify on
+
+CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te);
+CREATE TABLE assign (mach TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te);
+
+INSERT INTO works VALUES
+  ('Ann', 'SP', 3, 10),
+  ('Joe', 'NS', 8, 16),
+  ('Sam', 'SP', 8, 16),
+  ('Ann', 'SP', 18, 20);
+INSERT INTO assign VALUES
+  ('M1', 'SP', 3, 12),
+  ('M2', 'SP', 6, 14),
+  ('M3', 'NS', 3, 16);
+
+.tables
+.index
+
+-- Figure 1b: on-duty SP workers per moment.
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
+-- Figure 1c: skills required but not present, per moment.
+SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works);
+
+.explain SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')
+
+-- Point-in-time (timeslice pushdown) and range-restricted windows.
+SEQ VT AS OF 9 (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+SEQ VT BETWEEN 5 AND 12 (SELECT skill, count(*) AS c FROM works GROUP BY skill);
+
+-- Mutate: appends take the incremental index path...
+INSERT INTO works VALUES ('Eve', 'SP', 0, 2), ('Pam', 'SP', 12, 19);
+.index
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
+-- ...and non-sequenced DELETE/UPDATE force a full rebuild.
+UPDATE works SET skill = 'NS' WHERE name = 'Sam';
+DELETE FROM works WHERE te <= 2;
+.index
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
+-- Derived archive table via INSERT ... SELECT.
+CREATE TABLE early (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te);
+INSERT INTO early SELECT * FROM works WHERE ts < 10;
+SELECT name, skill FROM early ORDER BY name;
+
+DROP TABLE early;
+.tables
