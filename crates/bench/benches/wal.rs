@@ -1,0 +1,209 @@
+//! Durability overhead and recovery throughput.
+//!
+//! Two questions the durability subsystem must answer with numbers:
+//!
+//! * **Log-append overhead** — how much slower is an INSERT through a
+//!   durable session than through an in-memory one, under each sync
+//!   policy? (`fsync`-per-statement is the honest default; `OnCheckpoint`
+//!   amortizes syncs and shows the ceiling.)
+//! * **Recovery speed** — how many rows per second does a cold open
+//!   restore, from a checkpoint (bulk decode) vs from a WAL tail
+//!   (statement replay)?
+//!
+//! Besides the criterion output, the run emits a machine-readable
+//! `BENCH_wal.json` summary at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_session::{Database, PersistenceOptions, Session, SessionOptions, SyncPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per insert-overhead measurement batch.
+const BATCH: usize = 64;
+
+/// Table sizes for the recovery benches.
+const RECOVERY_SIZES: [usize; 2] = [2_000, 8_000];
+
+fn scratch_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "snapshot_bench_wal_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const CREATE: &str = "CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te)";
+
+fn insert_statement(i: usize) -> String {
+    let ts = (i % 97) as i64;
+    format!(
+        "INSERT INTO works VALUES ('p{}', 'SP', {ts}, {})",
+        i % 31,
+        ts + 5
+    )
+}
+
+/// A durable session over a fresh directory (no auto-checkpointing, so the
+/// measured cost is pure log appends).
+fn durable_session(sync: SyncPolicy) -> (Session, PathBuf) {
+    let dir = scratch_dir();
+    let (mut s, _) = Session::open_durable(
+        &dir,
+        SessionOptions::default(),
+        PersistenceOptions {
+            sync,
+            checkpoint_every: 0,
+        },
+    )
+    .expect("open durable session");
+    s.execute(CREATE).unwrap();
+    (s, dir)
+}
+
+fn bench_append_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(5);
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(std::time::Duration::from_millis(750));
+
+    // In-memory baseline: the same statement stream, no durability.
+    let mut mem = Session::new(Database::new());
+    mem.execute(CREATE).unwrap();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("in-memory", BATCH), |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                mem.execute(&insert_statement(i)).unwrap();
+                i += 1;
+            }
+        })
+    });
+
+    let routes: [(&str, SyncPolicy); 2] = [
+        ("wal-sync-always", SyncPolicy::Always),
+        ("wal-sync-checkpoint", SyncPolicy::OnCheckpoint),
+    ];
+    for (label, sync) in routes {
+        let (mut s, dir) = durable_session(sync);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new(label, BATCH), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    s.execute(&insert_statement(i)).unwrap();
+                    i += 1;
+                }
+            })
+        });
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(5);
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(std::time::Duration::from_millis(750));
+
+    for &n in &RECOVERY_SIZES {
+        // Checkpoint route: all rows live in checkpoint.1, empty WAL.
+        let (mut s, ckpt_dir) = durable_session(SyncPolicy::OnCheckpoint);
+        for i in 0..n {
+            s.execute(&insert_statement(i)).unwrap();
+        }
+        s.database_mut().checkpoint().unwrap().unwrap();
+        drop(s);
+        group.bench_function(BenchmarkId::new("from-checkpoint", n), |b| {
+            b.iter(|| {
+                let (s, report) = Session::open_durable(
+                    &ckpt_dir,
+                    SessionOptions::default(),
+                    PersistenceOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(report.replayed, 0);
+                assert_eq!(s.database().catalog().total_rows(), n);
+            })
+        });
+
+        // WAL route: every row must be replayed through the pipeline.
+        let (mut s, wal_dir) = durable_session(SyncPolicy::OnCheckpoint);
+        for i in 0..n {
+            s.execute(&insert_statement(i)).unwrap();
+        }
+        drop(s);
+        group.bench_function(BenchmarkId::new("from-wal-replay", n), |b| {
+            b.iter(|| {
+                let (s, report) = Session::open_durable(
+                    &wal_dir,
+                    SessionOptions::default(),
+                    PersistenceOptions {
+                        sync: SyncPolicy::OnCheckpoint,
+                        checkpoint_every: 0,
+                    },
+                )
+                .unwrap();
+                assert_eq!(report.replayed, n + 1); // CREATE + n inserts
+                assert_eq!(s.database().catalog().total_rows(), n);
+            })
+        });
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+    group.finish();
+    emit_json(c);
+}
+
+/// Writes `BENCH_wal.json` at the repository root from the recorded
+/// summaries.
+fn emit_json(c: &Criterion) {
+    let median_of =
+        |id: &str| -> Option<f64> { c.summaries().iter().find(|s| s.id == id).map(|s| s.median) };
+    let (Some(mem), Some(always), Some(on_ckpt)) = (
+        median_of(&format!("wal_append/in-memory/{BATCH}")),
+        median_of(&format!("wal_append/wal-sync-always/{BATCH}")),
+        median_of(&format!("wal_append/wal-sync-checkpoint/{BATCH}")),
+    ) else {
+        eprintln!("missing append summaries; not writing BENCH_wal.json");
+        return;
+    };
+    let mut recovery = Vec::new();
+    for &n in &RECOVERY_SIZES {
+        let (Some(ckpt), Some(replay)) = (
+            median_of(&format!("wal_recovery/from-checkpoint/{n}")),
+            median_of(&format!("wal_recovery/from-wal-replay/{n}")),
+        ) else {
+            continue;
+        };
+        recovery.push(format!(
+            "    {{\"rows\": {n}, \"checkpoint_open_s\": {ckpt:.6e}, \
+             \"checkpoint_rows_per_s\": {:.0}, \"wal_replay_open_s\": {replay:.6e}, \
+             \"wal_replay_rows_per_s\": {:.0}}}",
+            n as f64 / ckpt,
+            n as f64 / replay
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"wal\",\n  \"append_overhead\": {{\n    \
+         \"batch\": {BATCH},\n    \"in_memory_s\": {mem:.6e},\n    \
+         \"wal_sync_always_s\": {always:.6e},\n    \
+         \"wal_sync_checkpoint_s\": {on_ckpt:.6e},\n    \
+         \"overhead_always_x\": {:.2},\n    \"overhead_checkpoint_x\": {:.2}\n  }},\n  \
+         \"recovery\": [\n{}\n  ]\n}}\n",
+        always / mem,
+        on_ckpt / mem,
+        recovery.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_append_overhead, bench_recovery);
+criterion_main!(benches);

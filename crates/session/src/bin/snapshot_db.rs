@@ -12,26 +12,53 @@
 //! ...
 //! ```
 //!
-//! Usage: `snapshot_db [--script FILE] [--no-index] [--verify] [--quiet]`.
+//! Usage: `snapshot_db [--db DIR] [--script FILE] [--sync POLICY]
+//! [--checkpoint-every N] [--no-index] [--verify] [--quiet]`.
 //! Without `--script`, reads statements from stdin (a statement runs once a
 //! line ends with `;`). Lines starting with `.` are meta commands — see
-//! `.help`.
+//! `.help`. With `--db DIR`, the database is durable: statements are
+//! write-ahead-logged into `DIR` and survive restarts.
 
-use snapshot_session::{Database, Session, SessionOptions, StatementResult};
+use snapshot_session::{
+    Database, PersistenceOptions, Session, SessionOptions, StatementResult, SyncPolicy,
+};
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
     let mut script: Option<String> = None;
+    let mut db_dir: Option<String> = None;
     let mut options = SessionOptions::default();
+    let mut persistence = PersistenceOptions::default();
+    let mut durability_flag: Option<&str> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--script" => match args.next() {
                 Some(path) => script = Some(path),
-                None => die("--script requires a file path"),
+                None => die_usage("--script requires a file path"),
             },
+            "--db" => match args.next() {
+                Some(dir) => db_dir = Some(dir),
+                None => die_usage("--db requires a directory path"),
+            },
+            "--sync" => {
+                durability_flag = Some("--sync");
+                match args.next().as_deref() {
+                    Some("always") => persistence.sync = SyncPolicy::Always,
+                    Some("checkpoint") => persistence.sync = SyncPolicy::OnCheckpoint,
+                    _ => die_usage("--sync requires a policy: 'always' or 'checkpoint'"),
+                }
+            }
+            "--checkpoint-every" => {
+                durability_flag = Some("--checkpoint-every");
+                match args.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => persistence.checkpoint_every = n,
+                    None => die_usage("--checkpoint-every requires a statement count"),
+                }
+            }
             "--no-index" => options.use_indexes = false,
             "--verify" => options.verify_indexed = true,
             "--quiet" => quiet = true,
@@ -39,12 +66,42 @@ fn main() {
                 println!("{USAGE}");
                 return;
             }
-            other => die(&format!("unknown argument '{other}'\n{USAGE}")),
+            other => die_usage(&format!("unknown argument '{other}'")),
         }
     }
+    if let (Some(flag), None) = (durability_flag, &db_dir) {
+        die_usage(&format!("{flag} has no effect without --db DIR"));
+    }
 
+    let session = match &db_dir {
+        Some(dir) => match Session::open_durable(Path::new(dir), options, persistence) {
+            Ok((session, report)) => {
+                if !quiet {
+                    let tables = session.database().catalog().table_names().count();
+                    let rows = session.database().catalog().total_rows();
+                    let source = match report.checkpoint_seq {
+                        Some(seq) => format!("checkpoint #{seq}"),
+                        None => "no checkpoint".to_string(),
+                    };
+                    let torn = if report.truncated_bytes > 0 {
+                        format!(", {} torn byte(s) truncated", report.truncated_bytes)
+                    } else {
+                        String::new()
+                    };
+                    println!(
+                        "opened {dir}: {source} + {} replayed statement(s){torn} \
+                         — {tables} table(s), {rows} row(s)",
+                        report.replayed
+                    );
+                }
+                session
+            }
+            Err(e) => die(&format!("cannot open database '{dir}': {e}")),
+        },
+        None => Session::with_options(Database::new(), options),
+    };
     let mut shell = Shell {
-        session: Session::with_options(Database::new(), options),
+        session,
         quiet,
         interactive: script.is_none(),
         pending: String::new(),
@@ -95,11 +152,20 @@ enum Flow {
     Fail,
 }
 
-const USAGE: &str = "usage: snapshot_db [--script FILE] [--no-index] [--verify] [--quiet]
-  --script FILE  execute a .sql script (meta commands allowed) and exit
-  --no-index     execute queries on the naive route only
-  --verify       re-run every indexed query naively and fail on divergence
-  --quiet        print summaries and timings but not result tables";
+const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLICY]
+                   [--checkpoint-every N] [--no-index] [--verify] [--quiet]
+  --db DIR              open a durable database in DIR (created if missing):
+                        statements are write-ahead-logged and the catalog is
+                        checkpointed, so the database survives restarts
+  --script FILE         execute a .sql script (meta commands allowed) and exit
+  --sync POLICY         WAL sync policy: 'always' (fsync per statement, the
+                        default) or 'checkpoint' (fsync only at checkpoints)
+  --checkpoint-every N  auto-checkpoint after N logged statements
+                        (default 64; 0 disables auto-checkpointing)
+  --no-index            execute queries on the naive route only
+  --verify              re-run every indexed query naively and fail on divergence
+  --quiet               print summaries and timings but not result tables
+  --help, -h            print this usage";
 
 const HELP: &str = "statements end with ';' and may span lines. Meta commands:
   .help              this help
@@ -108,11 +174,19 @@ const HELP: &str = "statements end with ';' and may span lines. Meta commands:
   .index [t]         refresh the index of table t (all tables when omitted)
   .explain SQL       show the compiled physical plan of a query
   .verify on|off     cross-check indexed queries against the naive route
+  .checkpoint        write a checkpoint now (durable databases only)
+  .dump [FILE]       write the catalog as a re-loadable SQL script
+                     (to stdout when FILE is omitted)
   .quit              exit";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(1)
+}
+
+/// An argument error: the message plus the full usage string.
+fn die_usage(msg: &str) -> ! {
+    die(&format!("{msg}\n{USAGE}"))
 }
 
 struct Shell {
@@ -205,6 +279,8 @@ impl Shell {
                 let rest = meta.strip_prefix("explain").unwrap_or("").trim();
                 self.explain(rest)
             }
+            "checkpoint" => self.checkpoint(),
+            "dump" => self.dump(words.next()),
             "verify" => match words.next() {
                 Some("on") => {
                     self.session.options_mut().verify_indexed = true;
@@ -263,10 +339,13 @@ impl Shell {
                 let catalog = datagen::employees::generate(scale, 42);
                 let total = catalog.total_rows();
                 let names: Vec<String> = catalog.table_names().map(String::from).collect();
-                for name in &names {
-                    let table = catalog.get(name).unwrap().clone();
-                    self.session.database_mut().register_table(name, table);
-                }
+                // One batch registration: on a durable database this
+                // checkpoints once for the whole load (bulk loads have no
+                // statement form to log).
+                let tables = names
+                    .iter()
+                    .map(|name| (name.clone(), catalog.get(name).unwrap().clone()));
+                self.session.database_mut().register_tables(tables)?;
                 println!(
                     "loaded employees (~{n} employees): {} tables, {total} rows [{:.1} ms]",
                     names.len(),
@@ -299,6 +378,32 @@ impl Shell {
             after.incremental_builds - before.incremental_builds,
             started.elapsed().as_secs_f64() * 1e3
         );
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<(), String> {
+        let started = Instant::now();
+        match self.session.database_mut().checkpoint()? {
+            Some(seq) => {
+                println!(
+                    "checkpoint #{seq} written [{:.3} ms]",
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+                Ok(())
+            }
+            None => Err("not a durable database (start with --db DIR)".to_string()),
+        }
+    }
+
+    fn dump(&self, file: Option<&str>) -> Result<(), String> {
+        let sql = snapshot_wal::dump_sql(self.session.database().catalog());
+        match file {
+            Some(path) => {
+                std::fs::write(path, &sql).map_err(|e| format!("cannot write '{path}': {e}"))?;
+                println!("dumped {} byte(s) to {path}", sql.len());
+            }
+            None => print!("{sql}"),
+        }
         Ok(())
     }
 

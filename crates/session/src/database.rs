@@ -9,13 +9,37 @@
 //! incremental path whenever the table's checkpoint history allows it.
 
 use index::{IndexCatalog, MaintenanceStats};
+use snapshot_wal::Persistence;
 use storage::{Catalog, Row, Schema, SqlType, Table, Value};
 
-/// A live database: named tables plus their (lazily maintained) indexes.
-#[derive(Debug, Clone, Default)]
+/// A live database: named tables plus their (lazily maintained) indexes,
+/// optionally backed by a durable database directory.
+///
+/// Durability is *statement-level*: the session layer logs each executed
+/// DDL/DML statement to the attached [`Persistence`]'s write-ahead log and
+/// checkpoints the whole catalog periodically. Mutations applied through
+/// this type directly (bypassing `Session::execute`) are captured only at
+/// the next checkpoint; [`Database::register_table`] — the bulk-load entry
+/// point, which has no statement form — therefore checkpoints immediately
+/// when a directory is attached.
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     indexes: IndexCatalog,
+    persistence: Option<Persistence>,
+}
+
+/// Cloning forks the in-memory state only: the clone shares no WAL or
+/// checkpoint files with the original (two writers on one directory would
+/// corrupt each other's logs), so it comes back non-durable.
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            catalog: self.catalog.clone(),
+            indexes: self.indexes.clone(),
+            persistence: None,
+        }
+    }
 }
 
 impl Database {
@@ -30,7 +54,55 @@ impl Database {
         Database {
             catalog,
             indexes: IndexCatalog::new(),
+            persistence: None,
         }
+    }
+
+    /// Attaches an opened database directory: subsequent logged statements
+    /// go to its WAL and checkpoints snapshot this catalog. The session
+    /// layer attaches *after* replaying the recovery tail, so replayed
+    /// statements are not re-logged.
+    pub fn attach_persistence(&mut self, persistence: Persistence) {
+        self.persistence = Some(persistence);
+    }
+
+    /// The attached database directory, when durable.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persistence.as_ref()
+    }
+
+    /// Whether a database directory is attached.
+    pub fn is_durable(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Appends one executed statement to the WAL (no-op when in-memory).
+    pub(crate) fn log_statement(&mut self, sql: &str) -> Result<(), String> {
+        match &mut self.persistence {
+            Some(p) => p.log_statement(sql),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoints now: writes the full catalog to a new `checkpoint.N`
+    /// and resets the WAL. Returns the checkpoint's sequence number, or
+    /// `None` for an in-memory database.
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, String> {
+        match &mut self.persistence {
+            Some(p) => p.checkpoint(&self.catalog).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Checkpoints when the auto-checkpoint threshold
+    /// ([`snapshot_wal::PersistenceOptions::checkpoint_every`]) is reached.
+    pub(crate) fn auto_checkpoint(&mut self) -> Result<(), String> {
+        if let Some(p) = &mut self.persistence {
+            if p.should_checkpoint() {
+                p.checkpoint(&self.catalog)?;
+            }
+        }
+        Ok(())
     }
 
     /// The table namespace.
@@ -96,9 +168,28 @@ impl Database {
 
     /// Registers (or replaces) a table wholesale — the bulk-load entry
     /// point (`.load` in the shell). Any index on a replaced entry reads as
-    /// stale through the version epoch.
-    pub fn register_table(&mut self, name: impl Into<String>, table: Table) {
-        self.catalog.register(name, table);
+    /// stale through the version epoch. Bulk loads have no statement form
+    /// the WAL could replay, so a durable database checkpoints immediately;
+    /// on a checkpoint error the in-memory load stands but the error is
+    /// returned (the on-disk state is then simply older).
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Result<(), String> {
+        self.register_tables(std::iter::once((name.into(), table)))
+    }
+
+    /// Registers a batch of tables wholesale with a *single* checkpoint at
+    /// the end (see [`Database::register_table`]) — checkpoints serialize
+    /// the whole catalog, so one per batch, not one per table.
+    pub fn register_tables<I>(&mut self, tables: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = (String, Table)>,
+    {
+        for (name, table) in tables {
+            self.catalog.register(name, table);
+        }
+        match &mut self.persistence {
+            Some(p) => p.checkpoint(&self.catalog).map(|_| ()),
+            None => Ok(()),
+        }
     }
 
     /// Inserts rows into a table after conforming each one to the schema

@@ -18,9 +18,20 @@
 //!   compilation over interval-tree overlap probes),
 //! * `snapshot_db` (`src/bin/`) — the line-oriented shell driving a
 //!   session interactively or from `.sql` scripts.
+//!
+//! Sessions are durable when opened on a database directory
+//! ([`Session::open_durable`]): every executed DDL/DML statement is
+//! appended to a write-ahead log and the catalog is checkpointed
+//! periodically (see the `snapshot_wal` crate), so the database survives
+//! restarts — and crashes: recovery loads the newest valid checkpoint,
+//! replays the WAL tail through the same pipeline, and truncates torn
+//! tails instead of failing.
 
 pub mod database;
 pub mod session;
 
 pub use database::Database;
-pub use session::{Session, SessionOptions, StatementResult};
+pub use session::{RecoveryReport, Session, SessionOptions, StatementResult};
+// Durability configuration, re-exported so shell/bench/tests need not
+// depend on `snapshot_wal` directly.
+pub use snapshot_wal::{PersistenceOptions, SyncPolicy};

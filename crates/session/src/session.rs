@@ -12,11 +12,13 @@ use crate::database::{conform_row, Database};
 use algebra::Plan;
 use engine::{eval_expr, eval_predicate, Engine};
 use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
+use snapshot_wal::{Persistence, PersistenceOptions};
 use sql::{
-    bind_scalar_expr, bind_statement, parse_script, parse_sql_statement, AstExpr, ColumnDef,
+    bind_scalar_expr, bind_statement, parse_sql_statement, split_script, AstExpr, ColumnDef,
     InsertSource, SqlStatement, Statement,
 };
 use std::fmt;
+use std::path::Path;
 use storage::{Column, Row, Schema, SqlType, Table};
 
 /// What executing one statement produced.
@@ -112,6 +114,20 @@ impl Default for SessionOptions {
     }
 }
 
+/// What recovering a database directory found and did (see
+/// [`Session::open_durable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint the catalog was loaded from
+    /// (`None` when the directory had no valid checkpoint).
+    pub checkpoint_seq: Option<u64>,
+    /// WAL statements replayed through the execution pipeline on top of
+    /// the checkpoint.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt WAL tail truncated away during recovery.
+    pub truncated_bytes: u64,
+}
+
 /// A statement-level connection to a [`Database`].
 #[derive(Debug, Clone, Default)]
 pub struct Session {
@@ -139,6 +155,49 @@ impl Session {
         }
     }
 
+    /// Opens a *durable* session on a database directory, recovering
+    /// whatever the directory holds: the newest valid checkpoint is
+    /// loaded, the WAL tail beyond it is replayed through the ordinary
+    /// parse → bind → execute pipeline (a torn or corrupt tail is
+    /// truncated to the longest valid prefix first), and from then on
+    /// every executed DDL/DML statement is logged before the session
+    /// reports it done. An empty or missing directory starts an empty
+    /// durable database.
+    pub fn open_durable(
+        dir: &Path,
+        options: SessionOptions,
+        persistence: PersistenceOptions,
+    ) -> Result<(Session, RecoveryReport), String> {
+        let (persistence, recovery) = Persistence::open(dir, persistence)?;
+        let db = match recovery.catalog {
+            Some(catalog) => Database::from_catalog(catalog),
+            None => Database::new(),
+        };
+        let mut session = Session::with_options(db, options);
+        // Replay before attaching the log, so replayed statements are not
+        // logged a second time. Records were validated when first
+        // executed; a replay failure means the directory does not match
+        // this binary's dialect (or was tampered with) — surface it.
+        for record in &recovery.replay {
+            session
+                .execute_statement(
+                    &parse_sql_statement(&record.sql).map_err(|e| {
+                        format!("WAL replay: cannot parse record {}: {e}", record.lsn)
+                    })?,
+                )
+                .map_err(|e| format!("WAL replay failed at lsn {}: {e}", record.lsn))?;
+        }
+        session.db.attach_persistence(persistence);
+        Ok((
+            session,
+            RecoveryReport {
+                checkpoint_seq: recovery.checkpoint_seq,
+                replayed: recovery.replay.len(),
+                truncated_bytes: recovery.truncated_bytes,
+            },
+        ))
+    }
+
     /// The underlying database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -159,24 +218,51 @@ impl Session {
         &mut self.options
     }
 
-    /// Parses and executes one statement.
+    /// Parses and executes one statement. On a durable session (see
+    /// [`Session::open_durable`]), a successful DDL/DML statement is
+    /// appended to the write-ahead log before this returns.
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult, String> {
         let stmt = parse_sql_statement(sql)?;
-        self.execute_statement(&stmt)
+        self.apply(&stmt, sql)
     }
 
     /// Parses and executes a `;`-separated script, stopping at the first
-    /// error.
+    /// error. The whole script is parsed up front, so a syntax error
+    /// anywhere prevents any statement from running; execution errors stop
+    /// the script mid-way. Durable sessions log each successful DDL/DML
+    /// statement individually.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, String> {
-        let stmts = parse_script(sql)?;
+        let pieces = split_script(sql);
+        let mut stmts = Vec::with_capacity(pieces.len());
+        for piece in &pieces {
+            stmts.push(parse_sql_statement(piece)?);
+        }
         let mut out = Vec::with_capacity(stmts.len());
-        for stmt in &stmts {
-            out.push(self.execute_statement(stmt)?);
+        for (stmt, piece) in stmts.iter().zip(&pieces) {
+            out.push(self.apply(stmt, piece)?);
         }
         Ok(out)
     }
 
+    /// Executes one statement and, for successful mutations on a durable
+    /// session, logs its text and runs the auto-checkpoint policy.
+    fn apply(&mut self, stmt: &SqlStatement, text: &str) -> Result<StatementResult, String> {
+        let result = self.execute_statement(stmt)?;
+        if !matches!(stmt, SqlStatement::Query(_)) && self.db.is_durable() {
+            let clean = text.trim().trim_end_matches(';').trim_end();
+            self.db.log_statement(clean)?;
+            self.db.auto_checkpoint()?;
+        }
+        Ok(result)
+    }
+
     /// Executes one parsed statement.
+    ///
+    /// This is the raw pipeline entry point: it never touches the
+    /// write-ahead log (there is no source text to record). Durable
+    /// sessions should go through [`Session::execute`] /
+    /// [`Session::execute_script`]; mutations applied here are captured
+    /// on disk only at the next checkpoint.
     pub fn execute_statement(&mut self, stmt: &SqlStatement) -> Result<StatementResult, String> {
         match stmt {
             SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),

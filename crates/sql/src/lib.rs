@@ -39,4 +39,4 @@ pub use ast::{
     SeqWindow, SqlStatement, Statement,
 };
 pub use binder::{bind_scalar_expr, bind_statement, BoundStatement};
-pub use parser::{parse_script, parse_sql_statement, parse_statement};
+pub use parser::{parse_script, parse_sql_statement, parse_statement, split_script};

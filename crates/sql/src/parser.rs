@@ -28,6 +28,73 @@ pub fn parse_sql_statement(input: &str) -> Result<SqlStatement, String> {
     Ok(stmt)
 }
 
+/// Splits a `;`-separated script into the *source text* of its
+/// statements, without parsing them. Semicolons inside single-quoted
+/// strings (with `''` escapes) and `--` line comments do not split;
+/// comment-only and empty pieces are dropped; each returned piece is
+/// trimmed and carries no trailing `;`.
+///
+/// This is the statement-granular view the durability layer needs: the
+/// write-ahead log records each executed statement's exact text, so the
+/// splitter must agree with the lexer on where statements end. It is
+/// purely lexical — a piece may still fail to parse.
+pub fn split_script(input: &str) -> Vec<String> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let (mut start, mut i) = (0usize, 0usize);
+    let mut push = |piece: &[char]| {
+        let text: String = piece.iter().collect();
+        // Strip comment-only and blank lines at the edges (interior
+        // comments are part of the statement text and parse fine); drop
+        // pieces with no statement text at all.
+        let blank = |l: &&str| {
+            let l = l.trim();
+            l.is_empty() || l.starts_with("--")
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let (Some(first), Some(last)) = (
+            lines.iter().position(|l| !blank(l)),
+            lines.iter().rposition(|l| !blank(l)),
+        ) else {
+            return;
+        };
+        pieces.push(lines[first..=last].join("\n").trim().to_string());
+    };
+    while i < chars.len() {
+        match chars[i] {
+            ';' => {
+                push(&chars[start..i]);
+                i += 1;
+                start = i;
+            }
+            '\'' => {
+                // A string literal: skip to its end; `''` escapes a quote.
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\'' {
+                        if chars.get(i + 1) == Some(&'\'') {
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    push(&chars[start..]);
+    pieces
+}
+
 /// Parses a `;`-separated script into its statements. Empty statements
 /// (stray semicolons) are skipped; the final `;` is optional.
 pub fn parse_script(input: &str) -> Result<Vec<SqlStatement>, String> {
@@ -925,6 +992,35 @@ mod tests {
         // Missing semicolon between statements is an error.
         assert!(parse_script("SELECT 1 FROM t SELECT 2 FROM t").is_err());
         assert!(parse_script("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn split_script_respects_strings_and_comments() {
+        let script = "-- header comment\n\
+                      INSERT INTO t VALUES ('a; b', 'it''s; fine'); -- tail; comment\n\
+                      SELECT x FROM t;\n\
+                      ;;\n\
+                      -- only a comment\n\
+                      DELETE FROM t";
+        let pieces = split_script(script);
+        assert_eq!(
+            pieces,
+            vec![
+                "INSERT INTO t VALUES ('a; b', 'it''s; fine')",
+                "SELECT x FROM t",
+                "DELETE FROM t",
+            ]
+        );
+        assert!(split_script("  \n-- nothing\n").is_empty());
+
+        // The split agrees with the parser: piece-wise parsing equals
+        // whole-script parsing.
+        let whole = parse_script(script).unwrap();
+        let piecewise: Vec<SqlStatement> = split_script(script)
+            .iter()
+            .map(|s| parse_sql_statement(s).unwrap())
+            .collect();
+        assert_eq!(whole, piecewise);
     }
 
     #[test]

@@ -249,6 +249,86 @@ impl Table {
         Ok(updated)
     }
 
+    /// The append-checkpoint history: recent `(version, len)` states
+    /// reachable from the current state by removing appended rows only (the
+    /// last entry is always the current `(version, len)`). Exposed so the
+    /// durability layer can serialize tables losslessly — see
+    /// [`Table::restore`].
+    pub fn append_checkpoints(&self) -> &[(u64, usize)] {
+        &self.append_checkpoints
+    }
+
+    /// Rebuilds a table from serialized state (the durability layer's
+    /// decode path): schema, period spec, rows, the version epoch it was
+    /// saved at, and its append-checkpoint history.
+    ///
+    /// Every row is re-validated against the schema and period spec, and
+    /// the checkpoint history must be well-formed (non-empty, lengths
+    /// non-decreasing and bounded by the row count, versions strictly
+    /// increasing, last entry equal to the current `(version, len)` state).
+    /// The process-wide version-epoch counter is advanced past the restored
+    /// version, so versions stay globally unique: a table created *after* a
+    /// restore can never collide with a restored epoch, which keeps
+    /// version-based index staleness checks sound across restarts.
+    pub fn restore(
+        schema: Schema,
+        period: Option<(usize, usize)>,
+        rows: Vec<Row>,
+        version: u64,
+        append_checkpoints: Vec<(u64, usize)>,
+    ) -> Result<Table, String> {
+        if let Some((b, e)) = period {
+            if b == e {
+                return Err("period begin and end must be distinct columns".into());
+            }
+            for idx in [b, e] {
+                let col = schema
+                    .columns()
+                    .get(idx)
+                    .ok_or_else(|| format!("period column {idx} out of range"))?;
+                if col.ty != SqlType::Int {
+                    return Err(format!("period column '{}' must be INT", col.name));
+                }
+            }
+        }
+        match append_checkpoints.last() {
+            None => return Err("append-checkpoint history must not be empty".into()),
+            Some(&(v, len)) => {
+                if v != version || len != rows.len() {
+                    return Err(format!(
+                        "last append checkpoint ({v}, {len}) does not match current \
+                         state ({version}, {})",
+                        rows.len()
+                    ));
+                }
+            }
+        }
+        for pair in append_checkpoints.windows(2) {
+            let ((v0, l0), (v1, l1)) = (pair[0], pair[1]);
+            if v0 >= v1 || l0 > l1 {
+                return Err(format!(
+                    "append checkpoints must be strictly version-increasing with \
+                     non-decreasing lengths: ({v0}, {l0}) then ({v1}, {l1})"
+                ));
+            }
+        }
+        let table = Table {
+            schema,
+            rows: Vec::new(),
+            period,
+            version,
+            append_checkpoints,
+        };
+        for row in &rows {
+            table.check_row(row)?;
+        }
+        // Advance the global epoch source past the restored version so the
+        // next construction or mutation anywhere in the process draws a
+        // strictly larger value.
+        VERSION_EPOCH.fetch_max(version.saturating_add(1), Ordering::Relaxed);
+        Ok(Table { rows, ..table })
+    }
+
     /// When the table state at `version` was exactly the current
     /// `rows[0..l]` and only appends happened since, returns `Some(l)`;
     /// otherwise `None` (structural change, unknown version, or history
@@ -515,6 +595,71 @@ mod tests {
         b.push(row!["B1", "SP", 2, 4]);
         assert_eq!(b.appended_since(a.version()), None);
         assert_eq!(a.appended_since(b.version()), None);
+    }
+
+    #[test]
+    fn restore_rebuilds_state_and_advances_the_epoch() {
+        let mut t = Table::with_period(works_schema(), 2, 3);
+        t.push(row!["Ann", "SP", 3, 10]);
+        t.push(row!["Joe", "NS", 8, 16]);
+
+        let r = Table::restore(
+            t.schema().clone(),
+            t.period(),
+            t.rows().to_vec(),
+            t.version(),
+            t.append_checkpoints().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(r, t);
+        assert_eq!(r.version(), t.version());
+        assert_eq!(r.append_checkpoints(), t.append_checkpoints());
+        // The incremental-maintenance contract survives the round trip.
+        let v_first = t.append_checkpoints()[1].0;
+        assert_eq!(r.appended_since(v_first), t.appended_since(v_first));
+
+        // The global epoch resumes strictly above every restored version.
+        let fresh = Table::new(works_schema());
+        assert!(fresh.version() > r.version());
+
+        // Malformed inputs are rejected, not panicked on.
+        assert!(
+            Table::restore(works_schema(), Some((2, 2)), vec![], 1, vec![(1, 0)])
+                .unwrap_err()
+                .contains("distinct")
+        );
+        assert!(
+            Table::restore(works_schema(), Some((0, 3)), vec![], 1, vec![(1, 0)])
+                .unwrap_err()
+                .contains("must be INT")
+        );
+        assert!(
+            Table::restore(works_schema(), Some((2, 9)), vec![], 1, vec![(1, 0)])
+                .unwrap_err()
+                .contains("out of range")
+        );
+        assert!(Table::restore(works_schema(), None, vec![], 1, vec![])
+            .unwrap_err()
+            .contains("must not be empty"));
+        assert!(
+            Table::restore(works_schema(), None, vec![], 5, vec![(5, 3)])
+                .unwrap_err()
+                .contains("does not match")
+        );
+        assert!(
+            Table::restore(works_schema(), None, vec![], 5, vec![(7, 0), (5, 0)])
+                .unwrap_err()
+                .contains("version-increasing")
+        );
+        assert!(Table::restore(
+            works_schema(),
+            Some((2, 3)),
+            vec![row!["Ann", "SP", 9, 4]],
+            5,
+            vec![(5, 1)]
+        )
+        .unwrap_err()
+        .contains("begin < end"));
     }
 
     #[test]

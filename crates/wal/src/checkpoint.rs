@@ -1,0 +1,292 @@
+//! Checkpoint files: durable snapshots of the full catalog.
+//!
+//! A checkpoint `DIR/checkpoint.N` holds the complete
+//! [`storage::Catalog`] — schemas, period specs, rows, version epochs,
+//! append-checkpoint histories — plus the LSN up to which the WAL is
+//! *covered* (already reflected in the snapshot). The file layout is
+//!
+//! ```text
+//! [8-byte magic "SNAPCKPT"][format version: u32][crc32(body): u32]
+//! [body_len: u64][body]
+//! body = [seq: u64][covered_lsn: u64][catalog]
+//! ```
+//!
+//! Checkpoints are written atomically: encode to `checkpoint.N.tmp`,
+//! `fsync`, rename over the final name, `fsync` the directory. A crash at
+//! any point leaves either the old state or the new one, never a
+//! half-written file that parses; recovery takes the newest checkpoint
+//! whose CRC validates and falls back to older ones otherwise.
+
+use crate::codec::{decode_catalog, encode_catalog, Reader, Writer};
+use crate::crc::crc32;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use storage::Catalog;
+
+/// The checkpoint file magic.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SNAPCKPT";
+
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A decoded checkpoint.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Checkpoint sequence number (the `N` in `checkpoint.N`).
+    pub seq: u64,
+    /// WAL records with `lsn <= covered_lsn` are already reflected in
+    /// `catalog` and must not be replayed.
+    pub covered_lsn: u64,
+    /// The catalog snapshot.
+    pub catalog: Catalog,
+}
+
+/// The path of checkpoint number `seq` inside `dir`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint.{seq}"))
+}
+
+/// Serializes a checkpoint into its file bytes.
+fn encode(seq: u64, covered_lsn: u64, catalog: &Catalog) -> Vec<u8> {
+    let mut body = Writer::new();
+    body.put_u64(seq);
+    body.put_u64(covered_lsn);
+    encode_catalog(&mut body, catalog);
+    let body = body.into_bytes();
+    let mut out = Writer::new();
+    out.put_u32(FORMAT_VERSION);
+    out.put_u32(crc32(&body));
+    out.put_u64(body.len() as u64);
+    let mut bytes = CHECKPOINT_MAGIC.to_vec();
+    bytes.extend_from_slice(&out.into_bytes());
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+/// Parses and validates checkpoint file bytes.
+fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
+    let Some(magic) = bytes.get(..CHECKPOINT_MAGIC.len()) else {
+        return Err("checkpoint file shorter than its magic".into());
+    };
+    if magic != CHECKPOINT_MAGIC {
+        return Err("not a snapshot checkpoint file (bad magic)".into());
+    }
+    let mut r = Reader::new(&bytes[CHECKPOINT_MAGIC.len()..]);
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "unsupported checkpoint format version {version} (expected {FORMAT_VERSION})"
+        ));
+    }
+    let crc = r.get_u32()?;
+    let body_len = r.get_u64()? as usize;
+    if r.remaining() != body_len {
+        return Err(format!(
+            "checkpoint body length mismatch: header says {body_len}, file has {}",
+            r.remaining()
+        ));
+    }
+    let body = &bytes[bytes.len() - body_len..];
+    if crc32(body) != crc {
+        return Err("checkpoint CRC mismatch (torn or corrupted write)".into());
+    }
+    let mut r = Reader::new(body);
+    let seq = r.get_u64()?;
+    let covered_lsn = r.get_u64()?;
+    let catalog = decode_catalog(&mut r)?;
+    if !r.is_empty() {
+        return Err(format!(
+            "checkpoint has {} bytes of trailing garbage",
+            r.remaining()
+        ));
+    }
+    Ok(Checkpoint {
+        seq,
+        covered_lsn,
+        catalog,
+    })
+}
+
+/// Writes checkpoint `seq` atomically (temp file + `fsync` + rename +
+/// directory `fsync`) and returns its final path.
+pub fn write_checkpoint(
+    dir: &Path,
+    seq: u64,
+    covered_lsn: u64,
+    catalog: &Catalog,
+) -> Result<PathBuf, String> {
+    let bytes = encode(seq, covered_lsn, catalog);
+    let final_path = checkpoint_path(dir, seq);
+    let tmp_path = dir.join(format!("checkpoint.{seq}.tmp"));
+    let mut tmp = fs::File::create(&tmp_path)
+        .map_err(|e| format!("cannot create '{}': {e}", tmp_path.display()))?;
+    tmp.write_all(&bytes)
+        .and_then(|()| tmp.sync_all())
+        .map_err(|e| format!("cannot write '{}': {e}", tmp_path.display()))?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| format!("cannot rename checkpoint into place: {e}"))?;
+    // Persist the rename itself (directory metadata). Directories cannot
+    // be fsynced on all platforms; treat failure as best-effort there.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Reads and validates one checkpoint file.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    decode(&bytes).map_err(|e| format!("'{}': {e}", path.display()))
+}
+
+/// Checkpoint sequence numbers present in `dir`, sorted ascending.
+/// Temp files and unrelated names are ignored.
+pub fn list_checkpoints(dir: &Path) -> Vec<u64> {
+    let mut seqs = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return seqs;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name.strip_prefix("checkpoint.") {
+            if let Ok(seq) = seq.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    seqs
+}
+
+/// The result of scanning a directory's checkpoint chain.
+#[derive(Debug, Default)]
+pub struct CheckpointScan {
+    /// The newest checkpoint that validates, when any does.
+    pub newest_valid: Option<Checkpoint>,
+    /// Sequence numbers of checkpoints *newer* than the loaded one that
+    /// failed to validate. Falling back across these is only safe when the
+    /// WAL still bridges the gap — recovery must check (a renamed
+    /// checkpoint was fully written and fsynced, so an invalid one here
+    /// means post-write corruption, not a torn write).
+    pub invalid_newer: Vec<u64>,
+}
+
+/// Scans `dir` for the newest valid checkpoint, recording any newer
+/// checkpoints that exist but fail to validate.
+pub fn scan_checkpoints(dir: &Path) -> CheckpointScan {
+    let mut scan = CheckpointScan::default();
+    for seq in list_checkpoints(dir).into_iter().rev() {
+        match read_checkpoint(&checkpoint_path(dir, seq)) {
+            Ok(cp) => {
+                scan.newest_valid = Some(cp);
+                return scan;
+            }
+            Err(_) => scan.invalid_newer.push(seq),
+        }
+    }
+    scan
+}
+
+/// Loads the newest valid checkpoint in `dir`, trying older ones when the
+/// newest is torn or corrupt. Returns `None` when no checkpoint validates.
+pub fn load_newest(dir: &Path) -> Option<Checkpoint> {
+    scan_checkpoints(dir).newest_valid
+}
+
+/// Deletes checkpoints older than `keep_newest` entries (the newest is the
+/// recovery source; one predecessor is kept as a spare). Best-effort:
+/// deletion failures are ignored, stale files only cost disk.
+pub fn prune(dir: &Path, keep_newest: usize) {
+    let seqs = list_checkpoints(dir);
+    if seqs.len() > keep_newest {
+        for &seq in &seqs[..seqs.len() - keep_newest] {
+            let _ = fs::remove_file(checkpoint_path(dir, seq));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{row, Schema, SqlType, Table};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("snapshot_ckpt_test_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut t = Table::with_period(
+            Schema::of(&[
+                ("name", SqlType::Str),
+                ("ts", SqlType::Int),
+                ("te", SqlType::Int),
+            ]),
+            1,
+            2,
+        );
+        t.push(row!["Ann", 3, 10]);
+        t.push(row!["Joe", 8, 16]);
+        let mut c = Catalog::new();
+        c.register("works", t);
+        c
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let catalog = sample_catalog();
+        let path = write_checkpoint(&dir, 3, 17, &catalog).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        assert_eq!(cp.seq, 3);
+        assert_eq!(cp.covered_lsn, 17);
+        assert_eq!(cp.catalog.get("works"), catalog.get("works"));
+        assert_eq!(
+            cp.catalog.get("works").unwrap().version(),
+            catalog.get("works").unwrap().version()
+        );
+    }
+
+    #[test]
+    fn newest_valid_wins_and_corrupt_newest_falls_back() {
+        let dir = tmp_dir("fallback");
+        let catalog = sample_catalog();
+        write_checkpoint(&dir, 1, 5, &catalog).unwrap();
+        write_checkpoint(&dir, 2, 9, &catalog).unwrap();
+        assert_eq!(load_newest(&dir).unwrap().seq, 2);
+
+        // Corrupt the newest: recovery falls back to seq 1.
+        let p2 = checkpoint_path(&dir, 2);
+        let mut bytes = fs::read(&p2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&p2, &bytes).unwrap();
+        assert!(read_checkpoint(&p2).is_err());
+        assert_eq!(load_newest(&dir).unwrap().seq, 1);
+
+        // A truncated newest also falls back, never panics.
+        fs::write(&p2, &fs::read(checkpoint_path(&dir, 1)).unwrap()[..10]).unwrap();
+        assert_eq!(load_newest(&dir).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn tmp_files_are_ignored_and_prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        let catalog = sample_catalog();
+        for seq in 1..=4 {
+            write_checkpoint(&dir, seq, seq * 10, &catalog).unwrap();
+        }
+        fs::write(dir.join("checkpoint.9.tmp"), b"half-written").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"hello").unwrap();
+        assert_eq!(list_checkpoints(&dir), vec![1, 2, 3, 4]);
+        prune(&dir, 2);
+        assert_eq!(list_checkpoints(&dir), vec![3, 4]);
+        assert_eq!(load_newest(&dir).unwrap().seq, 4);
+    }
+}

@@ -1,0 +1,442 @@
+//! Hand-rolled binary codec for the durability layer.
+//!
+//! The environment has no crates.io access (no serde), so checkpoints and
+//! WAL payloads are encoded with an explicit little-endian writer/reader
+//! pair. Every decode path is fallible and bounds-checked: a truncated or
+//! bit-flipped input comes back as `Err`, never as a panic — recovery
+//! depends on that to distinguish "torn tail" from "valid prefix".
+//!
+//! Layout conventions: integers are little-endian; strings are a `u32`
+//! length followed by UTF-8 bytes; options are a `u8` presence flag;
+//! sequences are a `u32`/`u64` count followed by the elements.
+
+use storage::{Catalog, Column, Row, Schema, SqlType, Table, Value};
+
+/// Encoder: append-only byte buffer with fixed-width little-endian writers.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Decoder: a cursor over an input slice; every read is bounds-checked.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether the input is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+}
+
+// Value tags (part of the on-disk format — append-only, never renumber).
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_DOUBLE: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Encodes one SQL value.
+pub fn encode_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            w.put_u8(TAG_BOOL);
+            w.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            w.put_u8(TAG_INT);
+            w.put_i64(*i);
+        }
+        Value::Double(d) => {
+            w.put_u8(TAG_DOUBLE);
+            w.put_f64(*d);
+        }
+        Value::Str(s) => {
+            w.put_u8(TAG_STR);
+            w.put_str(s);
+        }
+    }
+}
+
+/// Decodes one SQL value.
+pub fn decode_value(r: &mut Reader) -> Result<Value, String> {
+    match r.get_u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => match r.get_u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(format!("invalid bool byte {other}")),
+        },
+        TAG_INT => Ok(Value::Int(r.get_i64()?)),
+        TAG_DOUBLE => Ok(Value::Double(r.get_f64()?)),
+        TAG_STR => Ok(Value::str(r.get_str()?)),
+        other => Err(format!("invalid value tag {other}")),
+    }
+}
+
+fn encode_type(w: &mut Writer, ty: SqlType) {
+    w.put_u8(match ty {
+        SqlType::Bool => 0,
+        SqlType::Int => 1,
+        SqlType::Double => 2,
+        SqlType::Str => 3,
+    });
+}
+
+fn decode_type(r: &mut Reader) -> Result<SqlType, String> {
+    match r.get_u8()? {
+        0 => Ok(SqlType::Bool),
+        1 => Ok(SqlType::Int),
+        2 => Ok(SqlType::Double),
+        3 => Ok(SqlType::Str),
+        other => Err(format!("invalid type tag {other}")),
+    }
+}
+
+/// Encodes a schema (column names, optional qualifiers, types).
+pub fn encode_schema(w: &mut Writer, schema: &Schema) {
+    w.put_u32(schema.arity() as u32);
+    for c in schema.columns() {
+        w.put_str(&c.name);
+        match &c.table {
+            Some(t) => {
+                w.put_u8(1);
+                w.put_str(t);
+            }
+            None => w.put_u8(0),
+        }
+        encode_type(w, c.ty);
+    }
+}
+
+/// Decodes a schema.
+pub fn decode_schema(r: &mut Reader) -> Result<Schema, String> {
+    let arity = r.get_u32()? as usize;
+    let mut columns = Vec::with_capacity(arity.min(1024));
+    for _ in 0..arity {
+        let name = r.get_str()?;
+        let table = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_str()?),
+            other => return Err(format!("invalid qualifier flag {other}")),
+        };
+        let ty = decode_type(r)?;
+        columns.push(match table {
+            Some(t) => Column::qualified(t, name, ty),
+            None => Column::new(name, ty),
+        });
+    }
+    Ok(Schema::new(columns))
+}
+
+/// Encodes a full table: schema, period spec, version epoch, append
+/// checkpoints, and rows.
+pub fn encode_table(w: &mut Writer, table: &Table) {
+    encode_schema(w, table.schema());
+    match table.period() {
+        Some((b, e)) => {
+            w.put_u8(1);
+            w.put_u64(b as u64);
+            w.put_u64(e as u64);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u64(table.version());
+    let checkpoints = table.append_checkpoints();
+    w.put_u32(checkpoints.len() as u32);
+    for &(v, len) in checkpoints {
+        w.put_u64(v);
+        w.put_u64(len as u64);
+    }
+    w.put_u64(table.len() as u64);
+    for row in table.rows() {
+        for v in row.values() {
+            encode_value(w, v);
+        }
+    }
+}
+
+/// Decodes a table encoded by [`encode_table`], restoring its version
+/// epoch and append-checkpoint history (the process-wide epoch counter is
+/// advanced past every restored version, keeping staleness checks sound).
+pub fn decode_table(r: &mut Reader) -> Result<Table, String> {
+    let schema = decode_schema(r)?;
+    let period = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let b = r.get_u64()? as usize;
+            let e = r.get_u64()? as usize;
+            if b >= schema.arity() || e >= schema.arity() {
+                return Err(format!(
+                    "period columns ({b}, {e}) out of range for arity {}",
+                    schema.arity()
+                ));
+            }
+            Some((b, e))
+        }
+        other => return Err(format!("invalid period flag {other}")),
+    };
+    let version = r.get_u64()?;
+    let n_checkpoints = r.get_u32()? as usize;
+    let mut checkpoints = Vec::with_capacity(n_checkpoints.min(1024));
+    for _ in 0..n_checkpoints {
+        let v = r.get_u64()?;
+        let len = r.get_u64()? as usize;
+        checkpoints.push((v, len));
+    }
+    let n_rows = r.get_u64()? as usize;
+    // Guard against absurd counts from corrupt input before allocating:
+    // every row costs at least one byte per value (the tag), and at least
+    // one byte overall (`max(1)` keeps a zero-arity schema from voiding
+    // the bound).
+    if n_rows.saturating_mul(schema.arity().max(1)) > r.remaining() {
+        return Err(format!(
+            "row count {n_rows} exceeds remaining input ({} bytes)",
+            r.remaining()
+        ));
+    }
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let mut values = Vec::with_capacity(schema.arity());
+        for _ in 0..schema.arity() {
+            values.push(decode_value(r)?);
+        }
+        rows.push(Row::new(values));
+    }
+    Table::restore(schema, period, rows, version, checkpoints)
+}
+
+/// Encodes a catalog: table count, then `(name, table)` pairs in the
+/// catalog's (sorted) iteration order.
+pub fn encode_catalog(w: &mut Writer, catalog: &Catalog) {
+    let names: Vec<&str> = catalog.table_names().collect();
+    w.put_u32(names.len() as u32);
+    for name in names {
+        w.put_str(name);
+        encode_table(w, catalog.get(name).expect("listed name"));
+    }
+}
+
+/// Decodes a catalog encoded by [`encode_catalog`].
+pub fn decode_catalog(r: &mut Reader) -> Result<Catalog, String> {
+    let n = r.get_u32()? as usize;
+    let mut catalog = Catalog::new();
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let table = decode_table(r)?;
+        catalog.register(name, table);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::row;
+
+    fn sample_catalog() -> Catalog {
+        let mut works = Table::with_period(
+            Schema::of(&[
+                ("name", SqlType::Str),
+                ("skill", SqlType::Str),
+                ("ts", SqlType::Int),
+                ("te", SqlType::Int),
+            ]),
+            2,
+            3,
+        );
+        works.push(row!["Ann", "SP", 3, 10]);
+        works.push(row!["Joe", "NS", 8, 16]);
+        let mut plain = Table::new(Schema::of(&[
+            ("x", SqlType::Int),
+            ("d", SqlType::Double),
+            ("b", SqlType::Bool),
+        ]));
+        plain.push(row![1, 2.5, true]);
+        plain.push(Row::new(vec![
+            Value::Null,
+            Value::Double(f64::NAN),
+            Value::Bool(false),
+        ]));
+        let mut c = Catalog::new();
+        c.register("works", works);
+        c.register("plain", plain);
+        c
+    }
+
+    fn roundtrip(catalog: &Catalog) -> Catalog {
+        let mut w = Writer::new();
+        encode_catalog(&mut w, catalog);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = decode_catalog(&mut r).unwrap();
+        assert!(r.is_empty(), "decode must consume the full encoding");
+        decoded
+    }
+
+    #[test]
+    fn catalog_roundtrip_is_identical() {
+        let catalog = sample_catalog();
+        let decoded = roundtrip(&catalog);
+        let names: Vec<&str> = catalog.table_names().collect();
+        assert_eq!(names, decoded.table_names().collect::<Vec<_>>());
+        for name in names {
+            let (a, b) = (catalog.get(name).unwrap(), decoded.get(name).unwrap());
+            assert_eq!(a, b, "{name}: schema/rows/period");
+            assert_eq!(a.version(), b.version(), "{name}: version epoch");
+            assert_eq!(
+                a.append_checkpoints(),
+                b.append_checkpoints(),
+                "{name}: append checkpoints"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_survives_via_bit_pattern() {
+        let decoded = roundtrip(&sample_catalog());
+        let v = decoded.get("plain").unwrap().rows()[1].get(1).clone();
+        assert!(matches!(v, Value::Double(d) if d.is_nan()));
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        encode_catalog(&mut w, &sample_catalog());
+        let bytes = w.into_bytes();
+        for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(decode_catalog(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_error() {
+        let mut r = Reader::new(&[9]);
+        assert!(decode_value(&mut r).unwrap_err().contains("value tag"));
+        // A bool byte that is neither 0 nor 1.
+        let mut r = Reader::new(&[TAG_BOOL, 7]);
+        assert!(decode_value(&mut r).unwrap_err().contains("bool"));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_row_counts() {
+        // With a normal schema, and with a zero-arity schema (whose rows
+        // cost zero payload bytes — the guard must not be voided by it).
+        for schema in [Schema::of(&[("x", SqlType::Int)]), Schema::default()] {
+            let mut w = Writer::new();
+            encode_schema(&mut w, &schema);
+            w.put_u8(0); // no period
+            w.put_u64(1); // version
+            w.put_u32(1); // one checkpoint
+            w.put_u64(1);
+            w.put_u64(0);
+            w.put_u64(u64::MAX); // absurd row count
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert!(decode_table(&mut r).unwrap_err().contains("row count"));
+        }
+    }
+}

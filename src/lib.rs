@@ -17,8 +17,11 @@
 //! * [`sql`] — the SQL dialect with `SEQ VT (...)` snapshot blocks (plus
 //!   `AS OF`/`BETWEEN` windows) and temporal DDL/DML,
 //! * [`rewrite`] — `PERIODENC` and the `REWR` rewriting scheme,
+//! * [`wal`] — the durability subsystem (binary codec, write-ahead log,
+//!   catalog checkpoints, crash recovery, SQL dumps),
 //! * [`session`] — the statement-level database subsystem (`Database`,
-//!   `Session::execute`, the `snapshot_db` shell),
+//!   `Session::execute`, the `snapshot_db` shell; durable when opened on
+//!   a database directory),
 //! * [`baseline`] — comparator implementations (point-wise oracle, ATSQL
 //!   interval preservation, alignment-based native evaluation),
 //! * [`datagen`] — synthetic Employees / TPC-BiH-style datasets.
@@ -32,6 +35,7 @@ pub use rewrite;
 pub use semiring;
 pub use snapshot_core;
 pub use snapshot_session as session;
+pub use snapshot_wal as wal;
 pub use sql;
 pub use storage;
 pub use timeline;
