@@ -1,0 +1,215 @@
+//! Concurrency benchmarks: what MVCC buys and what commits cost.
+//!
+//! * **Read throughput vs reader-thread count** — N threads each run
+//!   indexed `SEQ VT` queries over their own pinned snapshots of one
+//!   [`SharedDatabase`]. Readers never block, so throughput should scale
+//!   with threads until the hardware runs out.
+//! * **Commit latency, group commit vs autocommit** — the same batch of
+//!   inserts committed as one `BEGIN`…`COMMIT` unit (one WAL fsync for
+//!   the whole transaction) vs as bare autocommit statements (one fsync
+//!   each) under `SyncPolicy::Always`.
+//!
+//! Besides the criterion output, the run emits a machine-readable
+//! `BENCH_txn.json` summary at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snapshot_session::{PersistenceOptions, SessionOptions, SharedDatabase, SyncPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Queries per thread per measured iteration.
+const QUERIES_PER_THREAD: usize = 8;
+/// Rows in the read-bench table.
+const READ_ROWS: usize = 4_000;
+/// Statements per commit-latency batch.
+const TXN_SIZE: usize = 32;
+
+const CREATE: &str = "CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te)";
+const QUERY: &str = "SEQ VT (SELECT skill, count(*) AS cnt FROM works GROUP BY skill)";
+
+fn scratch_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "snapshot_bench_txn_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn insert_statement(i: usize) -> String {
+    let ts = (i % 97) as i64;
+    format!(
+        "INSERT INTO works VALUES ('p{}', 'S{}', {ts}, {})",
+        i % 31,
+        i % 5,
+        ts + 5
+    )
+}
+
+/// An in-memory shared database with `rows` rows and fresh committed
+/// indexes.
+fn seeded_shared(rows: usize) -> SharedDatabase {
+    let shared = SharedDatabase::in_memory();
+    let mut s = shared.session();
+    s.execute(CREATE).unwrap();
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(256) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                let ts = (i % 97) as i64;
+                format!("('p{}', 'S{}', {ts}, {})", i % 31, i % 5, ts + 5)
+            })
+            .collect();
+        s.execute(&format!("INSERT INTO works VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    shared.refresh_indexes(None);
+    shared
+}
+
+fn bench_read_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_read");
+    group.sample_size(5);
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(std::time::Duration::from_millis(750));
+
+    let shared = seeded_shared(READ_ROWS);
+    for &n in &READER_COUNTS {
+        group.bench_function(BenchmarkId::new("readers", n), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|_| {
+                            let shared = shared.clone();
+                            scope.spawn(move || {
+                                let mut s = shared.session();
+                                for _ in 0..QUERIES_PER_THREAD {
+                                    let r = s.execute(QUERY).unwrap();
+                                    assert!(r.rows().is_some());
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit");
+    group.sample_size(5);
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(std::time::Duration::from_millis(750));
+
+    // Autocommit: one WAL fsync per statement.
+    let dir = scratch_dir();
+    let (shared, _) = SharedDatabase::open_durable(
+        &dir,
+        SessionOptions::default(),
+        PersistenceOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    let mut s = shared.session();
+    s.execute(CREATE).unwrap();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("autocommit", TXN_SIZE), |b| {
+        b.iter(|| {
+            for _ in 0..TXN_SIZE {
+                s.execute(&insert_statement(i)).unwrap();
+                i += 1;
+            }
+        })
+    });
+    drop(s);
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Group commit: the same batch as one BEGIN..COMMIT unit — one fsync.
+    let dir = scratch_dir();
+    let (shared, _) = SharedDatabase::open_durable(
+        &dir,
+        SessionOptions::default(),
+        PersistenceOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    let mut s = shared.session();
+    s.execute(CREATE).unwrap();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("group-commit", TXN_SIZE), |b| {
+        b.iter(|| {
+            s.execute("BEGIN").unwrap();
+            for _ in 0..TXN_SIZE {
+                s.execute(&insert_statement(i)).unwrap();
+                i += 1;
+            }
+            s.execute("COMMIT").unwrap();
+        })
+    });
+    drop(s);
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+    emit_json(c);
+}
+
+/// Writes `BENCH_txn.json` at the repository root from the recorded
+/// summaries.
+fn emit_json(c: &Criterion) {
+    let median_of =
+        |id: &str| -> Option<f64> { c.summaries().iter().find(|s| s.id == id).map(|s| s.median) };
+    let mut reads = Vec::new();
+    let single = median_of(&format!("txn_read/readers/{}", READER_COUNTS[0]));
+    for &n in &READER_COUNTS {
+        let Some(t) = median_of(&format!("txn_read/readers/{n}")) else {
+            continue;
+        };
+        let qps = (n * QUERIES_PER_THREAD) as f64 / t;
+        let speedup = single.map(|s1| (QUERIES_PER_THREAD as f64 / s1) / (qps / n as f64));
+        reads.push(format!(
+            "    {{\"readers\": {n}, \"queries_per_s\": {qps:.0}, \
+             \"per_reader_slowdown_x\": {:.2}}}",
+            speedup.unwrap_or(f64::NAN)
+        ));
+    }
+    let (Some(auto), Some(grouped)) = (
+        median_of(&format!("txn_commit/autocommit/{TXN_SIZE}")),
+        median_of(&format!("txn_commit/group-commit/{TXN_SIZE}")),
+    ) else {
+        eprintln!("missing commit summaries; not writing BENCH_txn.json");
+        return;
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"txn\",\n  \"read_throughput\": [\n{}\n  ],\n  \
+         \"commit_latency\": {{\n    \"txn_size\": {TXN_SIZE},\n    \
+         \"autocommit_s_per_stmt\": {:.6e},\n    \
+         \"group_commit_s_per_stmt\": {:.6e},\n    \
+         \"group_commit_speedup_x\": {:.2}\n  }}\n}}\n",
+        reads.join(",\n"),
+        auto / TXN_SIZE as f64,
+        grouped / TXN_SIZE as f64,
+        auto / grouped
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_txn.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_read_throughput, bench_commit_latency);
+criterion_main!(benches);

@@ -156,9 +156,15 @@ pub struct MaintenanceStats {
 /// layer stays index-agnostic); the engine consults it at dispatch time and
 /// silently falls back to the naive operators for unindexed or stale
 /// entries.
+///
+/// Entries are held behind [`std::sync::Arc`], so cloning the registry is
+/// cheap — an MVCC snapshot pins the index registry together with the
+/// catalog and keeps serving index-accelerated reads no matter how the
+/// committed registry evolves. Repairs ([`IndexCatalog::ensure`]) swap in
+/// a fresh `Arc`; pinned clones keep the entry they saw.
 #[derive(Debug, Clone, Default)]
 pub struct IndexCatalog {
-    indexes: std::collections::BTreeMap<String, TableIndex>,
+    indexes: std::collections::BTreeMap<String, std::sync::Arc<TableIndex>>,
     maintenance: MaintenanceStats,
 }
 
@@ -182,7 +188,8 @@ impl IndexCatalog {
         for name in catalog.table_names().collect::<Vec<_>>() {
             let table = catalog.get(name).unwrap();
             if let Some(idx) = TableIndex::build(table) {
-                reg.indexes.insert(name.to_string(), idx);
+                reg.indexes
+                    .insert(name.to_string(), std::sync::Arc::new(idx));
             }
         }
         reg
@@ -190,12 +197,15 @@ impl IndexCatalog {
 
     /// Registers (or replaces) an index for `name`.
     pub fn register(&mut self, name: impl Into<String>, index: TableIndex) {
-        self.indexes.insert(name.into(), index);
+        self.indexes.insert(name.into(), std::sync::Arc::new(index));
     }
 
     /// A fresh index for `name`, or `None` when missing or stale.
     pub fn get_fresh(&self, name: &str, table: &Table) -> Option<&TableIndex> {
-        self.indexes.get(name).filter(|idx| idx.is_fresh(table))
+        self.indexes
+            .get(name)
+            .map(std::sync::Arc::as_ref)
+            .filter(|idx| idx.is_fresh(table))
     }
 
     /// Index maintenance: repairs the entry when missing or stale, then
@@ -230,18 +240,19 @@ impl IndexCatalog {
                     } else {
                         self.maintenance.full_builds += 1;
                     }
-                    self.indexes.insert(name.to_string(), idx);
+                    self.indexes
+                        .insert(name.to_string(), std::sync::Arc::new(idx));
                 }
                 None => {
                     self.indexes.remove(name);
                 }
             }
         }
-        self.indexes.get(name)
+        self.indexes.get(name).map(std::sync::Arc::as_ref)
     }
 
     /// Drops the index for `name` (table dropped or replaced).
-    pub fn remove(&mut self, name: &str) -> Option<TableIndex> {
+    pub fn remove(&mut self, name: &str) -> Option<std::sync::Arc<TableIndex>> {
         self.indexes.remove(name)
     }
 

@@ -20,7 +20,7 @@
 //! write-ahead-logged into `DIR` and survive restarts.
 
 use snapshot_session::{
-    Database, PersistenceOptions, Session, SessionOptions, StatementResult, SyncPolicy,
+    PersistenceOptions, Session, SessionOptions, SharedDatabase, StatementResult, SyncPolicy,
 };
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -73,12 +73,16 @@ fn main() {
         die_usage(&format!("{flag} has no effect without --db DIR"));
     }
 
-    let session = match &db_dir {
-        Some(dir) => match Session::open_durable(Path::new(dir), options, persistence) {
-            Ok((session, report)) => {
+    // The shell always runs over a SharedDatabase: the single-user REPL is
+    // simply the one-session case of the multi-session object, and
+    // `.parallel` can fan reader sessions out over the same handle.
+    let shared = match &db_dir {
+        Some(dir) => match SharedDatabase::open_durable(Path::new(dir), options, persistence) {
+            Ok((shared, report)) => {
                 if !quiet {
-                    let tables = session.database().catalog().table_names().count();
-                    let rows = session.database().catalog().total_rows();
+                    let view = shared.snapshot();
+                    let tables = view.catalog().table_names().count();
+                    let rows = view.catalog().total_rows();
                     let source = match report.checkpoint_seq {
                         Some(seq) => format!("checkpoint #{seq}"),
                         None => "no checkpoint".to_string(),
@@ -88,20 +92,30 @@ fn main() {
                     } else {
                         String::new()
                     };
+                    let discarded = if report.discarded_uncommitted > 0 {
+                        format!(
+                            ", {} uncommitted record(s) discarded",
+                            report.discarded_uncommitted
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "opened {dir}: {source} + {} replayed statement(s){torn} \
+                        "opened {dir}: {source} + {} replayed statement(s){torn}{discarded} \
                          — {tables} table(s), {rows} row(s)",
                         report.replayed
                     );
                 }
-                session
+                shared
             }
             Err(e) => die(&format!("cannot open database '{dir}': {e}")),
         },
-        None => Session::with_options(Database::new(), options),
+        None => SharedDatabase::in_memory(),
     };
     let mut shell = Shell {
-        session,
+        session: shared.session_with_options(options),
+        shared,
+        options,
         quiet,
         interactive: script.is_none(),
         pending: String::new(),
@@ -167,11 +181,17 @@ const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLIC
   --quiet               print summaries and timings but not result tables
   --help, -h            print this usage";
 
-const HELP: &str = "statements end with ';' and may span lines. Meta commands:
+const HELP: &str = "statements end with ';' and may span lines. Transactions:
+  BEGIN; ... COMMIT;  run statements against a private snapshot, publish
+                      atomically (snapshot isolation, one WAL fsync);
+                      ROLLBACK discards — the prompt shows * while open.
+Meta commands:
   .help              this help
   .tables            list tables (rows, period, index state)
   .load employees N  load the synthetic Employees dataset (~N employees)
   .index [t]         refresh the index of table t (all tables when omitted)
+  .parallel N SQL    run a query on N concurrent reader sessions and check
+                     they all agree (the shared-database demo)
   .explain SQL       show the compiled physical plan of a query
   .verify on|off     cross-check indexed queries against the naive route
   .checkpoint        write a checkpoint now (durable databases only)
@@ -191,6 +211,10 @@ fn die_usage(msg: &str) -> ! {
 
 struct Shell {
     session: Session,
+    /// The shared handle behind `session` — `.parallel` opens more
+    /// sessions over it.
+    shared: SharedDatabase,
+    options: SessionOptions,
     quiet: bool,
     interactive: bool,
     /// Multi-line statement accumulator (REPL and scripts alike).
@@ -199,7 +223,13 @@ struct Shell {
 
 impl Shell {
     fn prompt(&self) {
-        print!("snapshot_db> ");
+        // A `*` marks an open transaction (statements apply to its
+        // private snapshot until COMMIT/ROLLBACK).
+        if self.session.in_transaction() {
+            print!("snapshot_db*> ");
+        } else {
+            print!("snapshot_db> ");
+        }
         let _ = std::io::stdout().flush();
     }
 
@@ -275,6 +305,10 @@ impl Shell {
             }
             "load" => self.load_dataset(words.next(), words.next()),
             "index" => self.refresh_index(words.next()),
+            "parallel" => {
+                let rest = meta.strip_prefix("parallel").unwrap_or("").trim();
+                self.parallel(rest)
+            }
             "explain" => {
                 let rest = meta.strip_prefix("explain").unwrap_or("").trim();
                 self.explain(rest)
@@ -303,14 +337,14 @@ impl Shell {
     }
 
     fn show_tables(&self) {
-        let db = self.session.database();
-        let names: Vec<String> = db.catalog().table_names().map(String::from).collect();
+        let view = self.session.read_view();
+        let names: Vec<String> = view.catalog().table_names().map(String::from).collect();
         if names.is_empty() {
             println!("(no tables)");
             return;
         }
         for name in names {
-            let t = db.catalog().get(&name).unwrap();
+            let t = view.catalog().get(&name).unwrap();
             let period = match t.period() {
                 Some((b, e)) => format!(
                     " PERIOD ({}, {})",
@@ -319,12 +353,84 @@ impl Shell {
                 ),
                 None => String::new(),
             };
-            let index = match db.indexes().get_fresh(&name, t) {
+            let index = match view.indexes().get_fresh(&name, t) {
                 Some(_) => " [indexed]",
                 None => "",
             };
             println!("{name} {}{period} — {} rows{index}", t.schema(), t.len());
         }
+    }
+
+    /// `.parallel N SQL` — runs the query once per each of N concurrent
+    /// reader sessions over the shared database and checks that all of
+    /// them (and the shell's own session) agree: the multi-session object,
+    /// demonstrated from the shell.
+    fn parallel(&mut self, rest: &str) -> Result<(), String> {
+        let (n_word, sql) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: .parallel N SELECT ...")?;
+        let n: usize = n_word
+            .parse()
+            .map_err(|_| "usage: .parallel N SELECT ...".to_string())?;
+        if n == 0 || n > 64 {
+            return Err("reader count must be between 1 and 64".into());
+        }
+        let sql = sql.trim().trim_end_matches(';').to_string();
+        // Refuse non-queries *before* executing anything: running a DML
+        // statement N times in parallel is never what ".parallel" means.
+        match sql::parse_sql_statement(&sql) {
+            Ok(sql::SqlStatement::Query(_)) => {}
+            Ok(_) => return Err("only query statements can run in parallel".into()),
+            Err(e) => return Err(e),
+        }
+        let reference = self
+            .session
+            .execute(&sql)?
+            .rows()
+            .ok_or("only query statements can run in parallel")?
+            .canonicalized();
+        let started = Instant::now();
+        let results: Vec<Result<storage::Table, String>> = std::thread::scope(|scope| {
+            let sql = &sql;
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let shared = self.shared.clone();
+                    let options = self.options;
+                    scope.spawn(move || {
+                        let mut session = shared.session_with_options(options);
+                        session.execute(sql).and_then(|r| {
+                            r.rows()
+                                .map(|t| t.canonicalized())
+                                .ok_or_else(|| "not a query".to_string())
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("reader panicked".into())))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(t) if *t == reference => {}
+                Ok(t) => {
+                    return Err(format!(
+                        "reader {i} diverged: {} vs {} rows",
+                        t.len(),
+                        reference.len()
+                    ))
+                }
+                Err(e) => return Err(format!("reader {i} failed: {e}")),
+            }
+        }
+        println!(
+            "{n} concurrent reader(s) agree: {} row(s) each [{:.3} ms total]",
+            reference.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
+        Ok(())
     }
 
     fn load_dataset(&mut self, which: Option<&str>, size: Option<&str>) -> Result<(), String> {
@@ -345,7 +451,7 @@ impl Shell {
                 let tables = names
                     .iter()
                     .map(|name| (name.clone(), catalog.get(name).unwrap().clone()));
-                self.session.database_mut().register_tables(tables)?;
+                self.session.register_tables(tables)?;
                 println!(
                     "loaded employees (~{n} employees): {} tables, {total} rows [{:.1} ms]",
                     names.len(),
@@ -358,20 +464,11 @@ impl Shell {
     }
 
     fn refresh_index(&mut self, table: Option<&str>) -> Result<(), String> {
-        let db = self.session.database_mut();
-        let before = db.index_maintenance();
+        let before = self.session.index_maintenance();
         let started = Instant::now();
-        match table {
-            Some(name) => {
-                let name = name.to_lowercase();
-                if db.catalog().get(&name).is_none() {
-                    return Err(format!("unknown table '{name}'"));
-                }
-                db.refresh_indexes(&[name]);
-            }
-            None => db.refresh_all_indexes(),
-        }
-        let after = db.index_maintenance();
+        let lowered = table.map(str::to_lowercase);
+        self.session.refresh_indexes(lowered.as_deref())?;
+        let after = self.session.index_maintenance();
         println!(
             "indexes: {} full build(s), {} incremental [{:.3} ms]",
             after.full_builds - before.full_builds,
@@ -383,7 +480,7 @@ impl Shell {
 
     fn checkpoint(&mut self) -> Result<(), String> {
         let started = Instant::now();
-        match self.session.database_mut().checkpoint()? {
+        match self.session.checkpoint()? {
             Some(seq) => {
                 println!(
                     "checkpoint #{seq} written [{:.3} ms]",
@@ -396,7 +493,7 @@ impl Shell {
     }
 
     fn dump(&self, file: Option<&str>) -> Result<(), String> {
-        let sql = snapshot_wal::dump_sql(self.session.database().catalog());
+        let sql = snapshot_wal::dump_sql(self.session.read_view().catalog());
         match file {
             Some(path) => {
                 std::fs::write(path, &sql).map_err(|e| format!("cannot write '{path}': {e}"))?;

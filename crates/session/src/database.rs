@@ -29,23 +29,32 @@ pub struct Database {
     persistence: Option<Persistence>,
 }
 
-/// Cloning forks the in-memory state only: the clone shares no WAL or
-/// checkpoint files with the original (two writers on one directory would
-/// corrupt each other's logs), so it comes back non-durable.
-impl Clone for Database {
-    fn clone(&self) -> Self {
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Forks the in-memory state into a fresh, *non-durable* database: the
+    /// fork shares no WAL or checkpoint files with the original (two
+    /// writers on one directory would corrupt each other's logs). Tables
+    /// are copy-on-write, so the fork is cheap until either side mutates.
+    ///
+    /// This replaces the old `Clone` impl, which silently dropped the
+    /// attached [`Persistence`] — an explicit name for an explicit
+    /// semantic.
+    pub fn fork_in_memory(&self) -> Database {
         Database {
             catalog: self.catalog.clone(),
             indexes: self.indexes.clone(),
             persistence: None,
         }
     }
-}
 
-impl Database {
-    /// An empty database.
-    pub fn new() -> Self {
-        Database::default()
+    /// Decomposes the database for promotion into a shared, multi-session
+    /// object (see `SharedDatabase`).
+    pub(crate) fn into_parts(self) -> (Catalog, IndexCatalog, Option<Persistence>) {
+        (self.catalog, self.indexes, self.persistence)
     }
 
     /// A database over an existing catalog (indexes are built lazily, on
@@ -110,6 +119,21 @@ impl Database {
         &self.catalog
     }
 
+    /// The catalog, mutably — the session layer's unified mutation entry
+    /// point (validation lives in the catalog-level ops below).
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Post-mutation bookkeeping for direct (autocommit) writes: a
+    /// dropped table's index leaves the registry; everything else repairs
+    /// lazily through the version epochs.
+    pub(crate) fn note_write(&mut self, name: &str) {
+        if self.catalog.get(name).is_none() {
+            self.indexes.remove(name);
+        }
+    }
+
     /// The index registry.
     pub fn indexes(&self) -> &IndexCatalog {
         &self.indexes
@@ -129,35 +153,7 @@ impl Database {
         schema: Schema,
         period: Option<(usize, usize)>,
     ) -> Result<(), String> {
-        if self.catalog.get(name).is_some() {
-            return Err(format!("table '{name}' already exists"));
-        }
-        for (i, a) in schema.columns().iter().enumerate() {
-            for b in schema.columns().iter().skip(i + 1) {
-                if a.name == b.name {
-                    return Err(format!("duplicate column '{}' in table '{name}'", a.name));
-                }
-            }
-        }
-        let table = match period {
-            Some((b, e)) => {
-                if b == e {
-                    return Err("period begin and end must be distinct columns".into());
-                }
-                for idx in [b, e] {
-                    if schema.column(idx).ty != SqlType::Int {
-                        return Err(format!(
-                            "period column '{}' must be INT",
-                            schema.column(idx).name
-                        ));
-                    }
-                }
-                Table::with_period(schema, b, e)
-            }
-            None => Table::new(schema),
-        };
-        self.catalog.register(name, table);
-        Ok(())
+        create_table_in(&mut self.catalog, name, schema, period)
     }
 
     /// Drops a table, returning whether it existed.
@@ -196,22 +192,7 @@ impl Database {
     /// (type check with Int→Double widening) and validating arity and
     /// period. Validation is atomic: on any error nothing is inserted.
     pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize, String> {
-        let table = self
-            .catalog
-            .get(name)
-            .ok_or_else(|| format!("unknown table '{name}'"))?;
-        let mut conformed = Vec::with_capacity(rows.len());
-        for row in rows {
-            let row = conform_row(table.schema(), row)?;
-            table.check_row(&row)?;
-            conformed.push(row);
-        }
-        let n = conformed.len();
-        self.catalog
-            .get_mut(name)
-            .expect("checked above")
-            .extend(conformed);
-        Ok(n)
+        insert_rows_in(&mut self.catalog, name, rows)
     }
 
     /// Deletes every row of `name` matching `pred`.
@@ -220,11 +201,7 @@ impl Database {
         name: &str,
         pred: P,
     ) -> Result<usize, String> {
-        let table = self
-            .catalog
-            .get_mut(name)
-            .ok_or_else(|| format!("unknown table '{name}'"))?;
-        Ok(table.delete_where(pred))
+        delete_where_in(&mut self.catalog, name, pred)
     }
 
     /// Replaces every row of `name` matching `pred` with `update(row)`
@@ -234,11 +211,29 @@ impl Database {
         P: FnMut(&Row) -> bool,
         U: FnMut(&Row) -> Result<Row, String>,
     {
-        let table = self
-            .catalog
-            .get_mut(name)
-            .ok_or_else(|| format!("unknown table '{name}'"))?;
-        table.update_where(pred, update)
+        update_where_in(&mut self.catalog, name, pred, update)
+    }
+
+    /// Appends one committed transaction's statements to the WAL as a
+    /// single atomic commit unit with one fsync (no-op when in-memory) —
+    /// call *before* [`Database::publish_transaction`], so a failure
+    /// cleanly aborts the commit.
+    pub(crate) fn log_transaction(&mut self, stmts: &[String]) -> Result<(), String> {
+        match &mut self.persistence {
+            Some(p) => p.log_transaction(stmts),
+            None => Ok(()),
+        }
+    }
+
+    /// Publishes a committed transaction's write set into this database
+    /// (the owned-backend twin of the `TxnManager` publish path — one
+    /// shared implementation in `snapshot_txn`).
+    pub(crate) fn publish_transaction<'a>(
+        &mut self,
+        working: &Catalog,
+        write_set: impl Iterator<Item = &'a str>,
+    ) {
+        snapshot_txn::publish_write_set(working, write_set, &mut self.catalog, &mut self.indexes);
     }
 
     /// Repairs the indexes of the named tables (incremental when only
@@ -294,6 +289,117 @@ pub fn conform_row(schema: &Schema, row: Row) -> Result<Row, String> {
         }
     }
     Ok(Row::new(values))
+}
+
+/// Creates a table inside `catalog` — the validation lives at catalog
+/// level so the same code serves [`Database::create_table`] and a
+/// transaction's private working catalog.
+pub(crate) fn create_table_in(
+    catalog: &mut Catalog,
+    name: &str,
+    schema: Schema,
+    period: Option<(usize, usize)>,
+) -> Result<(), String> {
+    if catalog.get(name).is_some() {
+        return Err(format!("table '{name}' already exists"));
+    }
+    for (i, a) in schema.columns().iter().enumerate() {
+        for b in schema.columns().iter().skip(i + 1) {
+            if a.name == b.name {
+                return Err(format!("duplicate column '{}' in table '{name}'", a.name));
+            }
+        }
+    }
+    let table = match period {
+        Some((b, e)) => {
+            if b == e {
+                return Err("period begin and end must be distinct columns".into());
+            }
+            for idx in [b, e] {
+                if schema.column(idx).ty != SqlType::Int {
+                    return Err(format!(
+                        "period column '{}' must be INT",
+                        schema.column(idx).name
+                    ));
+                }
+            }
+            Table::with_period(schema, b, e)
+        }
+        None => Table::new(schema),
+    };
+    catalog.register(name, table);
+    Ok(())
+}
+
+/// Inserts rows into a table of `catalog` (atomic validation; see
+/// [`Database::insert_rows`]).
+pub(crate) fn insert_rows_in(
+    catalog: &mut Catalog,
+    name: &str,
+    rows: Vec<Row>,
+) -> Result<usize, String> {
+    let table = catalog
+        .get(name)
+        .ok_or_else(|| format!("unknown table '{name}'"))?;
+    let mut conformed = Vec::with_capacity(rows.len());
+    for row in rows {
+        let row = conform_row(table.schema(), row)?;
+        table.check_row(&row)?;
+        conformed.push(row);
+    }
+    let n = conformed.len();
+    if n > 0 {
+        catalog
+            .get_mut(name)
+            .expect("checked above")
+            .extend(conformed);
+    }
+    Ok(n)
+}
+
+/// Deletes matching rows from a table of `catalog`. A no-op delete is
+/// detected *before* taking mutable access, so it never unshares a table
+/// that a snapshot still pins (tables are copy-on-write).
+pub(crate) fn delete_where_in<P: FnMut(&Row) -> bool>(
+    catalog: &mut Catalog,
+    name: &str,
+    mut pred: P,
+) -> Result<usize, String> {
+    let table = catalog
+        .get(name)
+        .ok_or_else(|| format!("unknown table '{name}'"))?;
+    if !table.rows().iter().any(&mut pred) {
+        return Ok(0);
+    }
+    Ok(catalog
+        .get_mut(name)
+        .expect("checked above")
+        .delete_where(pred))
+}
+
+/// Replaces matching rows of a table of `catalog` (atomic, fallible
+/// updater). Like [`delete_where_in`], a no-op update never unshares the
+/// table.
+pub(crate) fn update_where_in<P, U>(
+    catalog: &mut Catalog,
+    name: &str,
+    mut pred: P,
+    update: U,
+) -> Result<usize, String>
+where
+    P: FnMut(&Row) -> bool,
+    U: FnMut(&Row) -> Result<Row, String>,
+{
+    let table = catalog
+        .get(name)
+        .ok_or_else(|| format!("unknown table '{name}'"))?;
+    if !table.rows().iter().any(&mut pred) {
+        return Ok(0);
+    }
+    catalog
+        .get_mut(name)
+        .expect("checked above")
+        .update_where(pred, update)
 }
 
 #[cfg(test)]

@@ -29,9 +29,14 @@
 
 pub mod database;
 pub mod session;
+pub mod shared;
 
 pub use database::Database;
 pub use session::{RecoveryReport, Session, SessionOptions, StatementResult};
+pub use shared::SharedDatabase;
+// Concurrency surface, re-exported so tests and the shell need not depend
+// on `snapshot_txn` directly.
+pub use snapshot_txn::CatalogSnapshot;
 // Durability configuration, re-exported so shell/bench/tests need not
 // depend on `snapshot_wal` directly.
 pub use snapshot_wal::{PersistenceOptions, SyncPolicy};

@@ -1,17 +1,39 @@
 //! Sessions: the statement-level execution pipeline.
 //!
-//! [`Session::execute`] runs one SQL statement end-to-end against a
-//! [`Database`]: parse → (for queries) bind and `REWR`-compile → refresh
-//! the indexes of the scanned tables → execute, or (for DDL/DML) validate
-//! and apply the mutation through the storage layer's version-bumping API.
-//! This is the paper's middleware picture (Section 9) made operational: the
-//! `SEQ VT` language feature over a *live* database instead of a preloaded
-//! one.
+//! [`Session::execute`] runs one SQL statement end-to-end: parse → (for
+//! queries) bind and `REWR`-compile → refresh the indexes of the scanned
+//! tables → execute, or (for DDL/DML) validate and apply the mutation
+//! through the storage layer's version-bumping API. This is the paper's
+//! middleware picture (Section 9) made operational: the `SEQ VT` language
+//! feature over a *live* database instead of a preloaded one.
+//!
+//! A session runs against one of two backends:
+//!
+//! * **owned** — the session exclusively owns a [`Database`]
+//!   ([`Session::new`], [`Session::open_durable`]); bare statements apply
+//!   directly (autocommit, statement-level WAL), exactly as before PR 4.
+//! * **shared** — the session is one of many over a
+//!   [`crate::SharedDatabase`]; reads pin an MVCC snapshot, and every
+//!   write — bare or transactional — publishes through the transaction
+//!   manager's serialized, first-committer-wins commit path.
+//!
+//! `BEGIN` / `COMMIT` / `ROLLBACK` work on both backends: statements
+//! inside a transaction run against a private copy-on-write snapshot
+//! (snapshot isolation — the transaction reads its own writes, nobody else
+//! does), `COMMIT` publishes them and logs them as *one* WAL commit unit
+//! with a single fsync (group commit), and `ROLLBACK` discards them — the
+//! catalog is bit-for-bit what it was at `BEGIN`. A failed `COMMIT`
+//! (write-write conflict, durability failure) rolls the transaction back.
 
-use crate::database::{conform_row, Database};
+use crate::database::{
+    conform_row, create_table_in, delete_where_in, insert_rows_in, update_where_in, Database,
+};
+use crate::shared::SharedDatabase;
 use algebra::Plan;
 use engine::{eval_expr, eval_predicate, Engine};
+use index::{IndexCatalog, MaintenanceStats};
 use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
+use snapshot_txn::{CatalogSnapshot, Transaction};
 use snapshot_wal::{Persistence, PersistenceOptions};
 use sql::{
     bind_scalar_expr, bind_statement, parse_sql_statement, split_script, AstExpr, ColumnDef,
@@ -19,7 +41,7 @@ use sql::{
 };
 use std::fmt;
 use std::path::Path;
-use storage::{Column, Row, Schema, SqlType, Table};
+use storage::{Catalog, Column, Row, Schema, SqlType, Table};
 
 /// What executing one statement produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +81,15 @@ pub enum StatementResult {
         /// Rows changed.
         rows: usize,
     },
+    /// `BEGIN` opened a transaction.
+    Began,
+    /// `COMMIT` published the open transaction.
+    Committed {
+        /// Tables published (0 for a read-only transaction).
+        tables: usize,
+    },
+    /// `ROLLBACK` discarded the open transaction.
+    RolledBack,
 }
 
 impl StatementResult {
@@ -86,6 +117,9 @@ impl fmt::Display for StatementResult {
             StatementResult::Inserted { table, rows } => write!(f, "INSERT {rows} INTO {table}"),
             StatementResult::Deleted { table, rows } => write!(f, "DELETE {rows} FROM {table}"),
             StatementResult::Updated { table, rows } => write!(f, "UPDATE {rows} IN {table}"),
+            StatementResult::Began => write!(f, "BEGIN"),
+            StatementResult::Committed { tables } => write!(f, "COMMIT ({tables} table(s))"),
+            StatementResult::RolledBack => write!(f, "ROLLBACK"),
         }
     }
 }
@@ -115,7 +149,7 @@ impl Default for SessionOptions {
 }
 
 /// What recovering a database directory found and did (see
-/// [`Session::open_durable`]).
+/// [`Session::open_durable`] / [`crate::SharedDatabase::open_durable`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Sequence number of the checkpoint the catalog was loaded from
@@ -126,32 +160,66 @@ pub struct RecoveryReport {
     pub replayed: usize,
     /// Bytes of torn/corrupt WAL tail truncated away during recovery.
     pub truncated_bytes: u64,
+    /// WAL records of an unterminated transaction (a `BEGIN` whose
+    /// `COMMIT` never reached the log) that recovery discarded — the
+    /// transaction never committed, so none of it replays.
+    pub discarded_uncommitted: usize,
 }
 
-/// A statement-level connection to a [`Database`].
-#[derive(Debug, Clone, Default)]
+/// Where a session's statements read and write.
+#[derive(Debug)]
+enum Backend {
+    /// Exclusive ownership of a database (single-session; boxed so the
+    /// slim shared handle doesn't pay for the owned variant's size).
+    Owned(Box<Database>),
+    /// One session of many over a shared, transaction-managed database.
+    Shared(SharedDatabase),
+}
+
+/// A statement-level connection to a database.
+#[derive(Debug)]
 pub struct Session {
-    db: Database,
+    backend: Backend,
     engine: Engine,
     options: SessionOptions,
+    /// The open explicit transaction, if any.
+    txn: Option<Transaction>,
+    /// Transaction ids handed out on the owned backend (diagnostics).
+    next_owned_txn_id: u64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(Database::new())
+    }
 }
 
 impl Session {
-    /// A session over a database, with default options.
+    /// A session over an exclusively owned database, with default options.
     pub fn new(db: Database) -> Self {
+        Session::with_options(db, SessionOptions::default())
+    }
+
+    /// A session over an exclusively owned database, with explicit options.
+    pub fn with_options(db: Database, options: SessionOptions) -> Self {
         Session {
-            db,
+            backend: Backend::Owned(Box::new(db)),
             engine: Engine::new(),
-            options: SessionOptions::default(),
+            options,
+            txn: None,
+            next_owned_txn_id: 0,
         }
     }
 
-    /// A session with explicit options.
-    pub fn with_options(db: Database, options: SessionOptions) -> Self {
+    /// A session over a shared database (one of many — see
+    /// [`SharedDatabase::session`]).
+    pub(crate) fn from_shared(shared: SharedDatabase, options: SessionOptions) -> Self {
         Session {
-            db,
+            backend: Backend::Shared(shared),
             engine: Engine::new(),
             options,
+            txn: None,
+            next_owned_txn_id: 0,
         }
     }
 
@@ -159,10 +227,11 @@ impl Session {
     /// whatever the directory holds: the newest valid checkpoint is
     /// loaded, the WAL tail beyond it is replayed through the ordinary
     /// parse → bind → execute pipeline (a torn or corrupt tail is
-    /// truncated to the longest valid prefix first), and from then on
-    /// every executed DDL/DML statement is logged before the session
-    /// reports it done. An empty or missing directory starts an empty
-    /// durable database.
+    /// truncated to the longest valid prefix first, and an unterminated
+    /// transaction suffix is discarded entirely), and from then on every
+    /// executed DDL/DML statement is logged before the session reports it
+    /// done. An empty or missing directory starts an empty durable
+    /// database.
     pub fn open_durable(
         dir: &Path,
         options: SessionOptions,
@@ -179,33 +248,92 @@ impl Session {
         // executed; a replay failure means the directory does not match
         // this binary's dialect (or was tampered with) — surface it.
         for record in &recovery.replay {
+            let stmt = parse_sql_statement(&record.sql)
+                .map_err(|e| format!("WAL replay: cannot parse record {}: {e}", record.lsn))?;
             session
-                .execute_statement(
-                    &parse_sql_statement(&record.sql).map_err(|e| {
-                        format!("WAL replay: cannot parse record {}: {e}", record.lsn)
-                    })?,
-                )
+                .apply_inner(&stmt, None)
                 .map_err(|e| format!("WAL replay failed at lsn {}: {e}", record.lsn))?;
         }
-        session.db.attach_persistence(persistence);
+        // The persistence layer already discards unterminated transaction
+        // suffixes; a still-open transaction here would mean its filter
+        // and ours disagree — drop it rather than resume it.
+        session.txn = None;
+        let Backend::Owned(db) = &mut session.backend else {
+            unreachable!("open_durable builds an owned session");
+        };
+        db.attach_persistence(persistence);
         Ok((
             session,
             RecoveryReport {
                 checkpoint_seq: recovery.checkpoint_seq,
                 replayed: recovery.replay.len(),
                 truncated_bytes: recovery.truncated_bytes,
+                discarded_uncommitted: recovery.discarded_uncommitted,
             },
         ))
     }
 
-    /// The underlying database.
+    /// The underlying database (owned backends only: direct inspection,
+    /// bulk loads through [`Database`]).
+    ///
+    /// # Panics
+    /// Panics on a session over a [`SharedDatabase`] — there is no
+    /// exclusively owned database to hand out; use
+    /// [`Session::read_view`] to read, and transactions to write.
     pub fn database(&self) -> &Database {
-        &self.db
+        match &self.backend {
+            Backend::Owned(db) => db,
+            Backend::Shared(_) => {
+                panic!("Session::database() on a shared session — use read_view()")
+            }
+        }
     }
 
-    /// The underlying database, mutably (bulk loads, direct inspection).
+    /// The underlying database, mutably (owned backends only).
+    ///
+    /// # Panics
+    /// Panics on a session over a [`SharedDatabase`] (see
+    /// [`Session::database`]).
     pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+        match &mut self.backend {
+            Backend::Owned(db) => db,
+            Backend::Shared(_) => {
+                panic!(
+                    "Session::database_mut() on a shared session — writes go through transactions"
+                )
+            }
+        }
+    }
+
+    /// A consistent snapshot of what this session's next read would see:
+    /// the open transaction's working state (its pinned snapshot plus its
+    /// own writes), or the current committed/owned state. Cheap — tables
+    /// are `Arc`-shared, not copied.
+    pub fn read_view(&self) -> CatalogSnapshot {
+        if let Some(txn) = &self.txn {
+            return CatalogSnapshot::new(
+                txn.catalog().clone(),
+                txn.indexes().clone(),
+                txn.snapshot().commit_seq(),
+            );
+        }
+        match &self.backend {
+            Backend::Owned(db) => {
+                CatalogSnapshot::new(db.catalog().clone(), db.indexes().clone(), 0)
+            }
+            Backend::Shared(shared) => shared.snapshot(),
+        }
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The snapshot pinned by the open transaction at `BEGIN` (its reads
+    /// are evaluated against this plus its own writes), if one is open.
+    pub fn transaction_snapshot(&self) -> Option<&CatalogSnapshot> {
+        self.txn.as_ref().map(Transaction::snapshot)
     }
 
     /// The session options.
@@ -218,19 +346,83 @@ impl Session {
         &mut self.options
     }
 
+    /// Registers a batch of tables wholesale — the bulk-load entry point
+    /// (`.load` in the shell), routed to the owned database or the shared
+    /// install path. Refused inside a transaction (bulk loads have no
+    /// statement form, so they cannot join a commit unit).
+    pub fn register_tables<I>(&mut self, tables: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = (String, Table)>,
+    {
+        if self.txn.is_some() {
+            return Err("cannot bulk-load inside a transaction".into());
+        }
+        match &mut self.backend {
+            Backend::Owned(db) => db.register_tables(tables),
+            Backend::Shared(shared) => shared.register_tables(tables),
+        }
+    }
+
+    /// Checkpoints the current committed state now (durable databases
+    /// only; returns `None` in memory).
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, String> {
+        match &mut self.backend {
+            Backend::Owned(db) => db.checkpoint(),
+            Backend::Shared(shared) => shared.checkpoint(),
+        }
+    }
+
+    /// How index maintenance repaired stale entries so far, on the state
+    /// this session reads (committed state for shared sessions).
+    pub fn index_maintenance(&self) -> MaintenanceStats {
+        match &self.backend {
+            Backend::Owned(db) => db.index_maintenance(),
+            Backend::Shared(shared) => shared.index_maintenance(),
+        }
+    }
+
+    /// Repairs the indexes of `table` (all tables when `None`) on the
+    /// state this session reads: the open transaction's working state, the
+    /// owned database, or the shared committed state.
+    pub fn refresh_indexes(&mut self, table: Option<&str>) -> Result<(), String> {
+        let names: Vec<String> = {
+            let view = self.read_view();
+            match table {
+                Some(name) => {
+                    if view.catalog().get(name).is_none() {
+                        return Err(format!("unknown table '{name}'"));
+                    }
+                    vec![name.to_string()]
+                }
+                None => view.catalog().table_names().map(String::from).collect(),
+            }
+        };
+        if let Some(txn) = self.txn.as_mut() {
+            txn.refresh_indexes(&names);
+            return Ok(());
+        }
+        match &mut self.backend {
+            Backend::Owned(db) => db.refresh_indexes(&names),
+            Backend::Shared(shared) => shared.refresh_indexes(Some(&names)),
+        }
+        Ok(())
+    }
+
     /// Parses and executes one statement. On a durable session (see
-    /// [`Session::open_durable`]), a successful DDL/DML statement is
-    /// appended to the write-ahead log before this returns.
+    /// [`Session::open_durable`]), a successful bare DDL/DML statement is
+    /// appended to the write-ahead log before this returns; statements
+    /// inside a transaction are buffered and logged as one atomic commit
+    /// unit (single fsync) at `COMMIT`.
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult, String> {
         let stmt = parse_sql_statement(sql)?;
-        self.apply(&stmt, sql)
+        self.apply_inner(&stmt, Some(sql))
     }
 
     /// Parses and executes a `;`-separated script, stopping at the first
     /// error. The whole script is parsed up front, so a syntax error
     /// anywhere prevents any statement from running; execution errors stop
     /// the script mid-way. Durable sessions log each successful DDL/DML
-    /// statement individually.
+    /// statement individually (or per commit unit, inside transactions).
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, String> {
         let pieces = split_script(sql);
         let mut stmts = Vec::with_capacity(pieces.len());
@@ -239,123 +431,317 @@ impl Session {
         }
         let mut out = Vec::with_capacity(stmts.len());
         for (stmt, piece) in stmts.iter().zip(&pieces) {
-            out.push(self.apply(stmt, piece)?);
+            out.push(self.apply_inner(stmt, Some(piece))?);
         }
         Ok(out)
     }
 
-    /// Executes one statement and, for successful mutations on a durable
-    /// session, logs its text and runs the auto-checkpoint policy.
-    fn apply(&mut self, stmt: &SqlStatement, text: &str) -> Result<StatementResult, String> {
-        let result = self.execute_statement(stmt)?;
-        if !matches!(stmt, SqlStatement::Query(_)) && self.db.is_durable() {
-            let clean = text.trim().trim_end_matches(';').trim_end();
-            self.db.log_statement(clean)?;
-            self.db.auto_checkpoint()?;
-        }
-        Ok(result)
-    }
-
     /// Executes one parsed statement.
     ///
-    /// This is the raw pipeline entry point: it never touches the
-    /// write-ahead log (there is no source text to record). Durable
-    /// sessions should go through [`Session::execute`] /
-    /// [`Session::execute_script`]; mutations applied here are captured
-    /// on disk only at the next checkpoint.
+    /// This is the raw pipeline entry point: it never records statement
+    /// *text* (there is none to record), so on a durable owned session a
+    /// mutation applied here is captured on disk only at the next
+    /// checkpoint, and inside a transaction it is applied but not part of
+    /// the WAL commit unit. Durable sessions should go through
+    /// [`Session::execute`] / [`Session::execute_script`].
     pub fn execute_statement(&mut self, stmt: &SqlStatement) -> Result<StatementResult, String> {
-        match stmt {
-            SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
-            SqlStatement::CreateTable {
-                name,
-                columns,
-                period,
-            } => self.create_table(name, columns, period.as_ref()),
-            SqlStatement::DropTable { name, if_exists } => {
-                let existed = self.db.drop_table(name);
-                if !existed && !if_exists {
-                    return Err(format!("unknown table '{name}'"));
-                }
-                Ok(StatementResult::Dropped {
-                    table: name.clone(),
-                    existed,
-                })
-            }
-            SqlStatement::Insert { table, source } => self.insert(table, source),
-            SqlStatement::Delete {
-                table,
-                where_clause,
-            } => self.delete(table, where_clause.as_ref()),
-            SqlStatement::Update {
-                table,
-                assignments,
-                where_clause,
-            } => self.update(table, assignments, where_clause.as_ref()),
-        }
+        self.apply_inner(stmt, None)
     }
 
     /// Compiles a query statement to its physical plan without executing it
-    /// (the `.explain` entry point).
+    /// (the `.explain` entry point), against this session's read view.
     pub fn compile(&self, sql: &str) -> Result<Plan, String> {
         let stmt = parse_sql_statement(sql)?;
         let SqlStatement::Query(q) = stmt else {
             return Err("only query statements have plans to explain".into());
         };
-        self.compile_query(&q)
-    }
-
-    fn compile_query(&self, stmt: &Statement) -> Result<Plan, String> {
-        let catalog = self.db.catalog();
-        let bound = bind_statement(stmt, catalog)?;
-        let compiler = SnapshotCompiler::with_options(infer_domain(catalog), self.options.rewrite);
-        compiler.compile_statement(&bound, catalog)
-    }
-
-    fn run_query(&mut self, stmt: &Statement) -> Result<Table, String> {
-        let plan = self.compile_query(stmt)?;
-        if !self.options.use_indexes {
-            return self.engine.execute(&plan, self.db.catalog());
+        if let Some(txn) = &self.txn {
+            return compile_query(&self.options, txn.catalog(), &q);
         }
-        self.db.refresh_indexes(&plan.referenced_tables());
-        let indexed = self
-            .engine
-            .execute_indexed(&plan, self.db.catalog(), self.db.indexes())?;
-        if self.options.verify_indexed {
-            let naive = self.engine.execute(&plan, self.db.catalog())?;
-            if naive.canonicalized() != indexed.canonicalized() {
-                return Err(format!(
-                    "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
-                    indexed.len(),
-                    naive.len()
-                ));
+        match &self.backend {
+            Backend::Owned(db) => compile_query(&self.options, db.catalog(), &q),
+            Backend::Shared(shared) => {
+                let snap = shared.snapshot();
+                compile_query(&self.options, snap.catalog(), &q)
             }
         }
-        Ok(indexed)
     }
 
-    fn create_table(
+    /// Routes one statement: transaction control, query, or mutation.
+    fn apply_inner(
         &mut self,
-        name: &str,
-        columns: &[ColumnDef],
-        period: Option<&(String, String)>,
+        stmt: &SqlStatement,
+        text: Option<&str>,
     ) -> Result<StatementResult, String> {
-        let schema = Schema::new(
-            columns
-                .iter()
-                .map(|c| Column::new(c.name.clone(), c.ty))
-                .collect(),
-        );
-        let period = period
-            .map(|(b, e)| Ok::<_, String>((schema.resolve(None, b)?, schema.resolve(None, e)?)))
-            .transpose()?;
-        self.db.create_table(name, schema, period)?;
-        Ok(StatementResult::Created {
-            table: name.to_string(),
-        })
+        match stmt {
+            SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
+            SqlStatement::Begin => self.begin_txn(),
+            SqlStatement::Commit => self.commit_txn(),
+            SqlStatement::Rollback => self.rollback_txn(),
+            _ => self.apply_mutation(stmt, text),
+        }
     }
 
-    fn insert(&mut self, table: &str, source: &InsertSource) -> Result<StatementResult, String> {
-        let rows = match source {
+    /// `BEGIN`: pin a snapshot and open a transaction over it.
+    fn begin_txn(&mut self) -> Result<StatementResult, String> {
+        if self.txn.is_some() {
+            return Err(
+                "a transaction is already open (nested transactions are not supported)".into(),
+            );
+        }
+        self.txn = Some(match &self.backend {
+            Backend::Owned(db) => {
+                self.next_owned_txn_id += 1;
+                Transaction::begin(
+                    self.next_owned_txn_id,
+                    CatalogSnapshot::new(db.catalog().clone(), db.indexes().clone(), 0),
+                )
+            }
+            Backend::Shared(shared) => shared.begin(),
+        });
+        Ok(StatementResult::Began)
+    }
+
+    /// `COMMIT`: validate, log the commit unit, publish. A failed commit
+    /// (conflict or durability error) rolls the transaction back — the
+    /// committed state is untouched either way.
+    fn commit_txn(&mut self) -> Result<StatementResult, String> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| "no transaction is open".to_string())?;
+        let tables = match &mut self.backend {
+            Backend::Owned(db) => commit_owned(db, txn)?,
+            Backend::Shared(shared) => shared.commit(txn)?.published,
+        };
+        Ok(StatementResult::Committed { tables })
+    }
+
+    /// `ROLLBACK`: drop the working state; the snapshot pinned at `BEGIN`
+    /// is what everyone still sees, so there is nothing to undo.
+    fn rollback_txn(&mut self) -> Result<StatementResult, String> {
+        if self.txn.take().is_none() {
+            return Err("no transaction is open".into());
+        }
+        Ok(StatementResult::RolledBack)
+    }
+
+    /// The catalog the next mutation targets: the open transaction's
+    /// working catalog, or the owned database's. (Shared bare mutations
+    /// are wrapped in an implicit transaction before this is consulted.)
+    fn target_catalog(&self) -> &Catalog {
+        if let Some(txn) = &self.txn {
+            return txn.catalog();
+        }
+        match &self.backend {
+            Backend::Owned(db) => db.catalog(),
+            Backend::Shared(_) => unreachable!("shared mutations run inside a transaction"),
+        }
+    }
+
+    /// See [`Session::target_catalog`].
+    fn target_catalog_mut(&mut self) -> &mut Catalog {
+        if let Some(txn) = self.txn.as_mut() {
+            return txn.catalog_mut();
+        }
+        match &mut self.backend {
+            Backend::Owned(db) => db.catalog_mut(),
+            Backend::Shared(_) => unreachable!("shared mutations run inside a transaction"),
+        }
+    }
+
+    /// Executes a DDL/DML statement: against the open transaction if one
+    /// is open; otherwise directly on an owned database (autocommit with
+    /// statement-level WAL) or wrapped in an implicit single-statement
+    /// transaction on a shared one.
+    fn apply_mutation(
+        &mut self,
+        stmt: &SqlStatement,
+        text: Option<&str>,
+    ) -> Result<StatementResult, String> {
+        let implicit = self.txn.is_none() && matches!(self.backend, Backend::Shared(_));
+        if implicit {
+            let Backend::Shared(shared) = &self.backend else {
+                unreachable!()
+            };
+            self.txn = Some(shared.begin());
+        }
+        if self.txn.is_some() {
+            let outcome = self.mutate(stmt);
+            match outcome {
+                Ok((result, written)) => {
+                    let txn = self.txn.as_mut().expect("open above");
+                    if let Some(table) = written {
+                        txn.record_write(&table);
+                        // Buffer only statements that actually wrote: a
+                        // no-op's "nothing matched" was established under
+                        // *this* snapshot and is not in the write set, so
+                        // replaying its text against a different state
+                        // could do real work — it must never reach the
+                        // WAL. (Skipping it is replay-equivalent: it
+                        // changed nothing.)
+                        if let Some(text) = text {
+                            txn.push_statement(clean_statement(text));
+                        }
+                    }
+                    if implicit {
+                        self.commit_txn()?;
+                    }
+                    Ok(result)
+                }
+                Err(e) => {
+                    if implicit {
+                        self.txn = None;
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            // Owned autocommit: mutate directly, then write-ahead-log the
+            // statement (the mutation is already validated and applied —
+            // the pre-PR 4 contract, preserved).
+            let (result, written) = self.mutate(stmt)?;
+            let Backend::Owned(db) = &mut self.backend else {
+                unreachable!()
+            };
+            if let Some(table) = written {
+                db.note_write(&table);
+            }
+            if db.is_durable() {
+                if let Some(text) = text {
+                    db.log_statement(&clean_statement(text))?;
+                    db.auto_checkpoint()?;
+                }
+            }
+            Ok(result)
+        }
+    }
+
+    /// Applies one mutation to the target catalog. Returns the result plus
+    /// the table name *actually written* (`None` when the statement turned
+    /// out to be a no-op — those never enter a write set, so they can
+    /// never conflict).
+    fn mutate(&mut self, stmt: &SqlStatement) -> Result<(StatementResult, Option<String>), String> {
+        match stmt {
+            SqlStatement::CreateTable {
+                name,
+                columns,
+                period,
+            } => {
+                let (schema, period) = build_schema(columns, period.as_ref())?;
+                create_table_in(self.target_catalog_mut(), name, schema, period)?;
+                Ok((
+                    StatementResult::Created {
+                        table: name.clone(),
+                    },
+                    Some(name.clone()),
+                ))
+            }
+            SqlStatement::DropTable { name, if_exists } => {
+                let existed = self.target_catalog_mut().remove(name).is_some();
+                if !existed && !if_exists {
+                    return Err(format!("unknown table '{name}'"));
+                }
+                Ok((
+                    StatementResult::Dropped {
+                        table: name.clone(),
+                        existed,
+                    },
+                    existed.then(|| name.clone()),
+                ))
+            }
+            SqlStatement::Insert { table, source } => {
+                let rows = self.eval_insert_source(source)?;
+                if let (InsertSource::Query(q), true) = (source, self.txn.is_some()) {
+                    // The inserted rows depend on the *source* tables'
+                    // pinned state; record them as replay dependencies so
+                    // commit validation refuses to log a statement whose
+                    // WAL replay would read a different source.
+                    let sources =
+                        compile_query(&self.options, self.target_catalog(), q)?.referenced_tables();
+                    let txn = self.txn.as_mut().expect("checked");
+                    for name in &sources {
+                        txn.record_read(name);
+                    }
+                }
+                let n = insert_rows_in(self.target_catalog_mut(), table, rows)?;
+                Ok((
+                    StatementResult::Inserted {
+                        table: table.clone(),
+                        rows: n,
+                    },
+                    (n > 0).then(|| table.clone()),
+                ))
+            }
+            SqlStatement::Delete {
+                table,
+                where_clause,
+            } => {
+                let (_, pred) = bind_where_in(self.target_catalog(), table, where_clause.as_ref())?;
+                let rows = delete_where_in(self.target_catalog_mut(), table, |r| {
+                    pred.as_ref().is_none_or(|p| eval_predicate(p, r))
+                })?;
+                Ok((
+                    StatementResult::Deleted {
+                        table: table.clone(),
+                        rows,
+                    },
+                    (rows > 0).then(|| table.clone()),
+                ))
+            }
+            SqlStatement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                let (schema, pred) =
+                    bind_where_in(self.target_catalog(), table, where_clause.as_ref())?;
+                let mut bound: Vec<(usize, algebra::Expr)> = Vec::with_capacity(assignments.len());
+                for (col, ast) in assignments {
+                    let idx = schema.resolve(None, col)?;
+                    bound.push((idx, bind_scalar_expr(ast, &schema)?));
+                }
+                let matches = |r: &Row| pred.as_ref().is_none_or(|p| eval_predicate(p, r));
+                // One pass: evaluate the assignments and conform each
+                // replacement to the schema; `Table::update_where` folds in
+                // the arity/period check and applies atomically (any error
+                // leaves the table untouched).
+                let stored_schema = self
+                    .target_catalog()
+                    .get(table)
+                    .expect("bound above")
+                    .schema()
+                    .clone();
+                let rows = update_where_in(self.target_catalog_mut(), table, matches, |r| {
+                    let mut values = r.values().to_vec();
+                    for (idx, e) in &bound {
+                        values[*idx] = eval_expr(e, r);
+                    }
+                    conform_row(&stored_schema, Row::new(values))
+                })?;
+                Ok((
+                    StatementResult::Updated {
+                        table: table.clone(),
+                        rows,
+                    },
+                    (rows > 0).then(|| table.clone()),
+                ))
+            }
+            SqlStatement::Query(_)
+            | SqlStatement::Begin
+            | SqlStatement::Commit
+            | SqlStatement::Rollback => {
+                unreachable!("routed by apply_inner")
+            }
+        }
+    }
+
+    /// Evaluates an `INSERT` source to rows: constant `VALUES` tuples, or
+    /// a query run through the full pipeline (against this session's
+    /// current read context — inside a transaction, that includes its own
+    /// uncommitted writes).
+    fn eval_insert_source(&mut self, source: &InsertSource) -> Result<Vec<Row>, String> {
+        match source {
             InsertSource::Values(value_rows) => {
                 // Constant rows: bind against the empty schema (so stray
                 // column references are rejected) and evaluate.
@@ -369,91 +755,161 @@ impl Session {
                     }
                     rows.push(Row::new(values));
                 }
-                rows
+                Ok(rows)
             }
-            InsertSource::Query(q) => self.run_query(q)?.rows().to_vec(),
-        };
-        let n = self.db.insert_rows(table, rows)?;
-        Ok(StatementResult::Inserted {
-            table: table.to_string(),
-            rows: n,
-        })
-    }
-
-    /// Binds an optional WHERE clause against the table's schema (columns
-    /// resolvable bare or qualified by the table name) and checks it is
-    /// boolean. `None` means "all rows".
-    fn bind_where(
-        &self,
-        table: &str,
-        where_clause: Option<&AstExpr>,
-    ) -> Result<(Schema, Option<algebra::Expr>), String> {
-        let stored = self
-            .db
-            .catalog()
-            .get(table)
-            .ok_or_else(|| format!("unknown table '{table}'"))?;
-        let schema = stored.schema().with_qualifier(table);
-        let pred = where_clause
-            .map(|ast| {
-                let e = bind_scalar_expr(ast, &schema)?;
-                if e.infer_type(&schema)? != SqlType::Bool {
-                    return Err("WHERE predicate must be boolean".into());
-                }
-                Ok::<_, String>(e)
-            })
-            .transpose()?;
-        Ok((schema, pred))
-    }
-
-    fn delete(
-        &mut self,
-        table: &str,
-        where_clause: Option<&AstExpr>,
-    ) -> Result<StatementResult, String> {
-        let (_, pred) = self.bind_where(table, where_clause)?;
-        let rows = self.db.delete_where(table, |r| {
-            pred.as_ref().is_none_or(|p| eval_predicate(p, r))
-        })?;
-        Ok(StatementResult::Deleted {
-            table: table.to_string(),
-            rows,
-        })
-    }
-
-    fn update(
-        &mut self,
-        table: &str,
-        assignments: &[(String, AstExpr)],
-        where_clause: Option<&AstExpr>,
-    ) -> Result<StatementResult, String> {
-        let (schema, pred) = self.bind_where(table, where_clause)?;
-        let mut bound: Vec<(usize, algebra::Expr)> = Vec::with_capacity(assignments.len());
-        for (col, ast) in assignments {
-            let idx = schema.resolve(None, col)?;
-            bound.push((idx, bind_scalar_expr(ast, &schema)?));
+            InsertSource::Query(q) => Ok(self.run_query(q)?.rows().to_vec()),
         }
-        let matches = |r: &Row| pred.as_ref().is_none_or(|p| eval_predicate(p, r));
-        // One pass: evaluate the assignments and conform each replacement to
-        // the schema; `Table::update_where` folds in the arity/period check
-        // and applies atomically (any error leaves the table untouched).
-        let stored_schema = self
-            .db
-            .catalog()
-            .get(table)
-            .expect("bound above")
-            .schema()
-            .clone();
-        let rows = self.db.update_where(table, matches, |r| {
-            let mut values = r.values().to_vec();
-            for (idx, e) in &bound {
-                values[*idx] = eval_expr(e, r);
-            }
-            conform_row(&stored_schema, Row::new(values))
-        })?;
-        Ok(StatementResult::Updated {
-            table: table.to_string(),
-            rows,
-        })
     }
+
+    /// Runs a query against this session's read context: the open
+    /// transaction's working state, the owned database, or a freshly
+    /// pinned committed snapshot (shared autocommit reads).
+    fn run_query(&mut self, stmt: &Statement) -> Result<Table, String> {
+        if self.txn.is_some() {
+            let plan = {
+                let txn = self.txn.as_ref().expect("checked");
+                compile_query(&self.options, txn.catalog(), stmt)?
+            };
+            let tables = plan.referenced_tables();
+            let Session {
+                txn,
+                engine,
+                options,
+                ..
+            } = self;
+            let txn = txn.as_mut().expect("checked");
+            if options.use_indexes {
+                txn.refresh_indexes(&tables);
+            }
+            return execute_plan(engine, options, &plan, txn.catalog(), txn.indexes());
+        }
+        let Session {
+            backend,
+            engine,
+            options,
+            ..
+        } = self;
+        match backend {
+            Backend::Owned(db) => {
+                let plan = compile_query(options, db.catalog(), stmt)?;
+                if options.use_indexes {
+                    db.refresh_indexes(&plan.referenced_tables());
+                }
+                execute_plan(engine, options, &plan, db.catalog(), db.indexes())
+            }
+            Backend::Shared(shared) => {
+                let mut snap = shared.snapshot();
+                let plan = compile_query(options, snap.catalog(), stmt)?;
+                if options.use_indexes {
+                    // Repair the *pinned* registry: the repaired entries
+                    // match the pinned tables exactly (version epochs),
+                    // never a newer committed state.
+                    snap.refresh_indexes(&plan.referenced_tables());
+                }
+                execute_plan(engine, options, &plan, snap.catalog(), snap.indexes())
+            }
+        }
+    }
+}
+
+/// The owned-backend commit path: validate against the live database
+/// (first-committer-wins — the database can only have moved if the caller
+/// mutated it directly mid-transaction), write the commit unit to the WAL
+/// (one fsync), publish, auto-checkpoint.
+fn commit_owned(db: &mut Database, txn: Transaction) -> Result<usize, String> {
+    snapshot_txn::validate_first_committer_wins(&txn, db.catalog())?;
+    if txn.is_read_only() {
+        return Ok(0);
+    }
+    // WAL first: a commit unit that fails to log aborts cleanly, with the
+    // database untouched.
+    db.log_transaction(txn.statements())?;
+    let published = txn.write_set().count();
+    db.publish_transaction(txn.catalog(), txn.write_set());
+    db.auto_checkpoint()?;
+    Ok(published)
+}
+
+/// Compiles a query statement against a catalog.
+fn compile_query(
+    options: &SessionOptions,
+    catalog: &Catalog,
+    stmt: &Statement,
+) -> Result<Plan, String> {
+    let bound = bind_statement(stmt, catalog)?;
+    let compiler = SnapshotCompiler::with_options(infer_domain(catalog), options.rewrite);
+    compiler.compile_statement(&bound, catalog)
+}
+
+/// Executes a compiled plan: indexed route (with optional naive
+/// cross-check) or naive-only when indexes are off.
+fn execute_plan(
+    engine: &Engine,
+    options: &SessionOptions,
+    plan: &Plan,
+    catalog: &Catalog,
+    indexes: &IndexCatalog,
+) -> Result<Table, String> {
+    if !options.use_indexes {
+        return engine.execute(plan, catalog);
+    }
+    let indexed = engine.execute_indexed(plan, catalog, indexes)?;
+    if options.verify_indexed {
+        let naive = engine.execute(plan, catalog)?;
+        if naive.canonicalized() != indexed.canonicalized() {
+            return Err(format!(
+                "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
+                indexed.len(),
+                naive.len()
+            ));
+        }
+    }
+    Ok(indexed)
+}
+
+/// Builds a `CREATE TABLE` schema and resolves its period columns.
+fn build_schema(
+    columns: &[ColumnDef],
+    period: Option<&(String, String)>,
+) -> Result<(Schema, Option<(usize, usize)>), String> {
+    let schema = Schema::new(
+        columns
+            .iter()
+            .map(|c| Column::new(c.name.clone(), c.ty))
+            .collect(),
+    );
+    let period = period
+        .map(|(b, e)| Ok::<_, String>((schema.resolve(None, b)?, schema.resolve(None, e)?)))
+        .transpose()?;
+    Ok((schema, period))
+}
+
+/// Binds an optional WHERE clause against the table's schema (columns
+/// resolvable bare or qualified by the table name) and checks it is
+/// boolean. `None` means "all rows".
+fn bind_where_in(
+    catalog: &Catalog,
+    table: &str,
+    where_clause: Option<&AstExpr>,
+) -> Result<(Schema, Option<algebra::Expr>), String> {
+    let stored = catalog
+        .get(table)
+        .ok_or_else(|| format!("unknown table '{table}'"))?;
+    let schema = stored.schema().with_qualifier(table);
+    let pred = where_clause
+        .map(|ast| {
+            let e = bind_scalar_expr(ast, &schema)?;
+            if e.infer_type(&schema)? != SqlType::Bool {
+                return Err("WHERE predicate must be boolean".into());
+            }
+            Ok::<_, String>(e)
+        })
+        .transpose()?;
+    Ok((schema, pred))
+}
+
+/// The canonical statement text for the write-ahead log: trimmed, no
+/// trailing `;`.
+fn clean_statement(text: &str) -> String {
+    text.trim().trim_end_matches(';').trim_end().to_string()
 }

@@ -50,6 +50,16 @@ pub enum SqlStatement {
         /// Row predicate (`None` updates everything).
         where_clause: Option<AstExpr>,
     },
+    /// `BEGIN [TRANSACTION | WORK]` — opens an explicit transaction; until
+    /// `COMMIT`/`ROLLBACK`, statements run against a private snapshot of
+    /// the catalog (snapshot isolation).
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — publishes the open transaction's
+    /// writes (first-committer-wins on write-write conflicts).
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — discards the open transaction's
+    /// writes; the catalog is exactly as it was at `BEGIN`.
+    Rollback,
 }
 
 /// One column of a `CREATE TABLE` statement.

@@ -218,7 +218,30 @@ impl Parser {
         if self.at_keyword("update") {
             return self.parse_update();
         }
+        if self.at_keyword("begin") {
+            return self.parse_txn_statement("begin", SqlStatement::Begin);
+        }
+        if self.at_keyword("commit") {
+            return self.parse_txn_statement("commit", SqlStatement::Commit);
+        }
+        if self.at_keyword("rollback") {
+            return self.parse_txn_statement("rollback", SqlStatement::Rollback);
+        }
         Ok(SqlStatement::Query(self.parse_query_statement()?))
+    }
+
+    /// `BEGIN`/`COMMIT`/`ROLLBACK`, each tolerating an optional
+    /// `TRANSACTION` or `WORK` noise word.
+    fn parse_txn_statement(
+        &mut self,
+        keyword: &str,
+        stmt: SqlStatement,
+    ) -> Result<SqlStatement, String> {
+        self.expect_keyword(keyword)?;
+        if !self.eat_keyword("transaction") {
+            let _ = self.eat_keyword("work");
+        }
+        Ok(stmt)
     }
 
     fn parse_create_table(&mut self) -> Result<SqlStatement, String> {
@@ -992,6 +1015,24 @@ mod tests {
         // Missing semicolon between statements is an error.
         assert!(parse_script("SELECT 1 FROM t SELECT 2 FROM t").is_err());
         assert!(parse_script("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn transaction_statements_parse() {
+        for (sql, want) in [
+            ("BEGIN", SqlStatement::Begin),
+            ("begin transaction;", SqlStatement::Begin),
+            ("BEGIN WORK", SqlStatement::Begin),
+            ("COMMIT", SqlStatement::Commit),
+            ("commit work;", SqlStatement::Commit),
+            ("ROLLBACK", SqlStatement::Rollback),
+            ("ROLLBACK TRANSACTION", SqlStatement::Rollback),
+        ] {
+            assert_eq!(parse_sql_statement(sql).unwrap(), want, "{sql}");
+        }
+        // Trailing garbage is rejected, not ignored.
+        assert!(parse_sql_statement("BEGIN now").is_err());
+        assert!(parse_sql_statement("COMMIT 5").is_err());
     }
 
     #[test]

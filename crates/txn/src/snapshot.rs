@@ -1,0 +1,64 @@
+//! Pinned catalog snapshots: the consistent read view of a transaction.
+
+use index::IndexCatalog;
+use storage::Catalog;
+
+/// A consistent, immutable view of the catalog (and its index registry) as
+/// of one commit sequence number.
+///
+/// Pinning is cheap: tables and index bundles live behind `Arc`, so the
+/// snapshot is an `O(#tables)` handle copy. Whatever later writers commit,
+/// the pinned tables — identified by their globally unique version epochs
+/// — stay alive and bit-for-bit unchanged until the snapshot drops.
+///
+/// The *index* view is lazily repairable: committed indexes may lag the
+/// committed tables (maintenance is lazy everywhere in this system), so a
+/// reader about to run an indexed query calls
+/// [`CatalogSnapshot::refresh_indexes`] on its own pinned registry. The
+/// repair is private to the snapshot — version epochs guarantee a repaired
+/// entry exactly matches the pinned table, never a newer committed one.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    catalog: Catalog,
+    indexes: IndexCatalog,
+    commit_seq: u64,
+}
+
+impl CatalogSnapshot {
+    /// Pins a snapshot of `catalog`/`indexes` at `commit_seq`.
+    pub fn new(catalog: Catalog, indexes: IndexCatalog, commit_seq: u64) -> Self {
+        CatalogSnapshot {
+            catalog,
+            indexes,
+            commit_seq,
+        }
+    }
+
+    /// The pinned catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pinned index registry.
+    pub fn indexes(&self) -> &IndexCatalog {
+        &self.indexes
+    }
+
+    /// The commit sequence number this snapshot reflects: every commit
+    /// published up to (and including) this one, nothing after.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Repairs the pinned indexes of the named tables against the pinned
+    /// catalog (incremental after pure appends, full rebuild otherwise —
+    /// see [`IndexCatalog::ensure`]). Unknown and non-temporal names are
+    /// skipped.
+    pub fn refresh_indexes(&mut self, tables: &[String]) {
+        for name in tables {
+            if let Some(table) = self.catalog.get(name) {
+                self.indexes.ensure(name, table);
+            }
+        }
+    }
+}

@@ -17,8 +17,9 @@
 //! half-written file that parses; recovery takes the newest checkpoint
 //! whose CRC validates and falls back to older ones otherwise.
 
-use crate::codec::{decode_catalog, encode_catalog, Reader, Writer};
+use crate::codec::{decode_catalog, encode_table, Reader, Writer};
 use crate::crc::crc32;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -47,12 +48,90 @@ pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("checkpoint.{seq}"))
 }
 
-/// Serializes a checkpoint into its file bytes.
-fn encode(seq: u64, covered_lsn: u64, catalog: &Catalog) -> Vec<u8> {
+/// How an *incremental* checkpoint split its tables: every table is in the
+/// written file, but only the changed ones were re-serialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReuse {
+    /// Tables whose cached encoding was spliced in unchanged (their
+    /// version epoch matched the previous checkpoint's).
+    pub reused: usize,
+    /// Tables serialized fresh (new, mutated, or first checkpoint).
+    pub encoded: usize,
+}
+
+/// Per-table encoding cache backing incremental checkpoints.
+///
+/// Checkpoints always contain the *full* catalog (recovery stays
+/// single-file), but re-serializing an unchanged multi-million-row table on
+/// every checkpoint is wasted work. The cache keeps each table's encoded
+/// block keyed by its [`storage::Table::version`] epoch: version epochs are
+/// globally unique and refreshed by every mutation, so an epoch match
+/// proves the cached bytes still describe the table exactly, and the block
+/// is spliced into the new checkpoint verbatim. The produced bytes are
+/// identical to a from-scratch encoding — the on-disk format (and
+/// [`FORMAT_VERSION`]) is unchanged.
+///
+/// The cache is sound only for one catalog *lineage* (one database
+/// directory): it trusts that a `(name, version)` pair never names two
+/// different contents, which the process-wide epoch counter guarantees for
+/// tables that live and mutate in this process, and which
+/// [`storage::Table::restore`] preserves across restarts by advancing the
+/// counter past every restored epoch. Do not feed one cache catalogs from
+/// two unrelated databases.
+#[derive(Debug, Default)]
+pub struct TableEncodeCache {
+    entries: BTreeMap<String, (u64, Vec<u8>)>,
+}
+
+impl TableEncodeCache {
+    /// An empty cache (the first checkpoint through it encodes everything).
+    pub fn new() -> Self {
+        TableEncodeCache::default()
+    }
+
+    /// Encodes `catalog` into `w` — byte-identical to
+    /// [`crate::codec::encode_catalog`] — reusing cached blocks for tables
+    /// whose version epoch is unchanged, and refreshing the cache with
+    /// every block written. Entries for dropped tables are evicted.
+    pub fn encode_catalog(&mut self, w: &mut Writer, catalog: &Catalog) -> CheckpointReuse {
+        let names: Vec<&str> = catalog.table_names().collect();
+        w.put_u32(names.len() as u32);
+        let mut reuse = CheckpointReuse::default();
+        for name in &names {
+            let table = catalog.get(name).expect("listed name");
+            match self.entries.get(*name) {
+                Some((version, block)) if *version == table.version() => {
+                    w.put_raw(block);
+                    reuse.reused += 1;
+                }
+                _ => {
+                    let mut block = Writer::new();
+                    block.put_str(name);
+                    encode_table(&mut block, table);
+                    let block = block.into_bytes();
+                    w.put_raw(&block);
+                    self.entries
+                        .insert(name.to_string(), (table.version(), block));
+                    reuse.encoded += 1;
+                }
+            }
+        }
+        self.entries.retain(|name, _| catalog.get(name).is_some());
+        reuse
+    }
+}
+
+/// Serializes a checkpoint into its file bytes, through `cache`.
+fn encode(
+    seq: u64,
+    covered_lsn: u64,
+    catalog: &Catalog,
+    cache: &mut TableEncodeCache,
+) -> (Vec<u8>, CheckpointReuse) {
     let mut body = Writer::new();
     body.put_u64(seq);
     body.put_u64(covered_lsn);
-    encode_catalog(&mut body, catalog);
+    let reuse = cache.encode_catalog(&mut body, catalog);
     let body = body.into_bytes();
     let mut out = Writer::new();
     out.put_u32(FORMAT_VERSION);
@@ -61,7 +140,7 @@ fn encode(seq: u64, covered_lsn: u64, catalog: &Catalog) -> Vec<u8> {
     let mut bytes = CHECKPOINT_MAGIC.to_vec();
     bytes.extend_from_slice(&out.into_bytes());
     bytes.extend_from_slice(&body);
-    bytes
+    (bytes, reuse)
 }
 
 /// Parses and validates checkpoint file bytes.
@@ -109,14 +188,29 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
 }
 
 /// Writes checkpoint `seq` atomically (temp file + `fsync` + rename +
-/// directory `fsync`) and returns its final path.
+/// directory `fsync`) and returns its final path. Every table is encoded
+/// fresh; the incremental path is [`write_checkpoint_with`].
 pub fn write_checkpoint(
     dir: &Path,
     seq: u64,
     covered_lsn: u64,
     catalog: &Catalog,
 ) -> Result<PathBuf, String> {
-    let bytes = encode(seq, covered_lsn, catalog);
+    write_checkpoint_with(dir, seq, covered_lsn, catalog, &mut TableEncodeCache::new())
+        .map(|(path, _)| path)
+}
+
+/// [`write_checkpoint`] through a persistent [`TableEncodeCache`]: tables
+/// whose version epoch is unchanged since the cache last saw them are
+/// spliced in from their cached encoding instead of being re-serialized.
+pub fn write_checkpoint_with(
+    dir: &Path,
+    seq: u64,
+    covered_lsn: u64,
+    catalog: &Catalog,
+    cache: &mut TableEncodeCache,
+) -> Result<(PathBuf, CheckpointReuse), String> {
+    let (bytes, reuse) = encode(seq, covered_lsn, catalog, cache);
     let final_path = checkpoint_path(dir, seq);
     let tmp_path = dir.join(format!("checkpoint.{seq}.tmp"));
     let mut tmp = fs::File::create(&tmp_path)
@@ -132,7 +226,7 @@ pub fn write_checkpoint(
     if let Ok(d) = fs::File::open(dir) {
         let _ = d.sync_all();
     }
-    Ok(final_path)
+    Ok((final_path, reuse))
 }
 
 /// Reads and validates one checkpoint file.
@@ -273,6 +367,68 @@ mod tests {
         // A truncated newest also falls back, never panics.
         fs::write(&p2, &fs::read(checkpoint_path(&dir, 1)).unwrap()[..10]).unwrap();
         assert_eq!(load_newest(&dir).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn incremental_checkpoints_reuse_unchanged_tables_byte_identically() {
+        let dir = tmp_dir("incremental");
+        let mut catalog = sample_catalog();
+        let mut other = Table::new(Schema::of(&[("x", SqlType::Int)]));
+        other.push(row![1]);
+        catalog.register("other", other);
+
+        // First checkpoint through the cache: everything encodes fresh.
+        let mut cache = TableEncodeCache::new();
+        let (_, reuse) = write_checkpoint_with(&dir, 1, 5, &catalog, &mut cache).unwrap();
+        assert_eq!(
+            reuse,
+            CheckpointReuse {
+                reused: 0,
+                encoded: 2
+            }
+        );
+
+        // Mutate only "other": "works" is spliced from the cache, and the
+        // file is byte-identical to a from-scratch encoding.
+        catalog.get_mut("other").unwrap().push(row![2]);
+        let (p2, reuse) = write_checkpoint_with(&dir, 2, 9, &catalog, &mut cache).unwrap();
+        assert_eq!(
+            reuse,
+            CheckpointReuse {
+                reused: 1,
+                encoded: 1
+            }
+        );
+        let fresh_dir = tmp_dir("incremental_fresh");
+        let fresh = write_checkpoint(&fresh_dir, 2, 9, &catalog).unwrap();
+        assert_eq!(fs::read(&p2).unwrap(), fs::read(&fresh).unwrap());
+        let cp = read_checkpoint(&p2).unwrap();
+        assert_eq!(cp.catalog.get("works"), catalog.get("works"));
+        assert_eq!(
+            cp.catalog.get("other").unwrap().version(),
+            catalog.get("other").unwrap().version()
+        );
+
+        // Unchanged catalog: everything reuses. Dropped tables evict.
+        let (_, reuse) = write_checkpoint_with(&dir, 3, 9, &catalog, &mut cache).unwrap();
+        assert_eq!(
+            reuse,
+            CheckpointReuse {
+                reused: 2,
+                encoded: 0
+            }
+        );
+        catalog.remove("other");
+        let (p4, reuse) = write_checkpoint_with(&dir, 4, 9, &catalog, &mut cache).unwrap();
+        assert_eq!(
+            reuse,
+            CheckpointReuse {
+                reused: 1,
+                encoded: 0
+            }
+        );
+        let cp = read_checkpoint(&p4).unwrap();
+        assert!(cp.catalog.get("other").is_none());
     }
 
     #[test]

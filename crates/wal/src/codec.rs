@@ -59,6 +59,13 @@ impl Writer {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Appends pre-encoded bytes verbatim (no length prefix) — the splice
+    /// point for cached encodings (incremental checkpoints) and batched
+    /// WAL frames.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
 /// Decoder: a cursor over an input slice; every read is bounds-checked.

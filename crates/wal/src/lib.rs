@@ -32,8 +32,14 @@ pub mod dump;
 pub mod log;
 pub mod persistence;
 
-pub use checkpoint::{list_checkpoints, read_checkpoint, write_checkpoint, Checkpoint};
+pub use checkpoint::{
+    list_checkpoints, read_checkpoint, write_checkpoint, write_checkpoint_with, Checkpoint,
+    CheckpointReuse, TableEncodeCache,
+};
 pub use crc::crc32;
 pub use dump::dump_sql;
 pub use log::{SyncPolicy, Wal, WalRecord, WalScan};
-pub use persistence::{Persistence, PersistenceOptions, Recovery};
+pub use persistence::{
+    Persistence, PersistenceOptions, Recovery, TXN_BEGIN_MARKER, TXN_COMMIT_MARKER,
+    TXN_ROLLBACK_MARKER,
+};

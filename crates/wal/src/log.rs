@@ -69,6 +69,11 @@ pub struct WalRecord {
 pub struct WalScan {
     /// The valid record prefix, in log order.
     pub records: Vec<WalRecord>,
+    /// For each record, the absolute file offset of its first byte —
+    /// `record_starts[i]` is where record `i`'s frame begins. Recovery uses
+    /// this to truncate the log back to a *record* boundary (discarding an
+    /// uncommitted transaction suffix), not just a frame-validity boundary.
+    pub record_starts: Vec<u64>,
     /// How many bytes of torn/corrupt tail were truncated away (0 for a
     /// clean log).
     pub truncated_bytes: u64,
@@ -110,17 +115,21 @@ impl Wal {
                 path.display()
             ));
         }
-        let (records, valid_len) = if bytes.len() < WAL_MAGIC.len() {
+        let (records, record_starts, valid_len) = if bytes.len() < WAL_MAGIC.len() {
             // Empty or torn mid-header: rewrite the header.
             file.set_len(0)
                 .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
                 .and_then(|()| file.write_all(WAL_MAGIC))
                 .and_then(|()| file.sync_all())
                 .map_err(|e| format!("cannot initialize WAL '{}': {e}", path.display()))?;
-            (Vec::new(), WAL_MAGIC.len() as u64)
+            (Vec::new(), Vec::new(), WAL_MAGIC.len() as u64)
         } else {
-            let (records, valid_len) = scan_frames(&bytes[WAL_MAGIC.len()..]);
-            (records, WAL_MAGIC.len() as u64 + valid_len)
+            let (records, starts, valid_len) = scan_frames(&bytes[WAL_MAGIC.len()..]);
+            let starts = starts
+                .into_iter()
+                .map(|s| WAL_MAGIC.len() as u64 + s)
+                .collect();
+            (records, starts, WAL_MAGIC.len() as u64 + valid_len)
         };
 
         let truncated_bytes = (bytes.len() as u64).saturating_sub(valid_len);
@@ -140,6 +149,7 @@ impl Wal {
             },
             WalScan {
                 records,
+                record_starts,
                 truncated_bytes,
             },
         ))
@@ -161,22 +171,40 @@ impl Wal {
     /// [`AppendFailure::rolled_back`]), so no half-appended or
     /// written-but-unsynced frame can linger at the tail unnoticed.
     pub fn append(&mut self, lsn: u64, sql: &str) -> Result<(), AppendFailure> {
-        let mut payload = Writer::new();
-        payload.put_u64(lsn);
-        payload.put_str(sql);
-        let payload = payload.into_bytes();
-        // Recovery treats frames over MAX_PAYLOAD as corrupt length
-        // fields; writing one would get the statement acknowledged now
-        // and silently truncated away (with everything after it) on the
-        // next open. Refuse up front instead.
-        if payload.len() as u64 > MAX_PAYLOAD as u64 {
-            return Err(AppendFailure {
-                error: format!(
-                    "statement of {} bytes exceeds the WAL frame limit of {MAX_PAYLOAD} bytes",
-                    payload.len()
-                ),
-                rolled_back: true,
-            });
+        self.append_batch(lsn, &[sql])
+    }
+
+    /// Appends a *batch* of records as one write and (under
+    /// [`SyncPolicy::Always`]) one `fsync` — the group-commit path: a
+    /// transaction's statements reach stable storage together, at the cost
+    /// of a single sync instead of one per statement. LSNs are assigned
+    /// consecutively starting at `first_lsn`. On failure the log is rolled
+    /// back to its pre-batch length when possible; `rolled_back == false`
+    /// means an unknown number of the batch's frames may remain, and the
+    /// caller must not reuse *any* of the batch's LSNs.
+    pub fn append_batch(&mut self, first_lsn: u64, sqls: &[&str]) -> Result<(), AppendFailure> {
+        let mut batch = Writer::new();
+        for (i, sql) in sqls.iter().enumerate() {
+            let mut payload = Writer::new();
+            payload.put_u64(first_lsn + i as u64);
+            payload.put_str(sql);
+            let payload = payload.into_bytes();
+            // Recovery treats frames over MAX_PAYLOAD as corrupt length
+            // fields; writing one would get the batch acknowledged now and
+            // silently truncated away on the next open. Refuse up front,
+            // before anything touches the file.
+            if payload.len() as u64 > MAX_PAYLOAD as u64 {
+                return Err(AppendFailure {
+                    error: format!(
+                        "statement of {} bytes exceeds the WAL frame limit of {MAX_PAYLOAD} bytes",
+                        payload.len()
+                    ),
+                    rolled_back: true, // nothing was written
+                });
+            }
+            batch.put_u32(payload.len() as u32);
+            batch.put_u32(crc32(&payload));
+            batch.put_raw(&payload);
         }
         let before = match self.file.metadata() {
             Ok(m) => m.len(),
@@ -187,14 +215,9 @@ impl Wal {
                 });
             }
         };
-        let mut frame = Writer::new();
-        frame.put_u32(payload.len() as u32);
-        frame.put_u32(crc32(&payload));
-        let mut frame = frame.into_bytes();
-        frame.extend_from_slice(&payload);
         let result = self
             .file
-            .write_all(&frame)
+            .write_all(&batch.into_bytes())
             .map_err(|e| format!("cannot append to WAL: {e}"));
         let result = result.and_then(|()| match self.sync {
             SyncPolicy::Always => self
@@ -209,11 +232,6 @@ impl Wal {
         match result {
             Ok(()) => Ok(()),
             Err(error) => {
-                // Drop whatever the failed append left behind — possibly a
-                // complete frame whose fsync failed — and move the cursor
-                // back so a later append cannot leave a zero-filled hole.
-                // If even the rollback fails, the caller must assume a
-                // frame may exist at this LSN.
                 let rolled_back = self
                     .file
                     .set_len(before)
@@ -222,6 +240,25 @@ impl Wal {
                 Err(AppendFailure { error, rolled_back })
             }
         }
+    }
+
+    /// Truncates the log to `offset` bytes (a record boundary the caller
+    /// took from [`WalScan::record_starts`]) — recovery's tool for
+    /// discarding an uncommitted transaction suffix so it can never be
+    /// replayed, or extended into a wrong replay, by a later open.
+    ///
+    /// `offset` must not be before the magic header.
+    pub fn truncate_to(&mut self, offset: u64) -> Result<(), String> {
+        if offset < WAL_MAGIC.len() as u64 {
+            return Err(format!(
+                "refusing to truncate WAL into its header (offset {offset})"
+            ));
+        }
+        self.file
+            .set_len(offset)
+            .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()))
+            .and_then(|()| self.file.sync_all())
+            .map_err(|e| format!("cannot truncate WAL to {offset} bytes: {e}"))
     }
 
     /// Forces buffered appends to stable storage.
@@ -257,11 +294,12 @@ impl Drop for Wal {
 }
 
 /// Parses frames from `body` (the file minus its magic header). Returns
-/// the valid records and the byte length of the valid prefix *within*
-/// `body`; parsing stops at the first truncated frame, CRC mismatch,
-/// malformed payload, or non-increasing LSN.
-fn scan_frames(body: &[u8]) -> (Vec<WalRecord>, u64) {
+/// the valid records, each record's start offset *within* `body`, and the
+/// byte length of the valid prefix; parsing stops at the first truncated
+/// frame, CRC mismatch, malformed payload, or non-increasing LSN.
+fn scan_frames(body: &[u8]) -> (Vec<WalRecord>, Vec<u64>, u64) {
     let mut records = Vec::new();
+    let mut starts = Vec::new();
     let mut pos = 0usize;
     let mut last_lsn: Option<u64> = None;
     while let Some(header) = body.get(pos..pos + 8) {
@@ -284,9 +322,10 @@ fn scan_frames(body: &[u8]) -> (Vec<WalRecord>, u64) {
         }
         last_lsn = Some(lsn);
         records.push(WalRecord { lsn, sql });
+        starts.push(pos as u64);
         pos += 8 + len as usize;
     }
-    (records, pos as u64)
+    (records, starts, pos as u64)
 }
 
 #[cfg(test)]
@@ -387,6 +426,55 @@ mod tests {
         std::fs::write(&path, &WAL_MAGIC[..4]).unwrap();
         let (_, scan) = Wal::open(&path, SyncPolicy::Always).unwrap();
         assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn batch_append_is_one_contiguous_unit() {
+        let path = tmp_path("batch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.append(1, "CREATE TABLE t (x INT)").unwrap();
+            wal.append_batch(2, &["BEGIN", "INSERT INTO t VALUES (1)", "COMMIT"])
+                .unwrap();
+        }
+        let (_, scan) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(scan.records[1].sql, "BEGIN");
+        assert_eq!(scan.records[3].sql, "COMMIT");
+        // Offsets point at record boundaries: truncating to a start
+        // offset removes that record and everything after it.
+        assert_eq!(scan.record_starts.len(), 4);
+        assert_eq!(scan.record_starts[0], WAL_MAGIC.len() as u64);
+        let (mut wal, scan) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        wal.truncate_to(scan.record_starts[1]).unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(scan.truncated_bytes, 0, "clean cut at a boundary");
+    }
+
+    #[test]
+    fn oversized_batch_statement_is_refused_before_writing() {
+        let path = tmp_path("batch_oversized");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        wal.append(1, "INSERT INTO t VALUES (0)").unwrap();
+        let huge = "x".repeat((1 << 28) + 1);
+        let err = wal
+            .append_batch(2, &["BEGIN", &huge, "COMMIT"])
+            .unwrap_err();
+        assert!(err.error.contains("frame limit"), "{}", err.error);
+        assert!(err.rolled_back, "nothing may have been written");
+        drop(wal);
+        let (_, scan) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(scan.records.len(), 1, "log unchanged by the refused batch");
     }
 
     #[test]

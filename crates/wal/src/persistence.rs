@@ -15,10 +15,25 @@
 //! layer owns that pipeline, so this type never parses SQL — it only
 //! stores and returns it.
 
-use crate::checkpoint;
+use crate::checkpoint::{self, CheckpointReuse, TableEncodeCache};
 use crate::log::{SyncPolicy, Wal, WalRecord};
 use std::path::{Path, PathBuf};
 use storage::Catalog;
+
+/// WAL marker framing the statements of a multi-statement transaction's
+/// commit unit (also the literal SQL the session replays on recovery).
+pub const TXN_BEGIN_MARKER: &str = "BEGIN";
+/// Terminates a transaction's commit unit. A commit unit whose terminator
+/// never reached the log (crash or torn write mid-batch) is *discarded* by
+/// recovery: [`Persistence::open`] drops the trailing unterminated suffix
+/// and truncates the log back to the record boundary before its
+/// [`TXN_BEGIN_MARKER`], so an uncommitted transaction can never replay —
+/// not even partially, and not by later appends extending the dangling
+/// suffix into something that looks committed.
+pub const TXN_COMMIT_MARKER: &str = "COMMIT";
+/// Recognized for symmetry when scanning (rolled-back transactions are
+/// normally never logged at all).
+pub const TXN_ROLLBACK_MARKER: &str = "ROLLBACK";
 
 /// Durability configuration.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +66,11 @@ pub struct Recovery {
     pub replay: Vec<WalRecord>,
     /// Bytes of torn/corrupt WAL tail that were truncated away.
     pub truncated_bytes: u64,
+    /// Records of an *unterminated* transaction at the log's tail (a
+    /// `BEGIN` marker with no `COMMIT`) that were discarded and truncated
+    /// away — the transaction never committed, so replaying any of it
+    /// would be wrong.
+    pub discarded_uncommitted: usize,
 }
 
 /// An open database directory: the WAL plus checkpoint bookkeeping.
@@ -77,6 +97,11 @@ pub struct Persistence {
     /// left in place, they would count toward the prune quota and evict
     /// the *valid* spare that fallback recovery depends on.
     invalid_checkpoints: Vec<u64>,
+    /// Per-table encoding cache for incremental checkpoints (tables with
+    /// an unchanged version epoch reuse their previous on-disk bytes).
+    encode_cache: TableEncodeCache,
+    /// How the most recent checkpoint split its tables.
+    last_reuse: CheckpointReuse,
     /// Exclusive advisory lock on `DIR/lock`, held for this value's
     /// lifetime: two processes appending to one `wal.log` with independent
     /// LSN counters would corrupt the log, so the second opener is
@@ -112,12 +137,19 @@ impl Persistence {
             Some(cp) => (cp.covered_lsn, Some(cp.seq), Some(cp.catalog)),
             None => (0, None, None),
         };
-        let (wal, scan) = Wal::open(&dir.join("wal.log"), options.sync)?;
+        let (mut wal, scan) = Wal::open(&dir.join("wal.log"), options.sync)?;
         // Records at or below the covered LSN are already in the
         // checkpoint (a crash between checkpoint-rename and WAL-reset
         // leaves such records behind; skipping them here makes that
-        // window harmless).
-        let replay: Vec<WalRecord> = scan
+        // window harmless). LSNs increase through the log, so the kept
+        // records are a suffix of the scan.
+        let record_starts = scan.record_starts;
+        let skipped = scan
+            .records
+            .iter()
+            .take_while(|r| r.lsn <= covered_lsn)
+            .count();
+        let mut replay: Vec<WalRecord> = scan
             .records
             .into_iter()
             .filter(|r| r.lsn > covered_lsn)
@@ -156,6 +188,33 @@ impl Persistence {
                 dir.display()
             ));
         }
+        // A transaction reaches the log only as a whole commit unit
+        // (`BEGIN` … statements … `COMMIT`, one batched write). A crash —
+        // of the process mid-write, or of the storage tearing the batch —
+        // can still leave a prefix of a unit behind: a `BEGIN` whose
+        // terminator never made it. Those statements never committed;
+        // discard them and truncate the log back to the `BEGIN` record's
+        // boundary. (Merely skipping them at replay would not be enough:
+        // statements appended after this open would extend the dangling
+        // suffix, and the *next* recovery would replay them inside the
+        // unterminated transaction.)
+        let mut open_begin: Option<usize> = None;
+        for (i, r) in replay.iter().enumerate() {
+            match r.sql.as_str() {
+                TXN_BEGIN_MARKER => open_begin = Some(i),
+                TXN_COMMIT_MARKER | TXN_ROLLBACK_MARKER => open_begin = None,
+                _ => {}
+            }
+        }
+        let discarded_uncommitted = match open_begin {
+            Some(i) => {
+                let offset = record_starts[skipped + i];
+                wal.truncate_to(offset)?;
+                let discarded = replay.split_off(i);
+                discarded.len()
+            }
+            None => 0,
+        };
         let last_lsn = replay.last().map(|r| r.lsn).unwrap_or(covered_lsn);
         let next_checkpoint_seq = checkpoint::list_checkpoints(dir)
             .last()
@@ -170,6 +229,8 @@ impl Persistence {
             since_checkpoint: replay.len(),
             poisoned: None,
             invalid_checkpoints: cp_scan.invalid_newer,
+            encode_cache: TableEncodeCache::new(),
+            last_reuse: CheckpointReuse::default(),
             _lock: lock,
         };
         Ok((
@@ -179,6 +240,7 @@ impl Persistence {
                 checkpoint_seq,
                 replay,
                 truncated_bytes: scan.truncated_bytes,
+                discarded_uncommitted,
             },
         ))
     }
@@ -234,6 +296,62 @@ impl Persistence {
         Ok(())
     }
 
+    /// Appends one committed transaction as a single atomic commit unit:
+    /// the statements framed by [`TXN_BEGIN_MARKER`]/[`TXN_COMMIT_MARKER`]
+    /// (a lone statement is logged bare — one record *is* already atomic),
+    /// written as one batch with **one** `fsync` under
+    /// [`SyncPolicy::Always`] — the group-commit path.
+    ///
+    /// Contract: call this *before* publishing the transaction's effects
+    /// (WAL-ahead of the commit, not of each statement). On an error with
+    /// the log rolled back, the commit can be cleanly aborted and
+    /// durability is intact — nothing is poisoned. Only a failure that may
+    /// have left unknown frames behind poisons the log (the burned LSNs
+    /// are covered by the next checkpoint, exactly as for
+    /// [`Persistence::log_statement`]).
+    pub fn log_transaction(&mut self, stmts: &[String]) -> Result<(), String> {
+        if stmts.is_empty() {
+            return Ok(());
+        }
+        if let Some(why) = &self.poisoned {
+            return Err(format!(
+                "WAL is poisoned by an earlier append failure ({why}); \
+                 checkpoint to restore durability"
+            ));
+        }
+        let mut frames: Vec<&str> = Vec::with_capacity(stmts.len() + 2);
+        if stmts.len() > 1 {
+            frames.push(TXN_BEGIN_MARKER);
+        }
+        frames.extend(stmts.iter().map(String::as_str));
+        if stmts.len() > 1 {
+            frames.push(TXN_COMMIT_MARKER);
+        }
+        match self.wal.append_batch(self.next_lsn, &frames) {
+            Ok(()) => {
+                self.next_lsn += frames.len() as u64;
+                self.since_checkpoint += stmts.len();
+                Ok(())
+            }
+            Err(failure) if failure.rolled_back => Err(format!(
+                "{}; the transaction is not logged — abort the commit",
+                failure.error
+            )),
+            Err(failure) => {
+                // Unknown frames may linger in the batch's LSN range; burn
+                // the whole range so nothing can ever be logged into it,
+                // and poison until a checkpoint re-covers it.
+                self.next_lsn += frames.len() as u64;
+                self.poisoned = Some(failure.error.clone());
+                Err(format!(
+                    "{}; the log tail is in an unknown state — checkpoint to restore \
+                     durability, or restart to fall back to what actually reached disk",
+                    failure.error
+                ))
+            }
+        }
+    }
+
     /// Whether an append failure has poisoned the log (cleared by the next
     /// successful checkpoint).
     pub fn is_poisoned(&self) -> bool {
@@ -255,7 +373,14 @@ impl Persistence {
         self.wal.sync()?;
         let seq = self.next_checkpoint_seq;
         let covered_lsn = self.next_lsn - 1;
-        checkpoint::write_checkpoint(&self.dir, seq, covered_lsn, catalog)?;
+        let (_, reuse) = checkpoint::write_checkpoint_with(
+            &self.dir,
+            seq,
+            covered_lsn,
+            catalog,
+            &mut self.encode_cache,
+        )?;
+        self.last_reuse = reuse;
         self.next_checkpoint_seq = seq + 1;
         self.since_checkpoint = 0;
         // Known-invalid checkpoints are superseded now; remove them so
@@ -275,6 +400,13 @@ impl Persistence {
         self.poisoned = None;
         checkpoint::prune(&self.dir, 2);
         Ok(seq)
+    }
+
+    /// How the most recent [`Persistence::checkpoint`] split its tables
+    /// between cache reuse and fresh serialization (all zeros before the
+    /// first checkpoint of this process).
+    pub fn last_checkpoint_reuse(&self) -> CheckpointReuse {
+        self.last_reuse
     }
 
     /// Forces pending WAL appends to stable storage (meaningful under
@@ -505,6 +637,143 @@ mod tests {
         let (_, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
         assert_eq!(rec.checkpoint_seq, Some(1));
         assert_eq!(rec.replay.len(), 1);
+    }
+
+    #[test]
+    fn transaction_units_are_framed_and_singletons_stay_bare() {
+        let dir = tmp_dir("txn_frame");
+        {
+            let (mut p, _) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+            p.log_transaction(&[]).unwrap(); // empty: nothing logged
+            p.log_transaction(&["CREATE TABLE t (x INT)".to_string()])
+                .unwrap(); // singleton: bare record
+            p.log_transaction(&[
+                "INSERT INTO t VALUES (1)".to_string(),
+                "INSERT INTO t VALUES (2)".to_string(),
+            ])
+            .unwrap();
+            assert_eq!(p.next_lsn(), 6, "1 bare + (BEGIN + 2 + COMMIT)");
+            assert_eq!(p.since_checkpoint(), 3, "markers are not statements");
+        }
+        let (_, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+        let sqls: Vec<&str> = rec.replay.iter().map(|r| r.sql.as_str()).collect();
+        assert_eq!(
+            sqls,
+            vec![
+                "CREATE TABLE t (x INT)",
+                TXN_BEGIN_MARKER,
+                "INSERT INTO t VALUES (1)",
+                "INSERT INTO t VALUES (2)",
+                TXN_COMMIT_MARKER,
+            ]
+        );
+        assert_eq!(rec.discarded_uncommitted, 0);
+    }
+
+    #[test]
+    fn torn_commit_marker_discards_the_whole_transaction() {
+        let dir = tmp_dir("torn_commit");
+        {
+            let (mut p, _) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+            p.log_statement("CREATE TABLE t (x INT)").unwrap();
+            p.log_transaction(&[
+                "INSERT INTO t VALUES (1)".to_string(),
+                "INSERT INTO t VALUES (2)".to_string(),
+            ])
+            .unwrap();
+        }
+        // Tear the COMMIT marker off the log (crash mid-batch): the whole
+        // transaction must vanish, not just the torn record.
+        let wal_path = dir.join("wal.log");
+        let full = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &full[..full.len() - 3]).unwrap();
+        {
+            let (p, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+            assert_eq!(
+                rec.replay
+                    .iter()
+                    .map(|r| r.sql.as_str())
+                    .collect::<Vec<_>>(),
+                vec!["CREATE TABLE t (x INT)"]
+            );
+            assert_eq!(rec.discarded_uncommitted, 3, "BEGIN + 2 statements");
+            assert!(rec.truncated_bytes > 0);
+            // The discarded LSNs are free again: the next unit starts
+            // right after the surviving prefix.
+            assert_eq!(p.next_lsn(), 2);
+        }
+        // The truncation is persistent — and crucially, statements logged
+        // *after* the discard can never be captured by the dangling BEGIN.
+        {
+            let (mut p, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+            assert_eq!(rec.discarded_uncommitted, 0, "already truncated away");
+            p.log_statement("INSERT INTO t VALUES (9)").unwrap();
+        }
+        let (_, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+        assert_eq!(
+            rec.replay
+                .iter()
+                .map(|r| r.sql.as_str())
+                .collect::<Vec<_>>(),
+            vec!["CREATE TABLE t (x INT)", "INSERT INTO t VALUES (9)"]
+        );
+    }
+
+    #[test]
+    fn tearing_inside_a_transaction_body_discards_back_to_its_begin() {
+        let dir = tmp_dir("torn_body");
+        {
+            let (mut p, _) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+            p.log_statement("CREATE TABLE t (x INT)").unwrap();
+            // A committed unit, then a second unit torn mid-body.
+            p.log_transaction(&[
+                "INSERT INTO t VALUES (1)".to_string(),
+                "INSERT INTO t VALUES (2)".to_string(),
+            ])
+            .unwrap();
+            p.log_transaction(&[
+                "INSERT INTO t VALUES (3)".to_string(),
+                "INSERT INTO t VALUES (4)".to_string(),
+            ])
+            .unwrap();
+        }
+        let wal_path = dir.join("wal.log");
+        let full = std::fs::read(&wal_path).unwrap();
+        // Chop deep enough to lose the second unit's COMMIT and one
+        // statement, leaving BEGIN + one statement valid on disk.
+        std::fs::write(&wal_path, &full[..full.len() - 60]).unwrap();
+        let (_, rec) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+        let sqls: Vec<&str> = rec.replay.iter().map(|r| r.sql.as_str()).collect();
+        assert_eq!(
+            sqls,
+            vec![
+                "CREATE TABLE t (x INT)",
+                TXN_BEGIN_MARKER,
+                "INSERT INTO t VALUES (1)",
+                "INSERT INTO t VALUES (2)",
+                TXN_COMMIT_MARKER,
+            ],
+            "the committed unit survives; the torn one is gone entirely"
+        );
+        assert!(rec.discarded_uncommitted > 0);
+    }
+
+    #[test]
+    fn incremental_checkpoint_reuse_is_observable() {
+        let dir = tmp_dir("ckpt_reuse");
+        let (mut p, _) = Persistence::open(&dir, PersistenceOptions::default()).unwrap();
+        assert_eq!(p.last_checkpoint_reuse(), CheckpointReuse::default());
+        p.checkpoint(&catalog_with(3)).unwrap();
+        assert_eq!(p.last_checkpoint_reuse().encoded, 1);
+        assert_eq!(p.last_checkpoint_reuse().reused, 0);
+        // A rebuilt look-alike table carries a *different* epoch, so it
+        // must encode fresh — only an identical epoch may reuse.
+        let c = catalog_with(5);
+        p.checkpoint(&c).unwrap();
+        assert_eq!(p.last_checkpoint_reuse().encoded, 1);
+        p.checkpoint(&c).unwrap();
+        assert_eq!(p.last_checkpoint_reuse().reused, 1);
+        assert_eq!(p.last_checkpoint_reuse().encoded, 0);
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! * [`rewrite`] — `PERIODENC` and the `REWR` rewriting scheme,
 //! * [`wal`] — the durability subsystem (binary codec, write-ahead log,
 //!   catalog checkpoints, crash recovery, SQL dumps),
+//! * [`txn`] — the MVCC concurrency subsystem (copy-on-write catalog
+//!   snapshots, snapshot-isolation transactions, the transaction manager
+//!   with its first-committer-wins commit path),
 //! * [`session`] — the statement-level database subsystem (`Database`,
-//!   `Session::execute`, the `snapshot_db` shell; durable when opened on
-//!   a database directory),
+//!   `SharedDatabase`, `Session::execute` with `BEGIN`/`COMMIT`/
+//!   `ROLLBACK`, the `snapshot_db` shell; durable when opened on a
+//!   database directory),
 //! * [`baseline`] — comparator implementations (point-wise oracle, ATSQL
 //!   interval preservation, alignment-based native evaluation),
 //! * [`datagen`] — synthetic Employees / TPC-BiH-style datasets.
@@ -35,6 +39,7 @@ pub use rewrite;
 pub use semiring;
 pub use snapshot_core;
 pub use snapshot_session as session;
+pub use snapshot_txn as txn;
 pub use snapshot_wal as wal;
 pub use sql;
 pub use storage;

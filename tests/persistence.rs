@@ -13,7 +13,8 @@
 use snapshot_semantics::baseline::PointwiseOracle;
 use snapshot_semantics::rewrite::infer_domain;
 use snapshot_semantics::session::{
-    Database, PersistenceOptions, RecoveryReport, Session, SessionOptions, SyncPolicy,
+    Database, PersistenceOptions, RecoveryReport, Session, SessionOptions, SharedDatabase,
+    SyncPolicy,
 };
 use snapshot_semantics::sql::{self, bind_statement, parse_statement, BoundStatement};
 use snapshot_semantics::storage::{Catalog, Row, Schema, SqlType, Table, Value};
@@ -252,6 +253,261 @@ fn failed_statements_are_not_logged() {
 }
 
 /// The statement stream of the CI smoke script, meta commands stripped.
+#[test]
+fn transaction_commit_units_replay_atomically_after_restart() {
+    let dir = scratch_dir("txn_unit");
+    {
+        let (mut s, _) = open(&dir, 0);
+        s.execute(SETUP[0]).unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO works VALUES ('Ann', 'SP', 3, 10)")
+            .unwrap();
+        s.execute("INSERT INTO works VALUES ('Joe', 'NS', 8, 16)")
+            .unwrap();
+        s.execute("UPDATE works SET skill = 'WE' WHERE name = 'Joe'")
+            .unwrap();
+        s.execute("COMMIT").unwrap();
+    }
+    let (mut s, report) = open(&dir, 0);
+    // CREATE + BEGIN marker + 3 statements + COMMIT marker.
+    assert_eq!(report.replayed, 6);
+    assert_eq!(report.discarded_uncommitted, 0);
+    let works = s.database().catalog().get("works").unwrap();
+    assert_eq!(works.len(), 2);
+    assert_indexes_sound(&mut s, "after transactional replay");
+}
+
+#[test]
+fn rolled_back_transactions_never_reach_the_wal() {
+    let dir = scratch_dir("txn_rollback");
+    {
+        let (mut s, _) = open(&dir, 0);
+        s.execute(SETUP[0]).unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO works VALUES ('Ghost', 'SP', 1, 5)")
+            .unwrap();
+        s.execute("ROLLBACK").unwrap();
+        s.execute("INSERT INTO works VALUES ('Real', 'SP', 1, 5)")
+            .unwrap();
+    }
+    let (s, report) = open(&dir, 0);
+    assert_eq!(report.replayed, 2, "CREATE + the bare INSERT only");
+    let names: Vec<String> = s
+        .database()
+        .catalog()
+        .get("works")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r.get(0).to_string())
+        .collect();
+    assert_eq!(names, vec!["Real"]);
+}
+
+#[test]
+fn crash_before_the_commit_marker_discards_the_whole_transaction() {
+    let dir = scratch_dir("txn_torn");
+    let reference = {
+        let (mut s, _) = open(&dir, 0);
+        s.execute(SETUP[0]).unwrap();
+        s.execute("INSERT INTO works VALUES ('Ann', 'SP', 3, 10)")
+            .unwrap();
+        let reference = s.database().catalog().clone();
+        // A committed multi-statement transaction...
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO works VALUES ('Joe', 'NS', 8, 16)")
+            .unwrap();
+        s.execute("DELETE FROM works WHERE name = 'Ann'").unwrap();
+        s.execute("COMMIT").unwrap();
+        reference
+    };
+    // ...whose COMMIT marker is torn off by the crash: recovery must
+    // discard the *entire* unit — replaying its prefix (the INSERT
+    // without the DELETE, or either alone) would be a state no client was
+    // ever shown.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 4]).unwrap();
+    {
+        let (mut s, report) = open(&dir, 0);
+        assert_eq!(report.replayed, 2, "CREATE + bare INSERT");
+        assert!(report.discarded_uncommitted >= 3, "BEGIN + 2 statements");
+        assert_catalogs_equal(
+            s.database().catalog(),
+            &reference,
+            "torn commit marker rolls back to the pre-transaction state",
+        );
+        assert_indexes_sound(&mut s, "after discarding the torn unit");
+        // New statements appended after the discard can never be captured
+        // by the (now truncated) dangling BEGIN.
+        s.execute("INSERT INTO works VALUES ('After', 'SP', 2, 4)")
+            .unwrap();
+    }
+    let (s, report) = open(&dir, 0);
+    assert_eq!(report.discarded_uncommitted, 0);
+    assert_eq!(report.replayed, 3);
+    assert_eq!(s.database().catalog().get("works").unwrap().len(), 2);
+}
+
+#[test]
+fn noop_statements_inside_transactions_are_not_logged() {
+    // A statement that matched nothing under the transaction's snapshot is
+    // not in the write set (it cannot conflict) — so its text must not be
+    // logged either: replaying it after a concurrent commit could suddenly
+    // match and corrupt recovery.
+    let dir = scratch_dir("txn_noop");
+    {
+        let (mut s, _) = open(&dir, 0);
+        s.execute(SETUP[0]).unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("DELETE FROM works WHERE name = 'Nobody'")
+            .unwrap();
+        s.execute("INSERT INTO works VALUES ('Ann', 'SP', 3, 10)")
+            .unwrap();
+        s.execute("UPDATE works SET te = 11 WHERE name = 'Ghost'")
+            .unwrap();
+        s.execute("COMMIT").unwrap();
+    }
+    let (s, report) = open(&dir, 0);
+    // CREATE + the lone effective INSERT (a single-statement unit is
+    // logged bare — no markers); the two no-ops are absent.
+    assert_eq!(report.replayed, 2);
+    assert_eq!(s.database().catalog().get("works").unwrap().len(), 1);
+}
+
+#[test]
+fn checkpoint_during_an_open_transaction_captures_committed_state_only() {
+    let dir = scratch_dir("ckpt_vs_txn");
+    {
+        let (shared, _) = SharedDatabase::open_durable(
+            &dir,
+            durable_options(),
+            PersistenceOptions {
+                sync: SyncPolicy::Always,
+                checkpoint_every: 0,
+            },
+        )
+        .unwrap();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.execute(SETUP[0]).unwrap();
+        a.execute("INSERT INTO works VALUES ('Ann', 'SP', 3, 10)")
+            .unwrap();
+        b.execute("BEGIN").unwrap();
+        b.execute("INSERT INTO works VALUES ('Uncommitted', 'NS', 1, 2)")
+            .unwrap();
+        // Checkpoint while b's transaction is open: it must capture the
+        // committed state only (and not deadlock against the commit path).
+        shared.checkpoint().unwrap().unwrap();
+        b.execute("COMMIT").unwrap();
+    }
+    let (shared, report) = SharedDatabase::open_durable(
+        &dir,
+        durable_options(),
+        PersistenceOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    // b's commit landed *after* the checkpoint, so it replays from the WAL.
+    assert_eq!(report.replayed, 1);
+    let view = shared.snapshot();
+    assert_eq!(view.catalog().get("works").unwrap().len(), 2);
+}
+
+#[test]
+fn shared_database_recovers_concurrent_commits() {
+    let dir = scratch_dir("shared_durable");
+    {
+        let (shared, _) = SharedDatabase::open_durable(
+            &dir,
+            durable_options(),
+            PersistenceOptions {
+                sync: SyncPolicy::Always,
+                checkpoint_every: 0,
+            },
+        )
+        .unwrap();
+        let mut a = shared.session();
+        let mut b = shared.session();
+        a.execute(SETUP[0]).unwrap();
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO works VALUES ('A1', 'SP', 1, 4)")
+            .unwrap();
+        a.execute("INSERT INTO works VALUES ('A2', 'SP', 2, 5)")
+            .unwrap();
+        a.execute("COMMIT").unwrap();
+        b.execute("INSERT INTO works VALUES ('B1', 'NS', 3, 6)")
+            .unwrap(); // bare: implicit transaction
+                       // A losing transaction must leave no trace in the log.
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO works VALUES ('A3', 'SP', 1, 2)")
+            .unwrap();
+        b.execute("INSERT INTO works VALUES ('B2', 'NS', 1, 2)")
+            .unwrap();
+        a.execute("COMMIT").unwrap();
+        assert!(b.execute("COMMIT").is_err());
+    }
+    let (shared, report) = SharedDatabase::open_durable(
+        &dir,
+        durable_options(),
+        PersistenceOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.discarded_uncommitted, 0);
+    let view = shared.snapshot();
+    let mut names: Vec<String> = view
+        .catalog()
+        .get("works")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r.get(0).to_string())
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["A1", "A2", "A3", "B1"]);
+}
+
+#[test]
+fn incremental_checkpoints_skip_unchanged_tables_and_recover_exactly() {
+    let dir = scratch_dir("incr_ckpt");
+    let (mut s, _) = open(&dir, 0);
+    s.execute(SETUP[0]).unwrap();
+    s.execute("CREATE TABLE stable (x INT)").unwrap();
+    s.execute("INSERT INTO stable VALUES (1), (2), (3)")
+        .unwrap();
+    s.execute("INSERT INTO works VALUES ('Ann', 'SP', 3, 10)")
+        .unwrap();
+    s.database_mut().checkpoint().unwrap();
+    let p = s.database().persistence().unwrap();
+    assert_eq!(p.last_checkpoint_reuse().encoded, 2);
+    assert_eq!(p.last_checkpoint_reuse().reused, 0);
+
+    // Touch only `works`: `stable` must be spliced from the cache.
+    s.execute("INSERT INTO works VALUES ('Joe', 'NS', 8, 16)")
+        .unwrap();
+    s.database_mut().checkpoint().unwrap();
+    let p = s.database().persistence().unwrap();
+    assert_eq!(p.last_checkpoint_reuse().encoded, 1);
+    assert_eq!(p.last_checkpoint_reuse().reused, 1);
+    let reference = s.database().catalog().clone();
+    drop(s);
+
+    let (mut s, report) = open(&dir, 0);
+    assert_eq!(report.replayed, 0, "everything is in the checkpoint");
+    assert_catalogs_equal(
+        s.database().catalog(),
+        &reference,
+        "incremental checkpoint recovers bit-exact",
+    );
+    assert_indexes_sound(&mut s, "after incremental-checkpoint recovery");
+}
+
 fn smoke_statements() -> Vec<String> {
     let text = std::fs::read_to_string(
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/sql/smoke.sql"),

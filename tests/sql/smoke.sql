@@ -51,4 +51,21 @@ INSERT INTO early SELECT * FROM works WHERE ts < 10;
 SELECT name, skill FROM early ORDER BY name;
 
 DROP TABLE early;
+
+-- Transactions: a rolled-back block leaves no trace (in memory or in the
+-- WAL), a committed block publishes atomically as one commit unit.
+BEGIN;
+INSERT INTO works VALUES ('Zed', 'SP', 1, 6);
+DELETE FROM works WHERE name = 'Ann';
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+ROLLBACK;
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
+BEGIN;
+INSERT INTO works VALUES ('Kim', 'SP', 2, 7);
+UPDATE works SET te = te + 1 WHERE name = 'Kim';
+COMMIT;
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
+.parallel 4 SEQ VT (SELECT skill, count(*) AS c FROM works GROUP BY skill)
 .tables
