@@ -27,6 +27,12 @@ pub enum JoinAlgo {
     /// Force the endpoint-sweep (sort-merge) temporal join, reusing table
     /// event lists when the inputs are indexed scans.
     IndexSweep,
+    /// Force the parallel endpoint-sweep temporal join: the endpoint
+    /// domain is partitioned into contiguous time slabs along
+    /// elementary-interval boundaries and swept on worker threads (the
+    /// engine's configured parallelism decides the slab count; with
+    /// parallelism 1 this degenerates to the sequential sweep).
+    ParallelSweep,
 }
 
 /// Physical-choice hint on a timeslice: how the engine should evaluate it.

@@ -86,6 +86,7 @@ pub fn run_approach(
             let plan = compiler.compile_statement(&bound, catalog)?;
             Engine::with_config(EngineConfig {
                 join_strategy: strategy,
+                ..EngineConfig::default()
             })
             .execute(&plan, catalog)
         }

@@ -6,7 +6,10 @@ use crate::sliding::{Partial, SlidingAgg};
 use crate::split::split_rows;
 use crate::temporal::{agg_arg_types, temporal_aggregate, temporal_except_all};
 use algebra::{BinOp, Expr, JoinAlgo, Plan, PlanNode, TimesliceAlgo};
-use index::{sweep_join_presorted, IndexCatalog};
+use index::{
+    choose_cuts, elementary_boundaries, elementary_boundaries_from_events,
+    parallel_sweep_join_presorted, sweep_join_presorted, IndexCatalog,
+};
 use std::collections::{BTreeMap, HashMap};
 use storage::{Catalog, Row, Table, Value};
 
@@ -36,6 +39,12 @@ pub enum JoinStrategy {
 pub struct EngineConfig {
     /// Join strategy.
     pub join_strategy: JoinStrategy,
+    /// Worker threads for parallel operators (currently the parallel
+    /// endpoint-sweep temporal join). `0` and `1` both mean sequential
+    /// execution; values above `1` make [`JoinAlgo::Auto`] prefer
+    /// [`JoinAlgo::ParallelSweep`] wherever it would pick the sequential
+    /// sweep, and set the slab count of explicit `ParallelSweep` hints.
+    pub parallelism: usize,
 }
 
 /// Per-operator execution counters (operator name → (invocations, rows
@@ -63,14 +72,30 @@ impl ExecStats {
     }
 }
 
-/// The single-threaded, in-memory plan executor.
+/// Resolves a user-facing parallelism setting to a worker count: `0`
+/// means one worker per hardware thread (the convention shared by the
+/// shell's `--parallelism 0`, the `SNAPSHOT_PARALLELISM` environment
+/// variable, and the test harness), anything else passes through.
+pub fn resolve_parallelism(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// The in-memory plan executor. Operators run on the calling thread,
+/// except the parallel sweep join, which fans slab workers out over
+/// `std::thread::scope` when [`EngineConfig::parallelism`] asks for it.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
 }
 
 impl Engine {
-    /// Engine with default configuration (hash joins).
+    /// Engine with default configuration (hash joins, sequential).
     pub fn new() -> Self {
         Engine::default()
     }
@@ -78,6 +103,14 @@ impl Engine {
     /// Engine with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         Engine { config }
+    }
+
+    /// Engine with default strategy and the given worker-thread count.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        Engine::with_config(EngineConfig {
+            parallelism,
+            ..EngineConfig::default()
+        })
     }
 
     /// Executes a plan against a catalog, producing a result table.
@@ -373,7 +406,14 @@ impl Engine {
             JoinAlgo::Auto => {
                 let sweep_pinned = self.config.join_strategy == JoinStrategy::IndexSweep;
                 if overlap.is_some() && (sweep_pinned || (both_indexed && equi.is_empty())) {
-                    JoinAlgo::IndexSweep
+                    // A configured worker pool upgrades every Auto sweep
+                    // to the slab-parallel route (identical bag by the
+                    // credit rule; the differential tests enforce it).
+                    if self.config.parallelism > 1 {
+                        JoinAlgo::ParallelSweep
+                    } else {
+                        JoinAlgo::IndexSweep
+                    }
                 } else if overlap.is_some()
                     && self.config.join_strategy == JoinStrategy::MergeInterval
                 {
@@ -388,6 +428,41 @@ impl Engine {
         };
 
         Ok(match resolved {
+            JoinAlgo::ParallelSweep if overlap.is_some() => {
+                let (lts, lte, rts, rte) = overlap.unwrap();
+                let l_sorted: Vec<&Row> = match &l_index {
+                    Some((idx, _)) => idx.events().begin_order().map(|i| &left[i]).collect(),
+                    None => sorted_by_begin(left, lts),
+                };
+                let r_sorted: Vec<&Row> = match &r_index {
+                    Some((idx, _)) => idx.events().begin_order().map(|i| &right[i]).collect(),
+                    None => sorted_by_begin(right, rts),
+                };
+                // Slab boundaries follow the elementary intervals of the
+                // join's endpoint domain; with both sides indexed they
+                // come out of the prebuilt event lists in O(n).
+                let boundaries = match (&l_index, &r_index) {
+                    (Some((li, _)), Some((ri, _))) => {
+                        elementary_boundaries_from_events(li.events(), ri.events())
+                    }
+                    _ => elementary_boundaries(&l_sorted, (lts, lte), &r_sorted, (rts, rte)),
+                };
+                let cuts = choose_cuts(&boundaries, self.config.parallelism.max(1));
+                let (out, pstats) = parallel_sweep_join_presorted(
+                    &l_sorted,
+                    &r_sorted,
+                    (lts, lte),
+                    (rts, rte),
+                    &cuts,
+                    |lr, rr| {
+                        let joined = lr.concat(rr);
+                        eval_predicate(condition, &joined).then_some(joined)
+                    },
+                );
+                stats.record("ParallelSweepJoin", out.len());
+                stats.record("ParallelSweepSlabs", pstats.slabs);
+                out
+            }
             JoinAlgo::IndexSweep if overlap.is_some() => {
                 let (lts, lte, rts, rte) = overlap.unwrap();
                 // Indexed scans reuse the table's begin-sorted event list
@@ -423,7 +498,12 @@ impl Engine {
                 let (lts, lte, rts, rte) = overlap.unwrap();
                 merge_interval_join(left, right, lts, lte, rts, rte, condition)
             }
-            JoinAlgo::Hash | JoinAlgo::IndexSweep | JoinAlgo::MergeInterval if !equi.is_empty() => {
+            JoinAlgo::Hash
+            | JoinAlgo::IndexSweep
+            | JoinAlgo::ParallelSweep
+            | JoinAlgo::MergeInterval
+                if !equi.is_empty() =>
+            {
                 hash_join(left, right, &equi, condition)
             }
             _ => {
@@ -825,6 +905,7 @@ mod tests {
         let hash = Engine::new().execute(&plan, &c).unwrap().canonicalized();
         let merge = Engine::with_config(EngineConfig {
             join_strategy: JoinStrategy::MergeInterval,
+            ..EngineConfig::default()
         })
         .execute(&plan, &c)
         .unwrap()
@@ -1078,6 +1159,79 @@ mod tests {
             stats.get("IndexSweepJoin").is_none(),
             "mismatched period columns must not drive the sweep: {stats:?}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_and_is_dispatched() {
+        let c = works_catalog();
+        let indexes = IndexCatalog::build_all(&c);
+        let plan = pure_overlap_self_join_plan();
+        let sequential = Engine::new()
+            .execute_indexed(&plan, &c, &indexes)
+            .unwrap()
+            .canonicalized();
+        for parallelism in [1usize, 2, 4, 8] {
+            let mut stats = ExecStats::default();
+            let parallel = Engine::with_parallelism(parallelism)
+                .execute_indexed_with_stats(&plan, &c, &indexes, &mut stats)
+                .unwrap()
+                .canonicalized();
+            assert_eq!(sequential, parallel, "parallelism {parallelism}");
+            if parallelism > 1 {
+                assert!(
+                    stats.get("ParallelSweepJoin").is_some(),
+                    "Auto must route to the parallel sweep at parallelism \
+                     {parallelism}: {stats:?}"
+                );
+            } else {
+                assert!(
+                    stats.get("IndexSweepJoin").is_some(),
+                    "parallelism 1 keeps the sequential sweep: {stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_parallel_sweep_hint_without_indexes() {
+        // The hint works on non-indexed inputs too (sort-on-the-fly), and
+        // falls back to hash when the condition has no overlap pattern.
+        let c = works_catalog();
+        let plan = {
+            let (lts, lte) = (2, 3);
+            let (rts_g, rte_g) = (6, 7);
+            let cond = Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4))
+                .and(Expr::col(lts).lt(Expr::col(rte_g)))
+                .and(Expr::col(rts_g).lt(Expr::col(lte)));
+            Plan::scan("works", works_schema()).join_with(
+                Plan::scan("works", works_schema()),
+                cond,
+                algebra::JoinAlgo::ParallelSweep,
+            )
+        };
+        let mut stats = ExecStats::default();
+        let parallel = Engine::with_parallelism(3)
+            .execute_with_stats(&plan, &c, &mut stats)
+            .unwrap()
+            .canonicalized();
+        assert!(stats.get("ParallelSweepJoin").is_some(), "{stats:?}");
+        let naive = Engine::new()
+            .execute(&pure_overlap_self_join_plan(), &c)
+            .unwrap()
+            .canonicalized();
+        assert_eq!(naive, parallel);
+
+        // Equality-only condition: no overlap pattern, hash fallback.
+        let equi = Plan::scan("works", works_schema()).join_with(
+            Plan::scan("works", works_schema()),
+            Expr::col(0).eq(Expr::col(4)),
+            algebra::JoinAlgo::ParallelSweep,
+        );
+        let mut stats = ExecStats::default();
+        Engine::with_parallelism(3)
+            .execute_with_stats(&equi, &c, &mut stats)
+            .unwrap();
+        assert!(stats.get("ParallelSweepJoin").is_none(), "{stats:?}");
     }
 
     #[test]

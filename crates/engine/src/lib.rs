@@ -14,10 +14,14 @@
 //!   the fused pre-aggregating forms of snapshot aggregation and snapshot
 //!   bag difference ([`temporal`], Section 9).
 //!
-//! The engine is deliberately single-threaded and in-memory: the paper's
+//! The engine is in-memory and, by default, single-threaded: the paper's
 //! contribution is the *rewriting* and *encoding*, and keeping the substrate
 //! simple lets the benchmark harness compare approaches rather than
-//! runtimes-of-substrates.
+//! runtimes-of-substrates. The one multi-core path is opt-in and
+//! bag-equivalent to its sequential twin: with
+//! [`EngineConfig::parallelism`] above 1, interval-overlap joins take the
+//! slab-parallel endpoint sweep of the `index` crate (elementary-interval
+//! partitioning over scoped worker threads).
 
 pub mod coalesce;
 mod eval;
@@ -27,4 +31,4 @@ pub mod split;
 pub mod temporal;
 
 pub use eval::{eval_expr, eval_predicate, like_match};
-pub use exec::{Engine, EngineConfig, ExecStats, JoinStrategy};
+pub use exec::{resolve_parallelism, Engine, EngineConfig, ExecStats, JoinStrategy};

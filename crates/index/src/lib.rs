@@ -16,6 +16,10 @@
 //!   coalescing accelerator ([`coalesce`]),
 //! * [`sweep_join`] / [`sweep_join_presorted`] — the `O(n log n + output)`
 //!   endpoint-sweep temporal join ([`join`]),
+//! * [`parallel_sweep_join_presorted`] — the same join partitioned into
+//!   contiguous time slabs along elementary-interval boundaries and run on
+//!   scoped worker threads, with boundary-straddling duplicates suppressed
+//!   by an overlap-start credit rule ([`parallel`]),
 //! * [`TableIndex`] / [`IndexCatalog`] — per-table bundles and the
 //!   registry the engine consults at dispatch time ([`table_index`]).
 //!
@@ -35,10 +39,15 @@ pub mod coalesce;
 pub mod events;
 pub mod interval_tree;
 pub mod join;
+pub mod parallel;
 pub mod table_index;
 
 pub use coalesce::CoalesceIndex;
 pub use events::EventList;
 pub use interval_tree::IntervalTree;
 pub use join::{sweep_join, sweep_join_presorted};
+pub use parallel::{
+    choose_cuts, elementary_boundaries, elementary_boundaries_from_events,
+    parallel_sweep_join_presorted, ParallelJoinStats,
+};
 pub use table_index::{IndexCatalog, MaintenanceStats, TableIndex};

@@ -61,6 +61,11 @@ fn main() {
             }
             "--no-index" => options.use_indexes = false,
             "--verify" => options.verify_indexed = true,
+            "--parallelism" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                // 0 = auto-detect: one worker per hardware thread.
+                Some(n) => options.parallelism = engine::resolve_parallelism(n),
+                None => die_usage("--parallelism requires a worker count (0 = auto)"),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -167,7 +172,8 @@ enum Flow {
 }
 
 const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLICY]
-                   [--checkpoint-every N] [--no-index] [--verify] [--quiet]
+                   [--checkpoint-every N] [--parallelism N] [--no-index]
+                   [--verify] [--quiet]
   --db DIR              open a durable database in DIR (created if missing):
                         statements are write-ahead-logged and the catalog is
                         checkpointed, so the database survives restarts
@@ -176,6 +182,10 @@ const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLIC
                         default) or 'checkpoint' (fsync only at checkpoints)
   --checkpoint-every N  auto-checkpoint after N logged statements
                         (default 64; 0 disables auto-checkpointing)
+  --parallelism N       worker threads for parallel operators (temporal joins
+                        run slab-parallel when N > 1; 0 = one per hardware
+                        thread; default 1 = sequential). `.parallel` reader
+                        sessions inherit the setting
   --no-index            execute queries on the naive route only
   --verify              re-run every indexed query naively and fail on divergence
   --quiet               print summaries and timings but not result tables
@@ -275,6 +285,7 @@ impl Shell {
             }
         }
         let started = Instant::now();
+        let retries_before = self.session.conflict_retries().total;
         match self.session.execute_script(&sql) {
             Ok(results) => {
                 let elapsed = started.elapsed();
@@ -283,6 +294,10 @@ impl Shell {
                         print!("{}", t.to_pretty_string());
                     }
                     println!("{r} [{:.3} ms]", elapsed.as_secs_f64() * 1e3);
+                }
+                let retried = self.session.conflict_retries().total - retries_before;
+                if retried > 0 {
+                    println!("(retried {retried} time(s) after write-write conflicts)");
                 }
                 Flow::Continue
             }

@@ -258,6 +258,15 @@ impl Database {
 /// column type, and widens Int values into DOUBLE columns. NULL conforms to
 /// every column type (period endpoints are rejected later by
 /// [`Table::check_row`]).
+///
+/// NaN is rejected here — at ingestion — rather than given storage
+/// semantics: a stored NaN would silently fall out of every comparison
+/// (SQL three-valued logic treats an unordered result like NULL), so
+/// predicates and joins would drop the row with no diagnostic ever being
+/// raised. Query results may still *compute* NaN (it displays, and ORDER
+/// BY places it deterministically via the IEEE total order); it just can
+/// never enter a stored table through INSERT or UPDATE. Infinities stay
+/// storable — they order totally against every number.
 pub fn conform_row(schema: &Schema, row: Row) -> Result<Row, String> {
     if row.arity() != schema.arity() {
         return Err(format!(
@@ -269,6 +278,13 @@ pub fn conform_row(schema: &Schema, row: Row) -> Result<Row, String> {
     let mut values = row.0;
     for (i, v) in values.iter_mut().enumerate() {
         let col = schema.column(i);
+        if matches!(v, Value::Double(d) if d.is_nan()) {
+            return Err(format!(
+                "column '{}': NaN is not storable (it would compare as \
+                 unknown everywhere; normalize it to NULL or a number first)",
+                col.name
+            ));
+        }
         let ok = match (&*v, col.ty) {
             (Value::Null, _) => true,
             (Value::Int(_), SqlType::Int) => true,

@@ -30,7 +30,7 @@ use crate::database::{
 };
 use crate::shared::SharedDatabase;
 use algebra::Plan;
-use engine::{eval_expr, eval_predicate, Engine};
+use engine::{eval_expr, eval_predicate, Engine, EngineConfig};
 use index::{IndexCatalog, MaintenanceStats};
 use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
 use snapshot_txn::{CatalogSnapshot, Transaction};
@@ -134,6 +134,12 @@ pub struct SessionOptions {
     /// on divergence — the end-to-end check that version-based index
     /// invalidation works (used by the test suite and `.verify on`).
     pub verify_indexed: bool,
+    /// Worker threads for parallel operators — currently the
+    /// slab-partitioned endpoint-sweep temporal join. `1` (the default)
+    /// keeps execution sequential; above `1`, interval-overlap joins that
+    /// would take the sequential sweep take the parallel one instead
+    /// (same bag, verified by the differential tests and `.verify on`).
+    pub parallelism: usize,
     /// Rewriting options for `SEQ VT` compilation.
     pub rewrite: RewriteOptions,
 }
@@ -143,10 +149,53 @@ impl Default for SessionOptions {
         SessionOptions {
             use_indexes: true,
             verify_indexed: false,
+            parallelism: default_parallelism(),
             rewrite: RewriteOptions::default(),
         }
     }
 }
+
+/// The default worker count for new sessions: `1` (sequential), unless
+/// the `SNAPSHOT_PARALLELISM` environment variable overrides it — the CI
+/// hook that runs the *entire* test suite over the parallel join route
+/// without touching any call site. `0` means one worker per hardware
+/// thread, the same convention as the shell's `--parallelism 0`. Read
+/// once per process.
+fn default_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SNAPSHOT_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(engine::resolve_parallelism)
+            .unwrap_or(1)
+    })
+}
+
+/// Conflict-retry counters for implicit (autocommit) statements on a
+/// shared database — see [`Session::conflict_retries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries the most recent autocommit statement needed (0 = first
+    /// attempt succeeded or failed non-retryably).
+    pub last_statement: u32,
+    /// Retries across the session's lifetime.
+    pub total: u64,
+    /// Statements that exhausted the retry budget and surfaced the
+    /// conflict to the caller.
+    pub gave_up: u64,
+}
+
+impl RetryStats {
+    fn record(&mut self, attempts: u32) {
+        self.last_statement = attempts;
+        self.total += attempts as u64;
+    }
+}
+
+/// How often an implicit transaction re-runs after losing a
+/// first-committer-wins race before the conflict is surfaced.
+const CONFLICT_RETRY_LIMIT: u32 = 6;
 
 /// What recovering a database directory found and did (see
 /// [`Session::open_durable`] / [`crate::SharedDatabase::open_durable`]).
@@ -180,12 +229,13 @@ enum Backend {
 #[derive(Debug)]
 pub struct Session {
     backend: Backend,
-    engine: Engine,
     options: SessionOptions,
     /// The open explicit transaction, if any.
     txn: Option<Transaction>,
     /// Transaction ids handed out on the owned backend (diagnostics).
     next_owned_txn_id: u64,
+    /// Conflict-retry bookkeeping for implicit transactions.
+    retries: RetryStats,
 }
 
 impl Default for Session {
@@ -204,10 +254,10 @@ impl Session {
     pub fn with_options(db: Database, options: SessionOptions) -> Self {
         Session {
             backend: Backend::Owned(Box::new(db)),
-            engine: Engine::new(),
             options,
             txn: None,
             next_owned_txn_id: 0,
+            retries: RetryStats::default(),
         }
     }
 
@@ -216,10 +266,10 @@ impl Session {
     pub(crate) fn from_shared(shared: SharedDatabase, options: SessionOptions) -> Self {
         Session {
             backend: Backend::Shared(shared),
-            engine: Engine::new(),
             options,
             txn: None,
             next_owned_txn_id: 0,
+            retries: RetryStats::default(),
         }
     }
 
@@ -341,9 +391,21 @@ impl Session {
         &self.options
     }
 
-    /// The session options, mutably (`.verify on`, pinned join routes...).
+    /// The session options, mutably (`.verify on`, pinned join routes,
+    /// parallelism — queries pick the change up immediately, the engine is
+    /// derived from the options per statement).
     pub fn options_mut(&mut self) -> &mut SessionOptions {
         &mut self.options
+    }
+
+    /// How often this session's implicit (autocommit) transactions had to
+    /// retry after losing a first-committer-wins race. A non-zero
+    /// [`RetryStats::total`] under concurrent bare DML is expected and
+    /// harmless — the retry loop is what turns raw conflicts into
+    /// successes; [`RetryStats::gave_up`] counts the ones that exhausted
+    /// the budget and surfaced the conflict.
+    pub fn conflict_retries(&self) -> RetryStats {
+        self.retries
     }
 
     /// Registers a batch of tables wholesale — the bulk-load entry point
@@ -553,67 +615,113 @@ impl Session {
     /// Executes a DDL/DML statement: against the open transaction if one
     /// is open; otherwise directly on an owned database (autocommit with
     /// statement-level WAL) or wrapped in an implicit single-statement
-    /// transaction on a shared one.
+    /// transaction on a shared one (with conflict retries — see
+    /// [`Session::shared_autocommit`]).
     fn apply_mutation(
         &mut self,
         stmt: &SqlStatement,
         text: Option<&str>,
     ) -> Result<StatementResult, String> {
-        let implicit = self.txn.is_none() && matches!(self.backend, Backend::Shared(_));
-        if implicit {
-            let Backend::Shared(shared) = &self.backend else {
-                unreachable!()
-            };
-            self.txn = Some(shared.begin());
-        }
         if self.txn.is_some() {
-            let outcome = self.mutate(stmt);
-            match outcome {
-                Ok((result, written)) => {
-                    let txn = self.txn.as_mut().expect("open above");
-                    if let Some(table) = written {
-                        txn.record_write(&table);
-                        // Buffer only statements that actually wrote: a
-                        // no-op's "nothing matched" was established under
-                        // *this* snapshot and is not in the write set, so
-                        // replaying its text against a different state
-                        // could do real work — it must never reach the
-                        // WAL. (Skipping it is replay-equivalent: it
-                        // changed nothing.)
-                        if let Some(text) = text {
-                            txn.push_statement(clean_statement(text));
-                        }
-                    }
-                    if implicit {
-                        self.commit_txn()?;
-                    }
-                    Ok(result)
+            return self.mutate_buffered(stmt, text);
+        }
+        match &self.backend {
+            Backend::Owned(_) => {
+                // Owned autocommit: mutate directly, then write-ahead-log
+                // the statement (the mutation is already validated and
+                // applied — the pre-PR 4 contract, preserved).
+                let (result, written) = self.mutate(stmt)?;
+                let Backend::Owned(db) = &mut self.backend else {
+                    unreachable!()
+                };
+                if let Some(table) = written {
+                    db.note_write(&table);
                 }
-                Err(e) => {
-                    if implicit {
-                        self.txn = None;
+                if db.is_durable() {
+                    if let Some(text) = text {
+                        db.log_statement(&clean_statement(text))?;
+                        db.auto_checkpoint()?;
                     }
+                }
+                Ok(result)
+            }
+            Backend::Shared(_) => self.shared_autocommit(stmt, text),
+        }
+    }
+
+    /// Applies one mutation inside the open transaction, recording the
+    /// write and buffering the statement text for the WAL commit unit.
+    /// Only statements that actually wrote are buffered: a no-op's
+    /// "nothing matched" was established under *this* snapshot and is not
+    /// in the write set, so replaying its text against a different state
+    /// could do real work — it must never reach the WAL. (Skipping it is
+    /// replay-equivalent: it changed nothing.)
+    fn mutate_buffered(
+        &mut self,
+        stmt: &SqlStatement,
+        text: Option<&str>,
+    ) -> Result<StatementResult, String> {
+        let (result, written) = self.mutate(stmt)?;
+        let txn = self.txn.as_mut().expect("caller opened the transaction");
+        if let Some(table) = written {
+            txn.record_write(&table);
+            if let Some(text) = text {
+                txn.push_statement(clean_statement(text));
+            }
+        }
+        Ok(result)
+    }
+
+    /// A bare mutation on a shared database: wrapped in an implicit
+    /// single-statement transaction, with a bounded conflict-retry loop.
+    /// Losing a first-committer-wins race is not a statement error — the
+    /// statement is valid, it merely raced — so instead of surfacing the
+    /// raw conflict the session re-runs it against a *fresh* snapshot
+    /// (every attempt re-evaluates predicates and sources against the
+    /// then-current committed state, exactly as if the user had typed it
+    /// again), up to [`CONFLICT_RETRY_LIMIT`] times with jittered
+    /// exponential backoff. Explicit `BEGIN`…`COMMIT` transactions are
+    /// *not* retried: the session cannot re-run statements it no longer
+    /// has, and the user asked to manage the transaction themselves.
+    fn shared_autocommit(
+        &mut self,
+        stmt: &SqlStatement,
+        text: Option<&str>,
+    ) -> Result<StatementResult, String> {
+        let mut attempts = 0u32;
+        loop {
+            let txn = match &self.backend {
+                Backend::Shared(shared) => shared.begin(),
+                Backend::Owned(_) => unreachable!("caller checked the backend"),
+            };
+            self.txn = Some(txn);
+            let outcome = match self.mutate_buffered(stmt, text) {
+                // `commit_txn` consumes the transaction, success or not.
+                Ok(result) => self.commit_txn().map(|_| result),
+                Err(e) => {
+                    self.txn = None;
                     Err(e)
                 }
-            }
-        } else {
-            // Owned autocommit: mutate directly, then write-ahead-log the
-            // statement (the mutation is already validated and applied —
-            // the pre-PR 4 contract, preserved).
-            let (result, written) = self.mutate(stmt)?;
-            let Backend::Owned(db) = &mut self.backend else {
-                unreachable!()
             };
-            if let Some(table) = written {
-                db.note_write(&table);
-            }
-            if db.is_durable() {
-                if let Some(text) = text {
-                    db.log_statement(&clean_statement(text))?;
-                    db.auto_checkpoint()?;
+            match outcome {
+                Ok(result) => {
+                    self.retries.record(attempts);
+                    return Ok(result);
+                }
+                Err(e)
+                    if snapshot_txn::is_conflict_error(&e) && attempts < CONFLICT_RETRY_LIMIT =>
+                {
+                    attempts += 1;
+                    conflict_backoff(attempts);
+                }
+                Err(e) => {
+                    self.retries.record(attempts);
+                    if snapshot_txn::is_conflict_error(&e) {
+                        self.retries.gave_up += 1;
+                    }
+                    return Err(e);
                 }
             }
-            Ok(result)
         }
     }
 
@@ -771,23 +879,15 @@ impl Session {
                 compile_query(&self.options, txn.catalog(), stmt)?
             };
             let tables = plan.referenced_tables();
-            let Session {
-                txn,
-                engine,
-                options,
-                ..
-            } = self;
+            let Session { txn, options, .. } = self;
             let txn = txn.as_mut().expect("checked");
             if options.use_indexes {
                 txn.refresh_indexes(&tables);
             }
-            return execute_plan(engine, options, &plan, txn.catalog(), txn.indexes());
+            return execute_plan(options, &plan, txn.catalog(), txn.indexes());
         }
         let Session {
-            backend,
-            engine,
-            options,
-            ..
+            backend, options, ..
         } = self;
         match backend {
             Backend::Owned(db) => {
@@ -795,7 +895,7 @@ impl Session {
                 if options.use_indexes {
                     db.refresh_indexes(&plan.referenced_tables());
                 }
-                execute_plan(engine, options, &plan, db.catalog(), db.indexes())
+                execute_plan(options, &plan, db.catalog(), db.indexes())
             }
             Backend::Shared(shared) => {
                 let mut snap = shared.snapshot();
@@ -806,7 +906,7 @@ impl Session {
                     // never a newer committed state.
                     snap.refresh_indexes(&plan.referenced_tables());
                 }
-                execute_plan(engine, options, &plan, snap.catalog(), snap.indexes())
+                execute_plan(options, &plan, snap.catalog(), snap.indexes())
             }
         }
     }
@@ -842,20 +942,28 @@ fn compile_query(
 }
 
 /// Executes a compiled plan: indexed route (with optional naive
-/// cross-check) or naive-only when indexes are off.
+/// cross-check) or naive-only when indexes are off. The engine is derived
+/// from the session options, so a parallelism change applies to the very
+/// next statement.
 fn execute_plan(
-    engine: &Engine,
     options: &SessionOptions,
     plan: &Plan,
     catalog: &Catalog,
     indexes: &IndexCatalog,
 ) -> Result<Table, String> {
+    let engine = Engine::with_config(EngineConfig {
+        parallelism: options.parallelism,
+        ..EngineConfig::default()
+    });
     if !options.use_indexes {
         return engine.execute(plan, catalog);
     }
     let indexed = engine.execute_indexed(plan, catalog, indexes)?;
     if options.verify_indexed {
-        let naive = engine.execute(plan, catalog)?;
+        // The cross-check runs sequentially on purpose: divergence then
+        // implicates either index invalidation or the parallel route,
+        // never both.
+        let naive = Engine::new().execute(plan, catalog)?;
         if naive.canonicalized() != indexed.canonicalized() {
             return Err(format!(
                 "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
@@ -912,4 +1020,29 @@ fn bind_where_in(
 /// trailing `;`.
 fn clean_statement(text: &str) -> String {
     text.trim().trim_end_matches(';').trim_end().to_string()
+}
+
+/// Sleeps before a conflict retry: an exponential base doubling per
+/// attempt, with full jitter so sessions that collided once do not march
+/// in lockstep into the next collision. No external RNG dependency — the
+/// jitter seed mixes the thread id with a wall-clock nanosecond sample
+/// through a splitmix64 finalizer.
+fn conflict_backoff(attempt: u32) {
+    use std::hash::{Hash, Hasher};
+    let base_us = 50u64 << attempt.min(6); // 100 µs .. 3.2 ms
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0)
+        .hash(&mut h);
+    let mut x = h.finish();
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jitter = x % base_us;
+    std::thread::sleep(std::time::Duration::from_micros(base_us / 2 + jitter));
 }

@@ -129,6 +129,10 @@ impl Table {
 
     /// Validates a row against the schema (arity, and `begin < end` for
     /// period tables), returning a diagnostic instead of panicking.
+    ///
+    /// This is the *structural* check (result materialization passes
+    /// through it too); value-level ingestion policy — e.g. the session
+    /// layer's NaN rejection — lives in the DML validators above storage.
     pub fn check_row(&self, row: &Row) -> Result<(), String> {
         if row.arity() != self.schema.arity() {
             return Err(format!(

@@ -78,8 +78,9 @@ impl Value {
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
     }
 
-    /// SQL comparison: `None` when either side is NULL or the types are
-    /// incomparable; `Int` and `Double` compare numerically.
+    /// SQL comparison: `None` when either side is NULL, the types are
+    /// incomparable, or a NaN is involved; `Int` and `Double` compare
+    /// numerically — *exactly*, even beyond 2^53 (see [`cmp_int_double`]).
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
@@ -87,10 +88,9 @@ impl Value {
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Int(a), Int(b)) => Some(a.cmp(b)),
             (Str(a), Str(b)) => Some(a.cmp(b)),
-            (Int(_) | Double(_), Int(_) | Double(_)) => {
-                let (a, b) = (self.as_double().unwrap(), other.as_double().unwrap());
-                a.partial_cmp(&b)
-            }
+            (Int(a), Double(b)) => cmp_int_double(*a, *b),
+            (Double(a), Int(b)) => cmp_int_double(*b, *a).map(Ordering::reverse),
+            (Double(a), Double(b)) => a.partial_cmp(b),
             _ => None,
         }
     }
@@ -104,6 +104,46 @@ impl Value {
             Value::Str(_) => 4,
         }
     }
+}
+
+/// Exact comparison of an `i64` against an `f64`.
+///
+/// Widening the int with `as f64` is lossy above 2^53 — e.g.
+/// `9007199254740993 as f64 == 9007199254740992.0`, so the two would
+/// compare `Equal` while differing by one. Instead the double is split:
+/// any finite double in `[-2^63, 2^63)` has an integral part that
+/// converts to `i64` exactly (doubles that large carry no fractional
+/// bits, smaller ones truncate losslessly), the ints compare exactly,
+/// and the fractional part breaks integer ties. Doubles outside the
+/// `i64` range (±2^63 is itself exactly representable) win on magnitude,
+/// which also covers ±inf. `None` only for NaN.
+fn cmp_int_double(a: i64, b: f64) -> Option<Ordering> {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    if b.is_nan() {
+        return None;
+    }
+    if b >= TWO_POW_63 {
+        return Some(Ordering::Less);
+    }
+    if b < -TWO_POW_63 {
+        return Some(Ordering::Greater);
+    }
+    let int_part = b.trunc() as i64; // exact: trunc(b) ∈ [-2^63, 2^63)
+    Some(match a.cmp(&int_part) {
+        Ordering::Equal => {
+            // b = int_part + fract(b), computed exactly for |b| < 2^52
+            // (bigger doubles are integers with fract = 0).
+            let frac = b.fract();
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        ord => ord,
+    })
 }
 
 impl PartialEq for Value {
@@ -214,6 +254,75 @@ mod tests {
         assert_eq!(
             Value::Int(2).sql_cmp(&Value::Double(2.5)),
             Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn int_double_comparison_is_exact_beyond_2_53() {
+        // 2^53 + 1 is the first integer `as f64` cannot represent: the
+        // old widening comparison called it Equal to 2^53.
+        let big = 9_007_199_254_740_993i64; // 2^53 + 1
+        let rounded = 9_007_199_254_740_992.0f64; // 2^53
+        assert_eq!(
+            Value::Int(big).sql_cmp(&Value::Double(rounded)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(big).sql_eq(&Value::Double(rounded)), Some(false));
+        assert_eq!(
+            Value::Double(rounded).sql_cmp(&Value::Int(big)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(big - 1).sql_eq(&Value::Double(rounded)),
+            Some(true),
+            "2^53 itself is exactly representable"
+        );
+        // Same at the negative boundary.
+        assert_eq!(
+            Value::Int(-big).sql_cmp(&Value::Double(-rounded)),
+            Some(Ordering::Less)
+        );
+        // i64::MAX vs 2^63: the double rounds *up* out of the i64 range,
+        // so it must compare greater, never equal.
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Double(i64::MAX as f64)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).sql_eq(&Value::Double(i64::MIN as f64)),
+            Some(true),
+            "-2^63 is exactly representable"
+        );
+    }
+
+    #[test]
+    fn int_double_fractions_and_non_finite() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Double(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(-1).sql_cmp(&Value::Double(-1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(0).sql_cmp(&Value::Double(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(0).sql_cmp(&Value::Double(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(0).sql_cmp(&Value::Double(f64::NAN)), None);
+        assert_eq!(Value::Double(f64::NAN).sql_cmp(&Value::Int(0)), None);
+        assert_eq!(
+            Value::Double(f64::NAN).sql_eq(&Value::Double(f64::NAN)),
+            None,
+            "NaN behaves like NULL in SQL comparisons"
         );
     }
 

@@ -37,6 +37,8 @@ pub mod manager;
 pub mod snapshot;
 pub mod transaction;
 
-pub use manager::{publish_write_set, validate_first_committer_wins, CommitOutcome, TxnManager};
+pub use manager::{
+    is_conflict_error, publish_write_set, validate_first_committer_wins, CommitOutcome, TxnManager,
+};
 pub use snapshot::CatalogSnapshot;
 pub use transaction::Transaction;

@@ -84,12 +84,26 @@ pub fn validate_first_committer_wins(txn: &Transaction, committed: &Catalog) -> 
         let pinned = txn.snapshot().catalog().get(name).map(Table::version);
         if now != pinned {
             return Err(format!(
-                "write-write conflict on table '{name}': a concurrent transaction \
+                "{CONFLICT_ERROR_MARKER} on table '{name}': a concurrent transaction \
                  committed it first (first-committer-wins) — rollback and retry"
             ));
         }
     }
     Ok(())
+}
+
+/// The stable prefix of every first-committer-wins refusal (errors are
+/// plain strings throughout this workspace, so the class marker lives in
+/// the text).
+const CONFLICT_ERROR_MARKER: &str = "write-write conflict";
+
+/// Whether an error is the manager's first-committer-wins conflict
+/// refusal — the *retryable* failure class: the transaction lost a race,
+/// nothing about the statement itself is invalid, and re-running it over
+/// a fresh snapshot may well succeed. Everything else (validation errors,
+/// durability failures) is not retryable.
+pub fn is_conflict_error(error: &str) -> bool {
+    error.contains(CONFLICT_ERROR_MARKER)
 }
 
 /// Publishes a validated transaction's write set from its `working`

@@ -10,7 +10,7 @@ use snapshot_semantics::engine::{Engine, EngineConfig, ExecStats, JoinStrategy};
 use snapshot_semantics::index::IndexCatalog;
 use snapshot_semantics::rewrite::{RewriteOptions, SnapshotCompiler};
 use snapshot_semantics::sql::{bind_statement, parse_statement, BoundStatement};
-use snapshot_semantics::storage::{Catalog, Row};
+use snapshot_semantics::storage::{row, Catalog, Row, Schema, SqlType, Table};
 use snapshot_semantics::timeline::TimeDomain;
 
 fn random_catalog(seed: u64) -> (Catalog, TimeDomain) {
@@ -61,6 +61,7 @@ fn indexed_pipeline_matches_naive_and_oracle() {
                 JoinAlgo::Hash,
                 JoinAlgo::MergeInterval,
                 JoinAlgo::IndexSweep,
+                JoinAlgo::ParallelSweep,
             ] {
                 let compiler = SnapshotCompiler::with_options(
                     domain,
@@ -114,6 +115,7 @@ fn join_algos_bag_equivalent() {
             JoinAlgo::Hash,
             JoinAlgo::MergeInterval,
             JoinAlgo::IndexSweep,
+            JoinAlgo::ParallelSweep,
             JoinAlgo::Auto,
         ] {
             let plan = Plan::scan("r", schema.clone()).join_with(
@@ -267,10 +269,242 @@ fn employee_workload_indexed_matches_hash() {
         assert_eq!(hash, indexed, "{name}: hash vs indexed");
         let sweep = Engine::with_config(EngineConfig {
             join_strategy: JoinStrategy::IndexSweep,
+            ..EngineConfig::default()
         })
         .execute(&plan, &catalog)
         .unwrap()
         .canonicalized();
         assert_eq!(hash, sweep, "{name}: hash vs sweep strategy");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep join: the slab-partitioned route must be bag-equivalent to
+// the sequential sweep and the point-wise oracle at every parallelism level,
+// including adversarial slab-boundary data.
+// ---------------------------------------------------------------------------
+
+/// Parallelism levels to exercise. `SNAPSHOT_PARALLELISM` pins a single
+/// level, which is how CI runs the differential suite once sequentially
+/// and once with a worker pool; the default sweeps several.
+fn parallelism_levels() -> Vec<usize> {
+    match std::env::var("SNAPSHOT_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        // Shared convention: 0 = one worker per hardware thread.
+        Some(n) => vec![snapshot_semantics::engine::resolve_parallelism(n)],
+        None => vec![1, 2, 3, 4, 8],
+    }
+}
+
+/// The full SQL pipeline with the `ParallelSweep` rewrite hint equals the
+/// sequential routes and the point-wise oracle at every parallelism level.
+#[test]
+fn parallel_pipeline_matches_sequential_and_oracle() {
+    for seed in 0..3 {
+        let (catalog, domain) = random_catalog(seed);
+        let indexes = IndexCatalog::build_all(&catalog);
+        for sql in QUERIES {
+            let stmt = parse_statement(sql).unwrap();
+            let bound = bind_statement(&stmt, &catalog).unwrap();
+            let BoundStatement::Snapshot { plan, .. } = &bound else {
+                panic!()
+            };
+            let oracle = PointwiseOracle::new(domain)
+                .eval_rows(plan, &catalog)
+                .unwrap();
+            let compiler = SnapshotCompiler::with_options(
+                domain,
+                RewriteOptions {
+                    temporal_join_algo: JoinAlgo::ParallelSweep,
+                    ..RewriteOptions::default()
+                },
+            );
+            let compiled = compiler.compile_statement(&bound, &catalog).unwrap();
+            for p in parallelism_levels() {
+                let out = Engine::with_parallelism(p)
+                    .execute_indexed(&compiled, &catalog, &indexes)
+                    .unwrap();
+                let mut rows = out.rows().to_vec();
+                rows.sort_unstable();
+                assert_eq!(rows, oracle, "seed {seed}, {sql}, parallelism {p}");
+            }
+        }
+    }
+}
+
+/// A period table over explicit `(id, ts, te)` rows (period trailing, the
+/// engine's temporal-operator convention).
+fn interval_table(rows: &[(i64, i64)]) -> Table {
+    let schema = Schema::of(&[
+        ("id", SqlType::Int),
+        ("ts", SqlType::Int),
+        ("te", SqlType::Int),
+    ]);
+    let mut t = Table::with_period(schema, 1, 2);
+    for (k, &(b, e)) in rows.iter().enumerate() {
+        t.push(row![k as i64, b, e]);
+    }
+    t
+}
+
+/// The rewriter's overlap pattern over two scans of 3-column tables.
+fn overlap_join_plan(catalog: &Catalog, algo: JoinAlgo) -> Plan {
+    let schema = catalog.get("r").unwrap().schema().clone();
+    let s_schema = catalog.get("s").unwrap().schema().clone();
+    let (lts, lte) = (1, 2);
+    let (rts_g, rte_g) = (4, 5);
+    let cond = Expr::col(lts)
+        .lt(Expr::col(rte_g))
+        .and(Expr::col(rts_g).lt(Expr::col(lte)));
+    Plan::scan("r", schema).join_with(Plan::scan("s", s_schema), cond, algo)
+}
+
+/// Slab-boundary adversaries: every interval straddling every cut,
+/// duplicates, gaps that leave slabs empty, and more workers than
+/// distinct endpoints — the parallel join must stay bag-identical to the
+/// sequential sweep and the nested loop on all of them.
+#[test]
+fn parallel_sweep_survives_slab_boundary_adversaries() {
+    type Intervals = Vec<(i64, i64)>;
+    let cases: Vec<(&str, Intervals, Intervals)> = vec![
+        (
+            "all rows span the whole domain (2 distinct endpoints)",
+            vec![(0, 100); 8],
+            vec![(0, 100); 5],
+        ),
+        (
+            "duplicates plus straddlers at every scale",
+            vec![
+                (0, 100),
+                (0, 100),
+                (10, 90),
+                (10, 90),
+                (49, 51),
+                (49, 51),
+                (0, 1),
+                (99, 100),
+                (25, 75),
+            ],
+            vec![
+                (0, 100),
+                (50, 51),
+                (50, 51),
+                (20, 80),
+                (20, 80),
+                (0, 50),
+                (50, 100),
+            ],
+        ),
+        (
+            "clusters with huge gaps (empty slabs between)",
+            vec![(0, 3), (1, 4), (2, 5), (1_000, 1_003), (1_001, 1_004)],
+            vec![(2, 4), (1_000, 1_001), (1_002, 1_005), (500, 600)],
+        ),
+        ("one side empty", vec![(0, 10), (5, 15)], vec![]),
+        (
+            "single shared endpoint pair, maximal duplication",
+            vec![(7, 8); 6],
+            vec![(7, 8); 7],
+        ),
+    ];
+    for (name, r_rows, s_rows) in cases {
+        let mut catalog = Catalog::new();
+        catalog.register("r", interval_table(&r_rows));
+        catalog.register("s", interval_table(&s_rows));
+        let indexes = IndexCatalog::build_all(&catalog);
+        let reference = {
+            let plan = overlap_join_plan(&catalog, JoinAlgo::NestedLoop);
+            let mut rows = Engine::new()
+                .execute(&plan, &catalog)
+                .unwrap()
+                .rows()
+                .to_vec();
+            rows.sort_unstable();
+            rows
+        };
+        let sequential = {
+            let plan = overlap_join_plan(&catalog, JoinAlgo::IndexSweep);
+            let mut rows = Engine::new()
+                .execute_indexed(&plan, &catalog, &indexes)
+                .unwrap()
+                .rows()
+                .to_vec();
+            rows.sort_unstable();
+            rows
+        };
+        assert_eq!(reference, sequential, "{name}: sequential sweep");
+        // P far beyond the distinct endpoint count included.
+        for p in [1usize, 2, 3, 4, 8, 16, 64] {
+            for use_index in [false, true] {
+                let plan = overlap_join_plan(&catalog, JoinAlgo::ParallelSweep);
+                let mut stats = ExecStats::default();
+                let engine = Engine::with_parallelism(p);
+                let out = if use_index {
+                    engine
+                        .execute_indexed_with_stats(&plan, &catalog, &indexes, &mut stats)
+                        .unwrap()
+                } else {
+                    engine
+                        .execute_with_stats(&plan, &catalog, &mut stats)
+                        .unwrap()
+                };
+                let mut rows = out.rows().to_vec();
+                rows.sort_unstable();
+                assert_eq!(
+                    reference, rows,
+                    "{name}: parallelism {p}, use_index={use_index}"
+                );
+                assert!(
+                    stats.get("ParallelSweepJoin").is_some(),
+                    "{name}: parallel route must be taken ({stats:?})"
+                );
+            }
+        }
+    }
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for random interval multisets and a random worker count,
+    /// the parallel sweep join is bag-identical to the sequential sweep.
+    #[test]
+    fn prop_parallel_join_equals_sequential(
+        r_rows in proptest::collection::vec((0i64..40, 1i64..15), 0..50),
+        s_rows in proptest::collection::vec((0i64..40, 1i64..15), 0..50),
+        parallelism in 1usize..12,
+    ) {
+        let to_intervals = |v: &[(i64, i64)]| -> Vec<(i64, i64)> {
+            v.iter().map(|&(b, len)| (b, b + len)).collect()
+        };
+        let mut catalog = Catalog::new();
+        catalog.register("r", interval_table(&to_intervals(&r_rows)));
+        catalog.register("s", interval_table(&to_intervals(&s_rows)));
+        let indexes = IndexCatalog::build_all(&catalog);
+        let sequential = {
+            let plan = overlap_join_plan(&catalog, JoinAlgo::IndexSweep);
+            let mut rows = Engine::new()
+                .execute_indexed(&plan, &catalog, &indexes)
+                .unwrap()
+                .rows()
+                .to_vec();
+            rows.sort_unstable();
+            rows
+        };
+        let parallel = {
+            let plan = overlap_join_plan(&catalog, JoinAlgo::ParallelSweep);
+            let mut rows = Engine::with_parallelism(parallelism)
+                .execute_indexed(&plan, &catalog, &indexes)
+                .unwrap()
+                .rows()
+                .to_vec();
+            rows.sort_unstable();
+            rows
+        };
+        prop_assert_eq!(sequential, parallel);
     }
 }

@@ -79,6 +79,7 @@ fn middleware_matches_oracle_on_random_databases() {
                         let compiled = compiler.compile_statement(&bound, &catalog).unwrap();
                         let out = Engine::with_config(EngineConfig {
                             join_strategy: strategy,
+                            ..EngineConfig::default()
                         })
                         .execute(&compiled, &catalog)
                         .unwrap();

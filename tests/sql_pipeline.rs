@@ -120,3 +120,95 @@ fn seq_vt_of_set_operations_binds_whole_tree() {
         ]
     );
 }
+
+/// Runs one SQL statement through the full pipeline over an explicit
+/// catalog (for the numeric-regression fixtures below).
+fn run_on(c: &Catalog, sql: &str) -> Result<Vec<Row>, String> {
+    let stmt = parse_statement(sql)?;
+    let bound = bind_statement(&stmt, c)?;
+    let plan = SnapshotCompiler::new(TimeDomain::new(0, 24)).compile_statement(&bound, c)?;
+    Ok(Engine::new().execute(&plan, c)?.rows().to_vec())
+}
+
+/// Regression: mixed `Int`/`Double` comparisons used to widen the int
+/// with `as f64`, which is lossy above 2^53 — `9007199254740993` compared
+/// `Equal` to `9007199254740992.0`. The comparison is now exact.
+#[test]
+fn int_double_comparisons_are_exact_beyond_2_53() {
+    let schema = Schema::of(&[("v", SqlType::Int)]);
+    let mut t = Table::new(schema);
+    t.push(row![9_007_199_254_740_993i64]); // 2^53 + 1
+    let mut c = Catalog::new();
+    c.register("big", t);
+
+    // Not equal to the double 2^53 (the old widening said it was)...
+    assert_eq!(
+        run_on(&c, "SELECT v FROM big WHERE v = 9007199254740992.0").unwrap(),
+        Vec::<Row>::new()
+    );
+    // ...but strictly greater.
+    assert_eq!(
+        run_on(&c, "SELECT v FROM big WHERE v > 9007199254740992.0")
+            .unwrap()
+            .len(),
+        1
+    );
+    // The exactly representable neighbour still compares equal.
+    assert_eq!(
+        run_on(&c, "SELECT v FROM big WHERE v - 1 = 9007199254740992.0")
+            .unwrap()
+            .len(),
+        1
+    );
+    // And `<>` (sql_eq inherits sql_cmp) agrees.
+    assert_eq!(
+        run_on(&c, "SELECT v FROM big WHERE v <> 9007199254740992.0")
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+/// Regression + policy test for NaN: it is rejected at DML ingestion
+/// (the session's `conform_row` validator — storage primitives and bulk
+/// loads are below the policy), and a *computed* NaN — which can still flow
+/// through expressions — behaves like NULL in predicates (the row drops
+/// out) while ORDER BY gives it a deterministic total-order position
+/// (IEEE total order: after every other double). Documented in the
+/// README's SQL notes.
+#[test]
+fn nan_is_rejected_at_ingestion_and_totally_ordered_in_sorts() {
+    use snapshot_semantics::algebra::{Expr, Plan};
+    use snapshot_semantics::session::database::conform_row;
+    use snapshot_semantics::storage::Value;
+
+    // Ingestion: the session's DML validator (conform_row — both INSERT
+    // and UPDATE run replacement rows through it) refuses NaN, naming the
+    // column; infinities remain storable.
+    let schema_x = Schema::of(&[("x", SqlType::Double)]);
+    let err = conform_row(&schema_x, row![f64::NAN]).unwrap_err();
+    assert!(err.contains("NaN") && err.contains("'x'"), "{err}");
+    assert!(conform_row(&schema_x, row![f64::INFINITY]).is_ok());
+    assert!(conform_row(&schema_x, row![1.5]).is_ok());
+
+    // Predicates: NaN compares as unknown, so the row silently drops —
+    // exactly like NULL (this is the documented behavior, pinned here).
+    let schema = Schema::of(&[("x", SqlType::Double)]);
+    let values = Plan::values(schema.clone(), vec![row![1.0], row![f64::NAN], row![2.0]]);
+    let filtered = Engine::new()
+        .execute(
+            &values.clone().filter(Expr::col(0).eq(Expr::col(0))),
+            &Catalog::new(),
+        )
+        .unwrap();
+    assert_eq!(filtered.len(), 2, "NaN = NaN is unknown, the row drops");
+
+    // ORDER BY: total order, NaN deterministically after all doubles.
+    let sorted = Engine::new()
+        .execute(&values.sort(vec![(Expr::col(0), true)]), &Catalog::new())
+        .unwrap();
+    let xs: Vec<Value> = sorted.rows().iter().map(|r| r.get(0).clone()).collect();
+    assert_eq!(xs[0], Value::Double(1.0));
+    assert_eq!(xs[1], Value::Double(2.0));
+    assert!(matches!(xs[2], Value::Double(d) if d.is_nan()));
+}

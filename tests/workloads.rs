@@ -22,6 +22,7 @@ fn run(
         .unwrap();
     Engine::with_config(EngineConfig {
         join_strategy: strategy,
+        ..EngineConfig::default()
     })
     .execute(&plan, catalog)
     .unwrap()
