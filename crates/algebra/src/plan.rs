@@ -520,7 +520,19 @@ impl Plan {
 
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
-        let line = match &self.node {
+        out.push_str(&pad);
+        out.push_str(&self.node_label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// The single-line EXPLAIN label of this node (no children, no
+    /// indentation) — the building block the engine's `EXPLAIN ANALYZE`
+    /// renderer annotates with actual row counts and timings.
+    pub fn node_label(&self) -> String {
+        match &self.node {
             PlanNode::Scan { table } => format!("Scan {table} {}", self.schema),
             PlanNode::Values { rows } => format!("Values ({} rows)", rows.len()),
             PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
@@ -593,12 +605,14 @@ impl Plan {
                 )
             }
             PlanNode::TemporalExceptAll { .. } => "TemporalExceptAll".to_string(),
-        };
-        out.push_str(&pad);
-        out.push_str(&line);
-        out.push('\n');
+        }
+    }
+
+    /// The direct child plans of this node, in plan order (empty for the
+    /// leaves `Scan` and `Values`).
+    pub fn children(&self) -> Vec<&Plan> {
         match &self.node {
-            PlanNode::Scan { .. } | PlanNode::Values { .. } => {}
+            PlanNode::Scan { .. } | PlanNode::Values { .. } => Vec::new(),
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Aggregate { input, .. }
@@ -607,15 +621,12 @@ impl Plan {
             | PlanNode::Coalesce { input }
             | PlanNode::Timeslice { input, .. }
             | PlanNode::TimeRange { input, .. }
-            | PlanNode::TemporalAggregate { input, .. } => input.explain_into(out, depth + 1),
+            | PlanNode::TemporalAggregate { input, .. } => vec![input],
             PlanNode::Join { left, right, .. }
             | PlanNode::Union { left, right }
             | PlanNode::ExceptAll { left, right }
             | PlanNode::Split { left, right, .. }
-            | PlanNode::TemporalExceptAll { left, right } => {
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
+            | PlanNode::TemporalExceptAll { left, right } => vec![left, right],
         }
     }
 }

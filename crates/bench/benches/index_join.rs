@@ -105,10 +105,16 @@ fn emit_json(c: &Criterion) {
             nl / idx
         ));
     }
+    let meta = bench_harness::meta::BenchMeta::new("index_join")
+        .param_str(
+            "join",
+            "pure interval overlap, both sides random period tables",
+        )
+        .param_str("sizes", &SIZES.map(|n| n.to_string()).join("/"));
     let json = format!(
-        "{{\n  \"bench\": \"index_join\",\n  \"join\": \"pure interval overlap, both sides \
-         random period tables\",\n  \"routes\": [\"nested-loop\", \"sweep\", \
+        "{{\n{},\n  \"routes\": [\"nested-loop\", \"sweep\", \
          \"indexed-sweep\"],\n  \"results\": [\n{}\n  ]\n}}\n",
+        meta.render(),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_index.json");

@@ -109,7 +109,7 @@ fn emit_json(c: &Criterion, output_pairs: usize) {
         eprintln!("missing sequential summary; not writing BENCH_parallel_join.json");
         return;
     };
-    let hardware = engine::resolve_parallelism(0); // 0 = hardware threads
+    let hardware = bench_harness::meta::hardware_threads();
     let mut entries = Vec::new();
     for &n in &THREAD_COUNTS {
         let Some(t) = median_of(&format!("parallel_join/threads/{n}")) else {
@@ -120,10 +120,14 @@ fn emit_json(c: &Criterion, output_pairs: usize) {
             seq / t
         ));
     }
+    let meta = bench_harness::meta::BenchMeta::new("parallel_join")
+        .param("rows_per_side", ROWS)
+        .param("domain", DOMAIN)
+        .param("max_len", MAX_LEN);
     let json = format!(
-        "{{\n  \"bench\": \"parallel_join\",\n  \"rows_per_side\": {ROWS},\n  \
-         \"output_pairs\": {output_pairs},\n  \"hardware_threads\": {hardware},\n  \
+        "{{\n{},\n  \"output_pairs\": {output_pairs},\n  \
          \"sequential_s\": {seq:.6e},\n  \"parallel\": [\n{}\n  ]\n}}\n",
+        meta.render(),
         entries.join(",\n")
     );
     let path = concat!(

@@ -193,12 +193,18 @@ fn emit_json(c: &Criterion) {
         eprintln!("missing commit summaries; not writing BENCH_txn.json");
         return;
     };
+    let meta = bench_harness::meta::BenchMeta::new("txn")
+        .param("read_rows", READ_ROWS)
+        .param("queries_per_thread", QUERIES_PER_THREAD)
+        .param("txn_size", TXN_SIZE)
+        .param_str("query", QUERY);
     let json = format!(
-        "{{\n  \"bench\": \"txn\",\n  \"read_throughput\": [\n{}\n  ],\n  \
+        "{{\n{},\n  \"read_throughput\": [\n{}\n  ],\n  \
          \"commit_latency\": {{\n    \"txn_size\": {TXN_SIZE},\n    \
          \"autocommit_s_per_stmt\": {:.6e},\n    \
          \"group_commit_s_per_stmt\": {:.6e},\n    \
          \"group_commit_speedup_x\": {:.2}\n  }}\n}}\n",
+        meta.render(),
         reads.join(",\n"),
         auto / TXN_SIZE as f64,
         grouped / TXN_SIZE as f64,

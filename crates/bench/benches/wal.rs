@@ -187,13 +187,20 @@ fn emit_json(c: &Criterion) {
             n as f64 / replay
         ));
     }
+    let meta = bench_harness::meta::BenchMeta::new("wal")
+        .param("batch", BATCH)
+        .param_str(
+            "recovery_sizes",
+            &RECOVERY_SIZES.map(|n| n.to_string()).join("/"),
+        );
     let json = format!(
-        "{{\n  \"bench\": \"wal\",\n  \"append_overhead\": {{\n    \
+        "{{\n{},\n  \"append_overhead\": {{\n    \
          \"batch\": {BATCH},\n    \"in_memory_s\": {mem:.6e},\n    \
          \"wal_sync_always_s\": {always:.6e},\n    \
          \"wal_sync_checkpoint_s\": {on_ckpt:.6e},\n    \
          \"overhead_always_x\": {:.2},\n    \"overhead_checkpoint_x\": {:.2}\n  }},\n  \
          \"recovery\": [\n{}\n  ]\n}}\n",
+        meta.render(),
         always / mem,
         on_ckpt / mem,
         recovery.join(",\n")

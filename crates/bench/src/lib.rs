@@ -12,6 +12,9 @@
 //! * **Oracle** — the point-wise ground truth, used to fill the bug columns
 //!   experimentally (small scales only).
 
+pub mod expofmt;
+pub mod meta;
+
 use baseline::{BaselineKind, NativeEvaluator, PointwiseOracle};
 use engine::{Engine, EngineConfig, JoinStrategy};
 use index::IndexCatalog;

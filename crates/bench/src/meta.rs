@@ -1,0 +1,126 @@
+//! The common metadata header of the `BENCH_*.json` summaries.
+//!
+//! Every bench emitter used to hand-roll its own preamble, so the files
+//! disagreed about what environment facts they recorded (only
+//! `parallel_join` reported the hardware thread count, none reported the
+//! `SNAPSHOT_PARALLELISM` setting). [`BenchMeta`] renders one shared
+//! header — bench name, hardware threads, configured parallelism, and the
+//! bench's own workload parameters — that every emitter embeds at the top
+//! of its JSON object, so downstream tooling can always join results on
+//! the same keys.
+
+use std::fmt::Display;
+
+/// Builder for the shared `BENCH_*.json` header.
+///
+/// ```
+/// use bench_harness::meta::BenchMeta;
+/// let header = BenchMeta::new("txn")
+///     .param("read_rows", 4000)
+///     .param("queries_per_thread", 8)
+///     .render();
+/// assert!(header.starts_with("  \"bench\": \"txn\""));
+/// assert!(header.contains("\"hardware_threads\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    bench: &'static str,
+    params: Vec<(String, String)>,
+}
+
+impl BenchMeta {
+    /// A header for the named bench. Hardware thread count and the
+    /// effective `SNAPSHOT_PARALLELISM` setting are captured here, so
+    /// every emitter reports them identically.
+    pub fn new(bench: &'static str) -> Self {
+        BenchMeta {
+            bench,
+            params: Vec::new(),
+        }
+    }
+
+    /// Adds a numeric (or otherwise raw-JSON) workload parameter.
+    pub fn param(mut self, key: &str, value: impl Display) -> Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a string workload parameter (JSON-quoted).
+    pub fn param_str(mut self, key: &str, value: &str) -> Self {
+        self.params
+            .push((key.to_string(), format!("\"{}\"", value.replace('"', "'"))));
+        self
+    }
+
+    /// Renders the header lines (2-space indent, no trailing comma or
+    /// newline) for embedding right after the opening `{`:
+    ///
+    /// ```json
+    ///   "bench": "txn",
+    ///   "hardware_threads": 8,
+    ///   "parallelism": 1,
+    ///   "workload": {"read_rows": 4000}
+    /// ```
+    pub fn render(&self) -> String {
+        let workload = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "  \"bench\": \"{}\",\n  \"hardware_threads\": {},\n  \
+             \"parallelism\": {},\n  \"workload\": {{{workload}}}",
+            self.bench,
+            hardware_threads(),
+            configured_parallelism(),
+        )
+    }
+}
+
+/// One worker per hardware thread (what `--parallelism 0` resolves to).
+pub fn hardware_threads() -> usize {
+    engine::resolve_parallelism(0)
+}
+
+/// The parallelism a default session would run with: the
+/// `SNAPSHOT_PARALLELISM` environment variable (0 = hardware threads),
+/// or 1 (sequential) when unset — the same convention as the session
+/// layer and CI.
+pub fn configured_parallelism() -> usize {
+    std::env::var("SNAPSHOT_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(engine::resolve_parallelism)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_has_all_common_keys() {
+        let h = BenchMeta::new("example")
+            .param("rows", 42)
+            .param_str("query", "SEQ VT (SELECT 1)")
+            .render();
+        assert!(h.contains("\"bench\": \"example\""));
+        assert!(h.contains("\"hardware_threads\": "));
+        assert!(h.contains("\"parallelism\": "));
+        assert!(h.contains("\"workload\": {\"rows\": 42, \"query\": \"SEQ VT (SELECT 1)\"}"));
+        assert!(!h.ends_with('\n'));
+    }
+
+    #[test]
+    fn header_embeds_as_valid_json_prefix() {
+        let json = format!(
+            "{{\n{},\n  \"extra\": 1\n}}\n",
+            BenchMeta::new("x").render()
+        );
+        // Structural sanity without a JSON parser: balanced braces, every
+        // line is key: value.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"extra\": 1"));
+    }
+}

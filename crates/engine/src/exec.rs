@@ -10,7 +10,9 @@ use index::{
     choose_cuts, elementary_boundaries, elementary_boundaries_from_events,
     parallel_sweep_join_presorted, sweep_join_presorted, IndexCatalog,
 };
+use snapshot_obs as obs;
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 use storage::{Catalog, Row, Table, Value};
 
 /// Join strategy for the non-temporal part of join conditions.
@@ -70,6 +72,89 @@ impl ExecStats {
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, (u64, u64))> + '_ {
         self.counters.iter().map(|(k, v)| (*k, *v))
     }
+
+    /// Publish these counters into the global metrics registry as
+    /// `engine_<op>_invocations_total` / `engine_<op>_rows_total` (operator
+    /// names lower-cased). The session layer calls this once per statement
+    /// when metrics collection is on, so the per-operator hot path stays a
+    /// plain `BTreeMap` bump.
+    pub fn publish_to_registry(&self) {
+        let reg = obs::registry();
+        for (op, (invocations, rows)) in self.iter() {
+            let op = op.to_lowercase();
+            reg.counter(&format!("engine_{op}_invocations_total"))
+                .add(invocations);
+            reg.counter(&format!("engine_{op}_rows_total")).add(rows);
+        }
+    }
+}
+
+/// Actual execution figures for one plan node, as collected by
+/// [`Engine::execute_analyzed`] for `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeActuals {
+    /// Times the node produced its output (re-runs under retries add up).
+    pub calls: u64,
+    /// Total rows produced across calls.
+    pub rows: u64,
+    /// Total wall-clock nanoseconds, inclusive of children.
+    pub nanos: u64,
+}
+
+/// Per-plan-node actuals keyed by node *identity* (not operator name, so
+/// two `Scan`s of the same table report separately). Valid only for the
+/// exact [`Plan`] value that was executed.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    map: HashMap<usize, NodeActuals>,
+}
+
+impl NodeStats {
+    fn record(&mut self, plan: &Plan, rows: usize, elapsed: Duration) {
+        let e = self.map.entry(plan_key(plan)).or_default();
+        e.calls += 1;
+        e.rows += rows as u64;
+        e.nanos += elapsed.as_nanos() as u64;
+    }
+
+    /// Actuals for a node of the executed plan; `None` when the node was
+    /// never executed (e.g. an input short-circuited by an indexed route).
+    pub fn get(&self, plan: &Plan) -> Option<NodeActuals> {
+        self.map.get(&plan_key(plan)).copied()
+    }
+}
+
+fn plan_key(plan: &Plan) -> usize {
+    plan as *const Plan as usize
+}
+
+/// Renders `plan` as its EXPLAIN tree with per-node actuals appended:
+/// `(actual rows=R calls=C time=T ms)`, or `(never executed)` for nodes an
+/// accelerated route short-circuited (e.g. the scan under an indexed
+/// timeslice).
+pub fn explain_analyzed(plan: &Plan, nodes: &NodeStats) -> String {
+    fn walk(out: &mut String, plan: &Plan, depth: usize, nodes: &NodeStats) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&plan.node_label());
+        match nodes.get(plan) {
+            Some(a) => {
+                out.push_str(&format!(
+                    " (actual rows={} calls={} time={:.3} ms)",
+                    a.rows,
+                    a.calls,
+                    a.nanos as f64 / 1e6
+                ));
+            }
+            None => out.push_str(" (never executed)"),
+        }
+        out.push('\n');
+        for child in plan.children() {
+            walk(out, child, depth + 1, nodes);
+        }
+    }
+    let mut out = String::new();
+    walk(&mut out, plan, 0, nodes);
+    out
 }
 
 /// Resolves a user-facing parallelism setting to a worker count: `0`
@@ -126,7 +211,7 @@ impl Engine {
         catalog: &Catalog,
         stats: &mut ExecStats,
     ) -> Result<Table, String> {
-        let rows = self.run(plan, catalog, None, stats)?;
+        let rows = self.run(plan, catalog, None, stats, None)?;
         let mut table = Table::new(plan.schema.clone());
         table.extend(rows);
         Ok(table)
@@ -156,7 +241,25 @@ impl Engine {
         indexes: &IndexCatalog,
         stats: &mut ExecStats,
     ) -> Result<Table, String> {
-        let rows = self.run(plan, catalog, Some(indexes), stats)?;
+        let rows = self.run(plan, catalog, Some(indexes), stats, None)?;
+        let mut table = Table::new(plan.schema.clone());
+        table.extend(rows);
+        Ok(table)
+    }
+
+    /// Executes a plan while collecting per-node actuals (row counts,
+    /// call counts, inclusive wall-clock) keyed by node identity — the
+    /// execution mode behind `EXPLAIN ANALYZE`. Pass `indexes` to take the
+    /// same dispatch routes as [`Engine::execute_indexed`].
+    pub fn execute_analyzed(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        indexes: Option<&IndexCatalog>,
+        stats: &mut ExecStats,
+        nodes: &mut NodeStats,
+    ) -> Result<Table, String> {
+        let rows = self.run(plan, catalog, indexes, stats, Some(nodes))?;
         let mut table = Table::new(plan.schema.clone());
         table.extend(rows);
         Ok(table)
@@ -168,7 +271,12 @@ impl Engine {
         catalog: &Catalog,
         indexes: Option<&IndexCatalog>,
         stats: &mut ExecStats,
+        mut nodes: Option<&mut NodeStats>,
     ) -> Result<Vec<Row>, String> {
+        // Per-node clock reads only in analyze mode; the span guard is a
+        // single relaxed atomic load when tracing is off.
+        let started = nodes.as_ref().map(|_| Instant::now());
+        let mut span = obs::Span::enter(op_name(&plan.node));
         let rows = match &plan.node {
             PlanNode::Scan { table } => {
                 let t = catalog.require(table)?;
@@ -183,14 +291,14 @@ impl Engine {
             }
             PlanNode::Values { rows } => rows.clone(),
             PlanNode::Filter { input, predicate } => {
-                let input_rows = self.run(input, catalog, indexes, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 input_rows
                     .into_iter()
                     .filter(|r| eval_predicate(predicate, r))
                     .collect()
             }
             PlanNode::Project { input, exprs } => {
-                let input_rows = self.run(input, catalog, indexes, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 input_rows
                     .iter()
                     .map(|r| Row::new(exprs.iter().map(|e| eval_expr(e, r)).collect()))
@@ -202,8 +310,8 @@ impl Engine {
                 condition,
                 algo,
             } => {
-                let l = self.run(left, catalog, indexes, stats)?;
-                let r = self.run(right, catalog, indexes, stats)?;
+                let l = self.run(left, catalog, indexes, stats, nodes.as_deref_mut())?;
+                let r = self.run(right, catalog, indexes, stats, nodes.as_deref_mut())?;
                 self.join(
                     JoinInputs {
                         left_plan: left,
@@ -219,14 +327,14 @@ impl Engine {
                 )?
             }
             PlanNode::Union { left, right } => {
-                let mut l = self.run(left, catalog, indexes, stats)?;
-                let r = self.run(right, catalog, indexes, stats)?;
+                let mut l = self.run(left, catalog, indexes, stats, nodes.as_deref_mut())?;
+                let r = self.run(right, catalog, indexes, stats, nodes.as_deref_mut())?;
                 l.extend(r);
                 l
             }
             PlanNode::ExceptAll { left, right } => {
-                let l = self.run(left, catalog, indexes, stats)?;
-                let r = self.run(right, catalog, indexes, stats)?;
+                let l = self.run(left, catalog, indexes, stats, nodes.as_deref_mut())?;
+                let r = self.run(right, catalog, indexes, stats, nodes.as_deref_mut())?;
                 except_all(l, &r)
             }
             PlanNode::Aggregate {
@@ -234,17 +342,18 @@ impl Engine {
                 group_cols,
                 aggs,
             } => {
-                let input_rows = self.run(input, catalog, indexes, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 let arg_types = agg_arg_types(aggs, &input.schema)?;
                 hash_aggregate(&input_rows, group_cols, aggs, &arg_types)
             }
             PlanNode::Distinct { input } => {
-                let input_rows = self.run(input, catalog, indexes, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 let set: std::collections::BTreeSet<Row> = input_rows.into_iter().collect();
                 set.into_iter().collect()
             }
             PlanNode::Sort { input, keys } => {
-                let mut input_rows = self.run(input, catalog, indexes, stats)?;
+                let mut input_rows =
+                    self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 input_rows.sort_by(|a, b| {
                     for (e, asc) in keys {
                         let (va, vb) = (eval_expr(e, a), eval_expr(e, b));
@@ -269,8 +378,11 @@ impl Engine {
                     stats.record("IndexCoalesce", rows.len());
                     rows
                 } else {
-                    let input_rows = self.run(input, catalog, indexes, stats)?;
-                    coalesce_rows(&input_rows, input.schema.arity())
+                    let input_rows =
+                        self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
+                    let rows = coalesce_rows(&input_rows, input.schema.arity());
+                    stats.record("NaiveCoalesce", rows.len());
+                    rows
                 }
             }
             PlanNode::Timeslice { input, at, algo } => {
@@ -289,12 +401,15 @@ impl Engine {
                     stats.record("IndexTimeslice", rows.len());
                     rows
                 } else {
-                    let input_rows = self.run(input, catalog, indexes, stats)?;
+                    let input_rows =
+                        self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                     let n = input.schema.arity();
-                    input_rows
+                    let rows: Vec<Row> = input_rows
                         .into_iter()
                         .filter(|r| r.int(n - 2) <= *at && *at < r.int(n - 1))
-                        .collect()
+                        .collect();
+                    stats.record("NaiveTimeslice", rows.len());
+                    rows
                 }
             }
             PlanNode::TimeRange { input, range, algo } => {
@@ -314,12 +429,15 @@ impl Engine {
                     stats.record("IndexTimeRange", rows.len());
                     rows
                 } else {
-                    let input_rows = self.run(input, catalog, indexes, stats)?;
+                    let input_rows =
+                        self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                     let n = input.schema.arity();
-                    input_rows
+                    let rows: Vec<Row> = input_rows
                         .into_iter()
                         .filter(|r| r.int(n - 2) < e && b < r.int(n - 1))
-                        .collect()
+                        .collect();
+                    stats.record("NaiveTimeRange", rows.len());
+                    rows
                 }
             }
             PlanNode::Split {
@@ -327,8 +445,8 @@ impl Engine {
                 right,
                 group_cols,
             } => {
-                let l = self.run(left, catalog, indexes, stats)?;
-                let r = self.run(right, catalog, indexes, stats)?;
+                let l = self.run(left, catalog, indexes, stats, nodes.as_deref_mut())?;
+                let r = self.run(right, catalog, indexes, stats, nodes.as_deref_mut())?;
                 split_rows(&l, &r, group_cols, left.schema.arity())
             }
             PlanNode::TemporalAggregate {
@@ -338,7 +456,7 @@ impl Engine {
                 add_gap_neutral,
                 domain,
             } => {
-                let input_rows = self.run(input, catalog, indexes, stats)?;
+                let input_rows = self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 let arg_types = agg_arg_types(aggs, &input.schema)?;
                 temporal_aggregate(
                     &input_rows,
@@ -351,12 +469,16 @@ impl Engine {
                 )
             }
             PlanNode::TemporalExceptAll { left, right } => {
-                let l = self.run(left, catalog, indexes, stats)?;
-                let r = self.run(right, catalog, indexes, stats)?;
+                let l = self.run(left, catalog, indexes, stats, nodes.as_deref_mut())?;
+                let r = self.run(right, catalog, indexes, stats, nodes.as_deref_mut())?;
                 temporal_except_all(&l, &r, left.schema.arity())
             }
         };
+        span.record_rows(rows.len() as u64);
         stats.record(op_name(&plan.node), rows.len());
+        if let (Some(nodes), Some(started)) = (nodes, started) {
+            nodes.record(plan, rows.len(), started.elapsed());
+        }
         Ok(rows)
     }
 
@@ -496,7 +618,9 @@ impl Engine {
             }
             JoinAlgo::MergeInterval if overlap.is_some() => {
                 let (lts, lte, rts, rte) = overlap.unwrap();
-                merge_interval_join(left, right, lts, lte, rts, rte, condition)
+                let out = merge_interval_join(left, right, lts, lte, rts, rte, condition);
+                stats.record("MergeIntervalJoin", out.len());
+                out
             }
             JoinAlgo::Hash
             | JoinAlgo::IndexSweep
@@ -504,7 +628,9 @@ impl Engine {
             | JoinAlgo::MergeInterval
                 if !equi.is_empty() =>
             {
-                hash_join(left, right, &equi, condition)
+                let out = hash_join(left, right, &equi, condition);
+                stats.record("HashJoin", out.len());
+                out
             }
             _ => {
                 // Nested loop fallback.
@@ -517,6 +643,7 @@ impl Engine {
                         }
                     }
                 }
+                stats.record("NestedLoopJoin", out.len());
                 out
             }
         })

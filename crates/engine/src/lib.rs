@@ -31,4 +31,7 @@ pub mod split;
 pub mod temporal;
 
 pub use eval::{eval_expr, eval_predicate, like_match};
-pub use exec::{resolve_parallelism, Engine, EngineConfig, ExecStats, JoinStrategy};
+pub use exec::{
+    explain_analyzed, resolve_parallelism, Engine, EngineConfig, ExecStats, JoinStrategy,
+    NodeActuals, NodeStats,
+};

@@ -1,7 +1,16 @@
 //! Per-table index bundles and the catalog-level index registry.
 
 use crate::{CoalesceIndex, EventList, IntervalTree};
+use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use storage::{Catalog, Row, Table};
+
+/// Index-maintenance telemetry: the repair split mirrors
+/// [`MaintenanceStats`] in the global registry, and the histograms time the
+/// two repair paths (an `ensure` hitting a fresh entry records nothing).
+static FULL_BUILDS: LazyCounter = LazyCounter::new("index_full_builds_total");
+static INCREMENTAL_BUILDS: LazyCounter = LazyCounter::new("index_incremental_builds_total");
+static FULL_BUILD_SECONDS: LazyHistogram = LazyHistogram::new("index_full_build_seconds");
+static INCREMENTAL_SECONDS: LazyHistogram = LazyHistogram::new("index_incremental_build_seconds");
 
 /// The full index bundle of one stored period table:
 ///
@@ -224,6 +233,8 @@ impl IndexCatalog {
             .map(|idx| !idx.is_fresh(table))
             .unwrap_or(true);
         if stale {
+            let _span = obs::Span::enter("index.ensure");
+            let started = std::time::Instant::now();
             let incremental = self.indexes.get(name).and_then(|idx| {
                 table
                     .appended_since(idx.version())
@@ -237,8 +248,12 @@ impl IndexCatalog {
                 Some(idx) => {
                     if was_incremental {
                         self.maintenance.incremental_builds += 1;
+                        INCREMENTAL_BUILDS.inc();
+                        INCREMENTAL_SECONDS.observe_duration(started.elapsed());
                     } else {
                         self.maintenance.full_builds += 1;
+                        FULL_BUILDS.inc();
+                        FULL_BUILD_SECONDS.observe_duration(started.elapsed());
                     }
                     self.indexes
                         .insert(name.to_string(), std::sync::Arc::new(idx));

@@ -1,0 +1,38 @@
+//! Observability subsystem: metrics and tracing for the whole pipeline.
+//!
+//! The runtime now spans seven layers (parse → bind → rewrite → indexed
+//! execute → txn → WAL → checkpoint) and this crate is their single
+//! telemetry story. It is hand-rolled over `std` only — the build
+//! environment has no registry access, so no `prometheus`/`tracing`
+//! dependencies — and deliberately sits at the *bottom* of the workspace
+//! dependency graph so that every layer (index, engine, txn, wal, session)
+//! can report into it.
+//!
+//! Two facilities:
+//!
+//! * [`metrics`] — a global, thread-safe [`MetricsRegistry`] of atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s
+//!   (p50/p95/p99 extraction), rendered in Prometheus text exposition
+//!   format by [`MetricsRegistry::render_text`]. Recording is always-on
+//!   and lock-free — a handful of relaxed atomic operations — so there is
+//!   no "metrics off" switch to get wrong; hot paths pin their handles in
+//!   [`LazyCounter`]/[`LazyHistogram`] statics so the registry lock is
+//!   touched once per process, not per event.
+//! * [`trace`] — lightweight tracing spans: [`Span::enter`] returns an
+//!   RAII guard that, *when tracing is enabled*, records its lifetime into
+//!   a bounded per-thread ring buffer; [`take_thread_trace`] assembles the
+//!   buffer into a per-query span tree. When tracing is disabled (the
+//!   default) `Span::enter` is a single relaxed atomic load returning an
+//!   inert guard — no clock read, no allocation.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    default_latency_bounds, registry, Counter, Gauge, Histogram, LazyCounter, LazyHistogram,
+    MetricsRegistry,
+};
+pub use trace::{
+    reset_thread_trace, set_tracing, take_thread_trace, tracing_enabled, Span, SpanNode,
+    SpanRecord, SpanTree,
+};

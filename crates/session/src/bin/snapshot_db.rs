@@ -124,6 +124,7 @@ fn main() {
         quiet,
         interactive: script.is_none(),
         pending: String::new(),
+        trace: false,
     };
 
     match script {
@@ -202,8 +203,13 @@ Meta commands:
   .index [t]         refresh the index of table t (all tables when omitted)
   .parallel N SQL    run a query on N concurrent reader sessions and check
                      they all agree (the shared-database demo)
-  .explain SQL       show the compiled physical plan of a query
+  .explain SQL       show the compiled physical plan of a query (use the
+                     EXPLAIN ANALYZE SQL statement for actual row counts
+                     and per-operator timings)
   .verify on|off     cross-check indexed queries against the naive route
+  .metrics [FILE]    dump the global metrics registry (Prometheus text
+                     format) to stdout or FILE
+  .trace on|off      print the tracing-span tree after every statement
   .checkpoint        write a checkpoint now (durable databases only)
   .dump [FILE]       write the catalog as a re-loadable SQL script
                      (to stdout when FILE is omitted)
@@ -229,6 +235,8 @@ struct Shell {
     interactive: bool,
     /// Multi-line statement accumulator (REPL and scripts alike).
     pending: String,
+    /// `.trace on` — print the span tree after every statement.
+    trace: bool,
 }
 
 impl Shell {
@@ -286,6 +294,9 @@ impl Shell {
         }
         let started = Instant::now();
         let retries_before = self.session.conflict_retries().total;
+        if self.trace {
+            snapshot_obs::reset_thread_trace();
+        }
         match self.session.execute_script(&sql) {
             Ok(results) => {
                 let elapsed = started.elapsed();
@@ -295,9 +306,19 @@ impl Shell {
                     }
                     println!("{r} [{:.3} ms]", elapsed.as_secs_f64() * 1e3);
                 }
+                // Per-phase breakdown of the buffer's last statement (the
+                // common case is one statement per buffer) — the split of
+                // the total above into parse/bind/rewrite/index/execute/
+                // commit, from the session's span-fed timings.
+                if !self.quiet {
+                    println!("  ({})", self.session.last_phase_timings().render());
+                }
                 let retried = self.session.conflict_retries().total - retries_before;
                 if retried > 0 {
                     println!("(retried {retried} time(s) after write-write conflicts)");
+                }
+                if self.trace {
+                    print!("{}", snapshot_obs::take_thread_trace().render());
                 }
                 Flow::Continue
             }
@@ -330,6 +351,22 @@ impl Shell {
             }
             "checkpoint" => self.checkpoint(),
             "dump" => self.dump(words.next()),
+            "metrics" => self.metrics(words.next()),
+            "trace" => match words.next() {
+                Some("on") => {
+                    self.trace = true;
+                    snapshot_obs::set_tracing(true);
+                    println!("trace: on (span tree printed after every statement)");
+                    Ok(())
+                }
+                Some("off") => {
+                    self.trace = false;
+                    snapshot_obs::set_tracing(false);
+                    println!("trace: off");
+                    Ok(())
+                }
+                _ => Err("usage: .trace on|off".to_string()),
+            },
             "verify" => match words.next() {
                 Some("on") => {
                     self.session.options_mut().verify_indexed = true;
@@ -519,12 +556,29 @@ impl Shell {
         Ok(())
     }
 
-    fn explain(&self, sql: &str) -> Result<(), String> {
+    fn explain(&mut self, sql: &str) -> Result<(), String> {
         if sql.is_empty() {
             return Err("usage: .explain SELECT ...".to_string());
         }
         let plan = self.session.compile(sql.trim_end_matches(';'))?;
         print!("{}", plan.explain());
+        // Compilation cost, split by phase (parse/bind/rewrite) — run the
+        // query itself (or EXPLAIN ANALYZE) for execution timings.
+        println!("  ({})", self.session.last_phase_timings().render());
+        Ok(())
+    }
+
+    /// `.metrics [FILE]` — dump the global registry in Prometheus text
+    /// exposition format, to stdout or a file.
+    fn metrics(&self, file: Option<&str>) -> Result<(), String> {
+        let text = snapshot_obs::registry().render_text();
+        match file {
+            Some(path) => {
+                std::fs::write(path, &text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+                println!("wrote {} byte(s) to {path}", text.len());
+            }
+            None => print!("{text}"),
+        }
         Ok(())
     }
 }

@@ -32,7 +32,9 @@ pub mod session;
 pub mod shared;
 
 pub use database::Database;
-pub use session::{RecoveryReport, RetryStats, Session, SessionOptions, StatementResult};
+pub use session::{
+    PhaseTimings, RecoveryReport, RetryStats, Session, SessionOptions, StatementResult,
+};
 pub use shared::SharedDatabase;
 // Concurrency surface, re-exported so tests and the shell need not depend
 // on `snapshot_txn` directly.

@@ -30,9 +30,10 @@ use crate::database::{
 };
 use crate::shared::SharedDatabase;
 use algebra::Plan;
-use engine::{eval_expr, eval_predicate, Engine, EngineConfig};
+use engine::{eval_expr, eval_predicate, Engine, EngineConfig, ExecStats, NodeStats};
 use index::{IndexCatalog, MaintenanceStats};
 use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
+use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use snapshot_txn::{CatalogSnapshot, Transaction};
 use snapshot_wal::{Persistence, PersistenceOptions};
 use sql::{
@@ -41,7 +42,8 @@ use sql::{
 };
 use std::fmt;
 use std::path::Path;
-use storage::{Catalog, Column, Row, Schema, SqlType, Table};
+use std::time::Instant;
+use storage::{Catalog, Column, Row, Schema, SqlType, Table, Value};
 
 /// What executing one statement produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +144,11 @@ pub struct SessionOptions {
     pub parallelism: usize,
     /// Rewriting options for `SEQ VT` compilation.
     pub rewrite: RewriteOptions,
+    /// Publish per-statement engine operator counters to the global
+    /// metrics registry ([`snapshot_obs::registry`]). On by default — the
+    /// publication is a handful of atomic adds once per statement, after
+    /// execution, so the engine hot path never touches the registry.
+    pub collect_metrics: bool,
 }
 
 impl Default for SessionOptions {
@@ -151,6 +158,7 @@ impl Default for SessionOptions {
             verify_indexed: false,
             parallelism: default_parallelism(),
             rewrite: RewriteOptions::default(),
+            collect_metrics: true,
         }
     }
 }
@@ -197,6 +205,93 @@ impl RetryStats {
 /// first-committer-wins race before the conflict is surfaced.
 const CONFLICT_RETRY_LIMIT: u32 = 6;
 
+/// Registry mirrors of [`RetryStats`], aggregated across all sessions of
+/// the process (the per-session struct stays the precise view).
+static SESSION_RETRIES: LazyCounter = LazyCounter::new("session_retries_total");
+static SESSION_RETRY_GIVE_UPS: LazyCounter = LazyCounter::new("session_retry_give_ups_total");
+
+// Per-phase latency histograms, fed once per statement from the session's
+// [`PhaseTimings`] when [`SessionOptions::collect_metrics`] is on. These
+// are what lets `benches/observe.rs` attribute workload time to pipeline
+// phases across many sessions and threads.
+static PHASE_PARSE: LazyHistogram = LazyHistogram::new("session_parse_seconds");
+static PHASE_BIND: LazyHistogram = LazyHistogram::new("session_bind_seconds");
+static PHASE_REWRITE: LazyHistogram = LazyHistogram::new("session_rewrite_seconds");
+static PHASE_INDEX: LazyHistogram = LazyHistogram::new("session_index_seconds");
+static PHASE_EXECUTE: LazyHistogram = LazyHistogram::new("session_execute_seconds");
+static PHASE_COMMIT: LazyHistogram = LazyHistogram::new("session_commit_seconds");
+
+/// Wall-clock nanoseconds the most recent statement spent in each phase
+/// of the pipeline. Zero for phases the statement never entered (a plain
+/// `INSERT` has no bind/rewrite phase; only transactional or autocommit
+/// writes have a commit phase). Phases are additive across sub-queries:
+/// an `INSERT ... SELECT` accumulates its source query's phases too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Parsing the statement text.
+    pub parse_ns: u64,
+    /// Binding names and types against the catalog.
+    pub bind_ns: u64,
+    /// `SEQ VT` rewrite and physical-plan compilation.
+    pub rewrite_ns: u64,
+    /// Lazy index repair of the scanned tables.
+    pub index_ns: u64,
+    /// Plan execution (including any `.verify on` cross-check).
+    pub execute_ns: u64,
+    /// Commit work — validate, WAL append, publish — explicit or implicit.
+    pub commit_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of all recorded phases.
+    pub fn total_ns(&self) -> u64 {
+        self.parse_ns
+            + self.bind_ns
+            + self.rewrite_ns
+            + self.index_ns
+            + self.execute_ns
+            + self.commit_ns
+    }
+
+    /// One-line rendering of the non-zero phases, e.g.
+    /// `parse 0.012 ms · bind 0.034 ms · execute 1.400 ms`.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, ns) in [
+            ("parse", self.parse_ns),
+            ("bind", self.bind_ns),
+            ("rewrite", self.rewrite_ns),
+            ("index", self.index_ns),
+            ("execute", self.execute_ns),
+            ("commit", self.commit_ns),
+        ] {
+            if ns > 0 {
+                parts.push(format!("{name} {:.3} ms", ns as f64 / 1e6));
+            }
+        }
+        if parts.is_empty() {
+            return "(no phases recorded)".into();
+        }
+        parts.join(" · ")
+    }
+
+    /// Feeds the non-zero phases into the per-phase registry histograms.
+    fn publish_to_registry(&self) {
+        for (hist, ns) in [
+            (&PHASE_PARSE, self.parse_ns),
+            (&PHASE_BIND, self.bind_ns),
+            (&PHASE_REWRITE, self.rewrite_ns),
+            (&PHASE_INDEX, self.index_ns),
+            (&PHASE_EXECUTE, self.execute_ns),
+            (&PHASE_COMMIT, self.commit_ns),
+        ] {
+            if ns > 0 {
+                hist.observe(ns as f64 / 1e9);
+            }
+        }
+    }
+}
+
 /// What recovering a database directory found and did (see
 /// [`Session::open_durable`] / [`crate::SharedDatabase::open_durable`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,6 +331,8 @@ pub struct Session {
     next_owned_txn_id: u64,
     /// Conflict-retry bookkeeping for implicit transactions.
     retries: RetryStats,
+    /// Per-phase breakdown of the most recent statement.
+    phases: PhaseTimings,
 }
 
 impl Default for Session {
@@ -258,6 +355,7 @@ impl Session {
             txn: None,
             next_owned_txn_id: 0,
             retries: RetryStats::default(),
+            phases: PhaseTimings::default(),
         }
     }
 
@@ -270,6 +368,7 @@ impl Session {
             txn: None,
             next_owned_txn_id: 0,
             retries: RetryStats::default(),
+            phases: PhaseTimings::default(),
         }
     }
 
@@ -408,6 +507,14 @@ impl Session {
         self.retries
     }
 
+    /// Per-phase wall-clock breakdown of the most recent statement —
+    /// parse, bind, rewrite, index refresh, execute, commit — replacing
+    /// the single total the shell used to report. Reset by every
+    /// statement; phases a statement never entered stay zero.
+    pub fn last_phase_timings(&self) -> PhaseTimings {
+        self.phases
+    }
+
     /// Registers a batch of tables wholesale — the bulk-load entry point
     /// (`.load` in the shell), routed to the owned database or the shared
     /// install path. Refused inside a transaction (bulk loads have no
@@ -476,8 +583,20 @@ impl Session {
     /// inside a transaction are buffered and logged as one atomic commit
     /// unit (single fsync) at `COMMIT`.
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult, String> {
-        let stmt = parse_sql_statement(sql)?;
-        self.apply_inner(&stmt, Some(sql))
+        let started = Instant::now();
+        let stmt = {
+            let _span = obs::Span::enter("session.parse");
+            parse_sql_statement(sql)?
+        };
+        let parse_ns = started.elapsed().as_nanos() as u64;
+        let result = self.apply_inner(&stmt, Some(sql));
+        // `apply_inner` reset the phase breakdown; fold the parse time in
+        // afterwards so it survives the reset.
+        self.phases.parse_ns = parse_ns;
+        if result.is_ok() && self.options.collect_metrics {
+            self.phases.publish_to_registry();
+        }
+        result
     }
 
     /// Parses and executes a `;`-separated script, stopping at the first
@@ -488,12 +607,20 @@ impl Session {
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, String> {
         let pieces = split_script(sql);
         let mut stmts = Vec::with_capacity(pieces.len());
+        let mut parse_ns = Vec::with_capacity(pieces.len());
         for piece in &pieces {
+            let started = Instant::now();
+            let _span = obs::Span::enter("session.parse");
             stmts.push(parse_sql_statement(piece)?);
+            parse_ns.push(started.elapsed().as_nanos() as u64);
         }
         let mut out = Vec::with_capacity(stmts.len());
-        for (stmt, piece) in stmts.iter().zip(&pieces) {
+        for ((stmt, piece), parse_ns) in stmts.iter().zip(&pieces).zip(parse_ns) {
             out.push(self.apply_inner(stmt, Some(piece))?);
+            self.phases.parse_ns = parse_ns;
+            if self.options.collect_metrics {
+                self.phases.publish_to_registry();
+            }
         }
         Ok(out)
     }
@@ -511,20 +638,39 @@ impl Session {
     }
 
     /// Compiles a query statement to its physical plan without executing it
-    /// (the `.explain` entry point), against this session's read view.
-    pub fn compile(&self, sql: &str) -> Result<Plan, String> {
+    /// (the `.explain` entry point), against this session's read view. The
+    /// compilation cost is recorded phase by phase in
+    /// [`Session::last_phase_timings`] (parse/bind/rewrite; the other
+    /// phases stay zero — nothing executed).
+    pub fn compile(&mut self, sql: &str) -> Result<Plan, String> {
+        self.phases = PhaseTimings::default();
+        let started = Instant::now();
         let stmt = parse_sql_statement(sql)?;
+        self.phases.parse_ns = started.elapsed().as_nanos() as u64;
         let SqlStatement::Query(q) = stmt else {
             return Err("only query statements have plans to explain".into());
         };
-        if let Some(txn) = &self.txn {
-            return compile_query(&self.options, txn.catalog(), &q);
+        if self.txn.is_some() {
+            let Session {
+                txn,
+                options,
+                phases,
+                ..
+            } = self;
+            let txn = txn.as_ref().expect("checked");
+            return compile_query_timed(options, txn.catalog(), &q, phases);
         }
-        match &self.backend {
-            Backend::Owned(db) => compile_query(&self.options, db.catalog(), &q),
+        let Session {
+            backend,
+            options,
+            phases,
+            ..
+        } = self;
+        match backend {
+            Backend::Owned(db) => compile_query_timed(options, db.catalog(), &q, phases),
             Backend::Shared(shared) => {
                 let snap = shared.snapshot();
-                compile_query(&self.options, snap.catalog(), &q)
+                compile_query_timed(options, snap.catalog(), &q, phases)
             }
         }
     }
@@ -535,8 +681,12 @@ impl Session {
         stmt: &SqlStatement,
         text: Option<&str>,
     ) -> Result<StatementResult, String> {
+        self.phases = PhaseTimings::default();
         match stmt {
             SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
+            SqlStatement::Explain { analyze, statement } => Ok(StatementResult::Rows(
+                self.run_explain(*analyze, statement)?,
+            )),
             SqlStatement::Begin => self.begin_txn(),
             SqlStatement::Commit => self.commit_txn(),
             SqlStatement::Rollback => self.rollback_txn(),
@@ -572,10 +722,13 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| "no transaction is open".to_string())?;
+        let started = Instant::now();
+        let _span = obs::Span::enter("session.commit");
         let tables = match &mut self.backend {
             Backend::Owned(db) => commit_owned(db, txn)?,
             Backend::Shared(shared) => shared.commit(txn)?.published,
         };
+        self.phases.commit_ns += started.elapsed().as_nanos() as u64;
         Ok(StatementResult::Committed { tables })
     }
 
@@ -712,12 +865,14 @@ impl Session {
                     if snapshot_txn::is_conflict_error(&e) && attempts < CONFLICT_RETRY_LIMIT =>
                 {
                     attempts += 1;
+                    SESSION_RETRIES.inc();
                     conflict_backoff(attempts);
                 }
                 Err(e) => {
                     self.retries.record(attempts);
                     if snapshot_txn::is_conflict_error(&e) {
                         self.retries.gave_up += 1;
+                        SESSION_RETRY_GIVE_UPS.inc();
                     }
                     return Err(e);
                 }
@@ -836,6 +991,7 @@ impl Session {
                 ))
             }
             SqlStatement::Query(_)
+            | SqlStatement::Explain { .. }
             | SqlStatement::Begin
             | SqlStatement::Commit
             | SqlStatement::Rollback => {
@@ -874,41 +1030,106 @@ impl Session {
     /// pinned committed snapshot (shared autocommit reads).
     fn run_query(&mut self, stmt: &Statement) -> Result<Table, String> {
         if self.txn.is_some() {
-            let plan = {
-                let txn = self.txn.as_ref().expect("checked");
-                compile_query(&self.options, txn.catalog(), stmt)?
-            };
-            let tables = plan.referenced_tables();
-            let Session { txn, options, .. } = self;
+            let Session {
+                txn,
+                options,
+                phases,
+                ..
+            } = self;
             let txn = txn.as_mut().expect("checked");
+            let plan = compile_query_timed(options, txn.catalog(), stmt, phases)?;
             if options.use_indexes {
-                txn.refresh_indexes(&tables);
+                let started = Instant::now();
+                let _span = obs::Span::enter("session.index");
+                txn.refresh_indexes(&plan.referenced_tables());
+                phases.index_ns += started.elapsed().as_nanos() as u64;
             }
-            return execute_plan(options, &plan, txn.catalog(), txn.indexes());
+            return execute_plan(options, &plan, txn.catalog(), txn.indexes(), phases);
         }
         let Session {
-            backend, options, ..
+            backend,
+            options,
+            phases,
+            ..
         } = self;
         match backend {
             Backend::Owned(db) => {
-                let plan = compile_query(options, db.catalog(), stmt)?;
+                let plan = compile_query_timed(options, db.catalog(), stmt, phases)?;
                 if options.use_indexes {
+                    let started = Instant::now();
+                    let _span = obs::Span::enter("session.index");
                     db.refresh_indexes(&plan.referenced_tables());
+                    phases.index_ns += started.elapsed().as_nanos() as u64;
                 }
-                execute_plan(options, &plan, db.catalog(), db.indexes())
+                execute_plan(options, &plan, db.catalog(), db.indexes(), phases)
             }
             Backend::Shared(shared) => {
                 let mut snap = shared.snapshot();
-                let plan = compile_query(options, snap.catalog(), stmt)?;
+                let plan = compile_query_timed(options, snap.catalog(), stmt, phases)?;
                 if options.use_indexes {
                     // Repair the *pinned* registry: the repaired entries
                     // match the pinned tables exactly (version epochs),
                     // never a newer committed state.
+                    let started = Instant::now();
+                    let _span = obs::Span::enter("session.index");
                     snap.refresh_indexes(&plan.referenced_tables());
+                    phases.index_ns += started.elapsed().as_nanos() as u64;
                 }
-                execute_plan(options, &plan, snap.catalog(), snap.indexes())
+                execute_plan(options, &plan, snap.catalog(), snap.indexes(), phases)
             }
         }
+    }
+
+    /// `EXPLAIN [ANALYZE]`: compiles the query against this session's
+    /// read context and returns the plan as a one-column table of text
+    /// lines. With `ANALYZE` the plan is also executed (same route the
+    /// bare query would take, including index refresh) and every operator
+    /// line carries its actual row count, call count, and inclusive
+    /// wall-clock time; operators an accelerated route short-circuited
+    /// read `(never executed)`.
+    fn run_explain(&mut self, analyze: bool, stmt: &Statement) -> Result<Table, String> {
+        let text = if !analyze {
+            let view = self.read_view();
+            compile_query(&self.options, view.catalog(), stmt)?.explain()
+        } else if self.txn.is_some() {
+            let Session {
+                txn,
+                options,
+                phases,
+                ..
+            } = self;
+            let txn = txn.as_mut().expect("checked");
+            let plan = compile_query_timed(options, txn.catalog(), stmt, phases)?;
+            if options.use_indexes {
+                txn.refresh_indexes(&plan.referenced_tables());
+            }
+            analyze_plan(options, &plan, txn.catalog(), txn.indexes(), phases)?
+        } else {
+            let Session {
+                backend,
+                options,
+                phases,
+                ..
+            } = self;
+            match backend {
+                Backend::Owned(db) => {
+                    let plan = compile_query_timed(options, db.catalog(), stmt, phases)?;
+                    if options.use_indexes {
+                        db.refresh_indexes(&plan.referenced_tables());
+                    }
+                    analyze_plan(options, &plan, db.catalog(), db.indexes(), phases)?
+                }
+                Backend::Shared(shared) => {
+                    let mut snap = shared.snapshot();
+                    let plan = compile_query_timed(options, snap.catalog(), stmt, phases)?;
+                    if options.use_indexes {
+                        snap.refresh_indexes(&plan.referenced_tables());
+                    }
+                    analyze_plan(options, &plan, snap.catalog(), snap.indexes(), phases)?
+                }
+            }
+        };
+        Ok(plan_text_table(&text))
     }
 }
 
@@ -936,43 +1157,128 @@ fn compile_query(
     catalog: &Catalog,
     stmt: &Statement,
 ) -> Result<Plan, String> {
-    let bound = bind_statement(stmt, catalog)?;
+    compile_query_timed(options, catalog, stmt, &mut PhaseTimings::default())
+}
+
+/// [`compile_query`], splitting the bind and rewrite wall-clock into the
+/// caller's phase breakdown.
+fn compile_query_timed(
+    options: &SessionOptions,
+    catalog: &Catalog,
+    stmt: &Statement,
+    phases: &mut PhaseTimings,
+) -> Result<Plan, String> {
+    let started = Instant::now();
+    let bound = {
+        let _span = obs::Span::enter("session.bind");
+        bind_statement(stmt, catalog)?
+    };
+    phases.bind_ns += started.elapsed().as_nanos() as u64;
+    let started = Instant::now();
+    let _span = obs::Span::enter("session.rewrite");
     let compiler = SnapshotCompiler::with_options(infer_domain(catalog), options.rewrite);
-    compiler.compile_statement(&bound, catalog)
+    let plan = compiler.compile_statement(&bound, catalog)?;
+    phases.rewrite_ns += started.elapsed().as_nanos() as u64;
+    Ok(plan)
 }
 
 /// Executes a compiled plan: indexed route (with optional naive
 /// cross-check) or naive-only when indexes are off. The engine is derived
 /// from the session options, so a parallelism change applies to the very
-/// next statement.
+/// next statement. Per-operator counters are published to the metrics
+/// registry once per statement when [`SessionOptions::collect_metrics`]
+/// is on.
 fn execute_plan(
     options: &SessionOptions,
     plan: &Plan,
     catalog: &Catalog,
     indexes: &IndexCatalog,
+    phases: &mut PhaseTimings,
 ) -> Result<Table, String> {
     let engine = Engine::with_config(EngineConfig {
         parallelism: options.parallelism,
         ..EngineConfig::default()
     });
-    if !options.use_indexes {
-        return engine.execute(plan, catalog);
+    let started = Instant::now();
+    let _span = obs::Span::enter("session.execute");
+    let mut stats = ExecStats::default();
+    let result = if !options.use_indexes {
+        engine.execute_with_stats(plan, catalog, &mut stats)
+    } else {
+        engine
+            .execute_indexed_with_stats(plan, catalog, indexes, &mut stats)
+            .and_then(|indexed| {
+                if options.verify_indexed {
+                    // The cross-check runs sequentially on purpose:
+                    // divergence then implicates either index invalidation
+                    // or the parallel route, never both.
+                    let naive = Engine::new().execute(plan, catalog)?;
+                    if naive.canonicalized() != indexed.canonicalized() {
+                        return Err(format!(
+                            "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
+                            indexed.len(),
+                            naive.len()
+                        ));
+                    }
+                }
+                Ok(indexed)
+            })
+    };
+    phases.execute_ns += started.elapsed().as_nanos() as u64;
+    if options.collect_metrics {
+        stats.publish_to_registry();
     }
-    let indexed = engine.execute_indexed(plan, catalog, indexes)?;
-    if options.verify_indexed {
-        // The cross-check runs sequentially on purpose: divergence then
-        // implicates either index invalidation or the parallel route,
-        // never both.
-        let naive = Engine::new().execute(plan, catalog)?;
-        if naive.canonicalized() != indexed.canonicalized() {
-            return Err(format!(
-                "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
-                indexed.len(),
-                naive.len()
-            ));
-        }
+    result
+}
+
+/// [`execute_plan`] for `EXPLAIN ANALYZE`: executes with per-node actuals
+/// and renders the annotated plan (plus a result-cardinality footer)
+/// instead of returning the rows.
+fn analyze_plan(
+    options: &SessionOptions,
+    plan: &Plan,
+    catalog: &Catalog,
+    indexes: &IndexCatalog,
+    phases: &mut PhaseTimings,
+) -> Result<String, String> {
+    let engine = Engine::with_config(EngineConfig {
+        parallelism: options.parallelism,
+        ..EngineConfig::default()
+    });
+    let started = Instant::now();
+    let mut stats = ExecStats::default();
+    let mut nodes = NodeStats::default();
+    let result = {
+        let _span = obs::Span::enter("session.execute");
+        engine.execute_analyzed(
+            plan,
+            catalog,
+            options.use_indexes.then_some(indexes),
+            &mut stats,
+            &mut nodes,
+        )?
+    };
+    phases.execute_ns += started.elapsed().as_nanos() as u64;
+    if options.collect_metrics {
+        stats.publish_to_registry();
     }
-    Ok(indexed)
+    let mut text = engine::explain_analyzed(plan, &nodes);
+    text.push_str(&format!(
+        "(result: {} rows in {:.3} ms)\n",
+        result.len(),
+        phases.execute_ns as f64 / 1e6
+    ));
+    Ok(text)
+}
+
+/// Wraps rendered plan text as a one-column result table, one row per
+/// line — so `EXPLAIN` flows through [`StatementResult::Rows`] and every
+/// caller (shell, scripts, tests) renders it like any other result.
+fn plan_text_table(text: &str) -> Table {
+    let schema = Schema::new(vec![Column::new("query plan".to_string(), SqlType::Str)]);
+    let mut table = Table::new(schema);
+    table.extend(text.lines().map(|l| Row::new(vec![Value::str(l)])));
+    table
 }
 
 /// Builds a `CREATE TABLE` schema and resolves its period columns.

@@ -60,6 +60,15 @@ pub enum SqlStatement {
     /// `ROLLBACK [TRANSACTION | WORK]` — discards the open transaction's
     /// writes; the catalog is exactly as it was at `BEGIN`.
     Rollback,
+    /// `EXPLAIN [ANALYZE] <query>` — renders the compiled plan; with
+    /// `ANALYZE`, also executes it and annotates every operator with the
+    /// actual row count, call count, and inclusive wall-clock time.
+    Explain {
+        /// Whether `ANALYZE` was given (execute and annotate).
+        analyze: bool,
+        /// The explained query statement.
+        statement: Box<Statement>,
+    },
 }
 
 /// One column of a `CREATE TABLE` statement.

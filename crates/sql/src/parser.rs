@@ -224,6 +224,12 @@ impl Parser {
         if self.at_keyword("commit") {
             return self.parse_txn_statement("commit", SqlStatement::Commit);
         }
+        if self.at_keyword("explain") {
+            self.eat_keyword("explain");
+            let analyze = self.eat_keyword("analyze");
+            let statement = Box::new(self.parse_query_statement()?);
+            return Ok(SqlStatement::Explain { analyze, statement });
+        }
         if self.at_keyword("rollback") {
             return self.parse_txn_statement("rollback", SqlStatement::Rollback);
         }

@@ -4,9 +4,23 @@
 use crate::snapshot::CatalogSnapshot;
 use crate::transaction::Transaction;
 use index::IndexCatalog;
+use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 use storage::{Catalog, Table};
+
+/// Transaction-manager telemetry. The histograms split the commit path
+/// into its contended pieces — mutex wait, validation, publication — and
+/// time the snapshot handout (the `O(#tables)` Arc-bump under the state
+/// read lock that ROADMAP suspects in the flat multi-reader throughput).
+static SNAPSHOTS: LazyCounter = LazyCounter::new("txn_snapshots_total");
+static SNAPSHOT_SECONDS: LazyHistogram = LazyHistogram::new("txn_snapshot_seconds");
+static COMMITS: LazyCounter = LazyCounter::new("txn_commits_total");
+static CONFLICTS: LazyCounter = LazyCounter::new("txn_conflicts_total");
+static COMMIT_WAIT_SECONDS: LazyHistogram = LazyHistogram::new("txn_commit_wait_seconds");
+static VALIDATE_SECONDS: LazyHistogram = LazyHistogram::new("txn_validate_seconds");
+static PUBLISH_SECONDS: LazyHistogram = LazyHistogram::new("txn_publish_seconds");
 
 /// The committed state: what a new snapshot pins.
 #[derive(Debug)]
@@ -163,12 +177,18 @@ impl TxnManager {
 
     /// Pins a snapshot of the current committed state.
     pub fn snapshot(&self) -> CatalogSnapshot {
+        let _span = obs::Span::enter("txn.snapshot");
+        let started = Instant::now();
         let state = self.read_state();
-        CatalogSnapshot::new(
+        let snap = CatalogSnapshot::new(
             state.catalog.clone(),
             state.indexes.clone(),
             state.commit_seq,
-        )
+        );
+        drop(state);
+        SNAPSHOTS.inc();
+        SNAPSHOT_SECONDS.observe_duration(started.elapsed());
+        snap
     }
 
     /// Opens a transaction over a freshly pinned snapshot.
@@ -200,19 +220,31 @@ impl TxnManager {
                 published: 0,
             });
         }
+        let _span = obs::Span::enter("txn.commit");
+        let wait_started = Instant::now();
         let _commit = self.lock_commits();
+        COMMIT_WAIT_SECONDS.observe_duration(wait_started.elapsed());
         // Validate against the committed state *now*. The commit lock
         // keeps it stable through publication; concurrent `begin`s only
         // read.
         {
+            let _span = obs::Span::enter("txn.validate");
+            let validate_started = Instant::now();
             let state = self.read_state();
-            validate_first_committer_wins(&txn, &state.catalog)?;
+            let verdict = validate_first_committer_wins(&txn, &state.catalog);
+            VALIDATE_SECONDS.observe_duration(validate_started.elapsed());
+            if let Err(e) = verdict {
+                CONFLICTS.inc();
+                return Err(e);
+            }
         }
         let (_, working, write_set, statements) = txn.into_parts();
         durability(&statements)?;
         // Publish: swap the written tables' Arc handles into the committed
         // catalog and repair their committed indexes, so later snapshots
         // pin fresh entries.
+        let _pspan = obs::Span::enter("txn.publish");
+        let publish_started = Instant::now();
         let mut guard = self.write_state();
         let state = &mut *guard;
         publish_write_set(
@@ -222,6 +254,8 @@ impl TxnManager {
             &mut state.indexes,
         );
         state.commit_seq += 1;
+        PUBLISH_SECONDS.observe_duration(publish_started.elapsed());
+        COMMITS.inc();
         Ok(CommitOutcome {
             commit_seq: state.commit_seq,
             published: write_set.len(),

@@ -18,9 +18,20 @@
 
 use crate::codec::{Reader, Writer};
 use crate::crc::crc32;
+use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// WAL telemetry: append latency (write + any immediate sync), frame and
+/// byte volume, and the fsync count/latency (both the per-append syncs of
+/// [`SyncPolicy::Always`] and explicit [`Wal::sync`] calls).
+static APPEND_SECONDS: LazyHistogram = LazyHistogram::new("wal_append_seconds");
+static APPENDED_FRAMES: LazyCounter = LazyCounter::new("wal_appended_frames_total");
+static APPENDED_BYTES: LazyCounter = LazyCounter::new("wal_appended_bytes_total");
+static FSYNC_SECONDS: LazyHistogram = LazyHistogram::new("wal_fsync_seconds");
+static FSYNCS: LazyCounter = LazyCounter::new("wal_fsyncs_total");
 
 /// The WAL file's magic header.
 pub const WAL_MAGIC: &[u8; 8] = b"SNAPWAL\x01";
@@ -183,6 +194,8 @@ impl Wal {
     /// means an unknown number of the batch's frames may remain, and the
     /// caller must not reuse *any* of the batch's LSNs.
     pub fn append_batch(&mut self, first_lsn: u64, sqls: &[&str]) -> Result<(), AppendFailure> {
+        let _span = obs::Span::enter("wal.append");
+        let append_started = Instant::now();
         let mut batch = Writer::new();
         for (i, sql) in sqls.iter().enumerate() {
             let mut payload = Writer::new();
@@ -215,22 +228,36 @@ impl Wal {
                 });
             }
         };
+        let batch = batch.into_bytes();
+        let batch_len = batch.len() as u64;
         let result = self
             .file
-            .write_all(&batch.into_bytes())
+            .write_all(&batch)
             .map_err(|e| format!("cannot append to WAL: {e}"));
         let result = result.and_then(|()| match self.sync {
-            SyncPolicy::Always => self
-                .file
-                .sync_all()
-                .map_err(|e| format!("cannot sync WAL: {e}")),
+            SyncPolicy::Always => {
+                let _span = obs::Span::enter("wal.fsync");
+                let sync_started = Instant::now();
+                let r = self
+                    .file
+                    .sync_all()
+                    .map_err(|e| format!("cannot sync WAL: {e}"));
+                FSYNCS.inc();
+                FSYNC_SECONDS.observe_duration(sync_started.elapsed());
+                r
+            }
             SyncPolicy::OnCheckpoint => {
                 self.dirty = true;
                 Ok(())
             }
         });
         match result {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                APPENDED_FRAMES.add(sqls.len() as u64);
+                APPENDED_BYTES.add(batch_len);
+                APPEND_SECONDS.observe_duration(append_started.elapsed());
+                Ok(())
+            }
             Err(error) => {
                 let rolled_back = self
                     .file
@@ -264,9 +291,13 @@ impl Wal {
     /// Forces buffered appends to stable storage.
     pub fn sync(&mut self) -> Result<(), String> {
         if self.dirty {
+            let _span = obs::Span::enter("wal.fsync");
+            let started = Instant::now();
             self.file
                 .sync_all()
                 .map_err(|e| format!("cannot sync WAL: {e}"))?;
+            FSYNCS.inc();
+            FSYNC_SECONDS.observe_duration(started.elapsed());
             self.dirty = false;
         }
         Ok(())

@@ -17,8 +17,18 @@
 
 use crate::checkpoint::{self, CheckpointReuse, TableEncodeCache};
 use crate::log::{SyncPolicy, Wal, WalRecord};
+use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 use storage::Catalog;
+
+/// Checkpoint telemetry: end-to-end latency (sync + encode + reset +
+/// prune) and the incremental-encoding split (cache-spliced vs freshly
+/// serialized tables).
+static CHECKPOINTS: LazyCounter = LazyCounter::new("wal_checkpoints_total");
+static CHECKPOINT_SECONDS: LazyHistogram = LazyHistogram::new("wal_checkpoint_seconds");
+static CHECKPOINT_REUSED: LazyCounter = LazyCounter::new("wal_checkpoint_reused_tables_total");
+static CHECKPOINT_ENCODED: LazyCounter = LazyCounter::new("wal_checkpoint_encoded_tables_total");
 
 /// WAL marker framing the statements of a multi-statement transaction's
 /// commit unit (also the literal SQL the session replays on recovery).
@@ -367,6 +377,8 @@ impl Persistence {
     /// resets the WAL, and prunes old checkpoint files. Returns the new
     /// checkpoint's sequence number.
     pub fn checkpoint(&mut self, catalog: &Catalog) -> Result<u64, String> {
+        let _span = obs::Span::enter("wal.checkpoint");
+        let started = Instant::now();
         // Everything below next_lsn is either in the WAL (synced below,
         // before the snapshot becomes the recovery source) or already
         // applied to `catalog`; the snapshot covers it all.
@@ -399,6 +411,10 @@ impl Persistence {
         self.wal.reset()?;
         self.poisoned = None;
         checkpoint::prune(&self.dir, 2);
+        CHECKPOINTS.inc();
+        CHECKPOINT_REUSED.add(reuse.reused as u64);
+        CHECKPOINT_ENCODED.add(reuse.encoded as u64);
+        CHECKPOINT_SECONDS.observe_duration(started.elapsed());
         Ok(seq)
     }
 

@@ -30,6 +30,9 @@ SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works);
 
 .explain SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')
 
+-- Same plan with actual per-operator row counts, calls, and timings.
+EXPLAIN ANALYZE SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
+
 -- Point-in-time (timeslice pushdown) and range-restricted windows.
 SEQ VT AS OF 9 (SELECT count(*) AS cnt FROM works WHERE skill = 'SP');
 SEQ VT BETWEEN 5 AND 12 (SELECT skill, count(*) AS c FROM works GROUP BY skill);
