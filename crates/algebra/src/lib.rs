@@ -23,6 +23,7 @@
 mod expr;
 mod plan;
 mod snapshot_plan;
+pub mod vtab;
 
 pub use expr::{AggExpr, AggFunc, BinOp, Expr};
 pub use plan::{JoinAlgo, Plan, PlanNode, TimesliceAlgo};

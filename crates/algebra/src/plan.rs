@@ -58,6 +58,14 @@ pub enum PlanNode {
         /// Table name in the catalog.
         table: String,
     },
+    /// Scan of an introspection virtual table (see [`crate::vtab`]): the
+    /// rows are materialized by the engine from observability state at
+    /// execution time, not read from the catalog. Not a temporal
+    /// relation — never valid under snapshot (`SEQ VT`) semantics.
+    VirtualScan {
+        /// Virtual table name (one of [`crate::vtab::VIRTUAL_TABLES`]).
+        table: String,
+    },
     /// Inline constant relation.
     Values {
         /// The rows.
@@ -208,6 +216,17 @@ impl Plan {
     pub fn scan(table: impl Into<String>, schema: Schema) -> Plan {
         Plan {
             node: PlanNode::Scan {
+                table: table.into(),
+            },
+            schema,
+        }
+    }
+
+    /// Scan of an introspection virtual table; `schema` comes from
+    /// [`crate::vtab::virtual_table_schema`].
+    pub fn virtual_scan(table: impl Into<String>, schema: Schema) -> Plan {
+        Plan {
+            node: PlanNode::VirtualScan {
                 table: table.into(),
             },
             schema,
@@ -490,7 +509,9 @@ impl Plan {
     fn collect_tables(&self, out: &mut Vec<String>) {
         match &self.node {
             PlanNode::Scan { table } => out.push(table.clone()),
-            PlanNode::Values { .. } => {}
+            // Virtual tables are not catalog tables: nothing to refresh,
+            // nothing for a transaction to record as read.
+            PlanNode::VirtualScan { .. } | PlanNode::Values { .. } => {}
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Aggregate { input, .. }
@@ -534,6 +555,9 @@ impl Plan {
     pub fn node_label(&self) -> String {
         match &self.node {
             PlanNode::Scan { table } => format!("Scan {table} {}", self.schema),
+            PlanNode::VirtualScan { table } => {
+                format!("VirtualScan {table} {}", self.schema)
+            }
             PlanNode::Values { rows } => format!("Values ({} rows)", rows.len()),
             PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
             PlanNode::Project { exprs, .. } => {
@@ -612,7 +636,9 @@ impl Plan {
     /// leaves `Scan` and `Values`).
     pub fn children(&self) -> Vec<&Plan> {
         match &self.node {
-            PlanNode::Scan { .. } | PlanNode::Values { .. } => Vec::new(),
+            PlanNode::Scan { .. } | PlanNode::VirtualScan { .. } | PlanNode::Values { .. } => {
+                Vec::new()
+            }
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Aggregate { input, .. }

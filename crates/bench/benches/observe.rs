@@ -17,11 +17,18 @@
 //!   compared against the `sequential_s` recorded in
 //!   `BENCH_parallel_join.json` (the un-instrumented figure CI produced
 //!   moments earlier); if instrumentation costs more than
-//!   `OBSERVE_OVERHEAD_MAX_PCT` (default 3%), the bench fails.
+//!   `OBSERVE_OVERHEAD_MAX_PCT` (default 3%), the bench fails. The
+//!   spans-on run gets its own, laxer gate: tracing-on may cost at most
+//!   `OBSERVE_SPAN_OVERHEAD_MAX_PCT` (default 8%) over tracing-off.
+//! * **Decomposition** — the same workload run once under the operator
+//!   profiler: the execute-dominant verdict from the attribution is
+//!   broken down into per-operator self-time shares (folded stack
+//!   paths), emitted as `operator_decomposition` in the JSON.
 //!
 //! The run also asserts that the registry's text exposition passes
 //! [`bench_harness::expofmt::check_exposition`] — the same dump the
-//! shell's `.metrics` prints.
+//! shell's `.metrics` prints — including the `snapshot_build_info`
+//! info gauge and the process uptime metric.
 
 use algebra::{Expr, JoinAlgo, Plan};
 use bench_harness::{expofmt, meta::BenchMeta};
@@ -220,6 +227,45 @@ fn overhead_limit_pct() -> f64 {
         .unwrap_or(3.0)
 }
 
+/// The spans-on gate is laxer than the metrics-off one: recording a span
+/// per operator invocation is allowed to cost more than the passive
+/// registry, but not much more.
+fn span_limit_pct() -> f64 {
+    std::env::var("OBSERVE_SPAN_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8.0)
+}
+
+/// One profiled run of the overhead workload: folded operator stacks with
+/// per-path self-time shares, largest first.
+fn operator_decomposition(catalog: &Catalog, indexes: &IndexCatalog, plan: &Plan) -> Vec<String> {
+    obs::reset_profile();
+    obs::set_profiling(true);
+    for _ in 0..3 {
+        Engine::new()
+            .execute_indexed(plan, catalog, indexes)
+            .unwrap();
+    }
+    obs::set_profiling(false);
+    let stats = obs::profile_stats();
+    let total_ns: u64 = stats.iter().map(|s| s.self_ns).sum::<u64>().max(1);
+    let out = stats
+        .iter()
+        .take(8)
+        .map(|s| {
+            format!(
+                "    {{\"path\": \"{}\", \"self_s\": {:.6e}, \"share\": {:.3}}}",
+                s.path,
+                s.self_ns as f64 / 1e9,
+                s.self_ns as f64 / total_ns as f64
+            )
+        })
+        .collect();
+    obs::reset_profile();
+    out
+}
+
 fn bench_observe(c: &mut Criterion) {
     // Part 1 — overhead of the always-on instrumentation, measured on the
     // engine's hottest path with tracing off (the production default) and
@@ -250,17 +296,24 @@ fn bench_observe(c: &mut Criterion) {
     obs::reset_thread_trace();
     group.finish();
 
-    // Part 2 — attribution of the multi-reader workload.
+    // Part 2 — per-operator decomposition of the same workload under the
+    // profiler.
+    let operators = operator_decomposition(&catalog, &indexes, &plan);
+
+    // Part 3 — attribution of the multi-reader workload.
     let (entries, bottleneck) = attribution();
 
-    // Part 3 — the exposition dump must parse (the shell's `.metrics`
-    // prints exactly this text).
+    // Part 4 — the exposition dump must parse (the shell's `.metrics`
+    // prints exactly this text), including the process-level samples.
+    obs::refresh_process_metrics();
     let exposition = obs::registry().render_text();
     expofmt::check_exposition(&exposition).expect("metrics exposition must parse");
     for required in [
         "txn_snapshot_seconds",
         "session_execute_seconds",
         "engine_scan_invocations_total",
+        "snapshot_build_info",
+        "snapshot_uptime_seconds",
     ] {
         assert!(
             exposition.contains(required),
@@ -268,10 +321,10 @@ fn bench_observe(c: &mut Criterion) {
         );
     }
 
-    emit_json(c, &entries, &bottleneck);
+    emit_json(c, &entries, &bottleneck, &operators);
 }
 
-fn emit_json(c: &Criterion, entries: &[String], bottleneck: &str) {
+fn emit_json(c: &Criterion, entries: &[String], bottleneck: &str, operators: &[String]) {
     let median_of =
         |id: &str| -> Option<f64> { c.summaries().iter().find(|s| s.id == id).map(|s| s.median) };
     let (Some(off), Some(on)) = (
@@ -292,14 +345,18 @@ fn emit_json(c: &Criterion, entries: &[String], bottleneck: &str) {
         .param_str("query", QUERY);
     let json = format!(
         "{{\n{},\n  \"read_attribution\": [\n{}\n  ],\n  \
-         \"bottleneck\": \"{bottleneck}\",\n  \"overhead\": {{\n    \
+         \"bottleneck\": \"{bottleneck}\",\n  \
+         \"operator_decomposition\": [\n{}\n  ],\n  \"overhead\": {{\n    \
          \"tracing_off_s\": {off:.6e},\n    \"tracing_on_s\": {on:.6e},\n    \
          \"span_overhead_pct\": {span_pct:.2},\n    \
+         \"span_limit_pct\": {:.1},\n    \
          \"baseline_sequential_s\": {},\n    \
          \"metrics_off_overhead_pct\": {},\n    \
          \"limit_pct\": {:.1}\n  }}\n}}\n",
         meta.render(),
         entries.join(",\n"),
+        operators.join(",\n"),
+        span_limit_pct(),
         baseline.map_or("null".into(), |b| format!("{b:.6e}")),
         overhead_pct.map_or("null".into(), |p| format!("{p:.2}")),
         overhead_limit_pct(),
@@ -326,6 +383,17 @@ fn emit_json(c: &Criterion, entries: &[String], bottleneck: &str) {
              bench first for the cross-run overhead comparison"
         ),
     }
+    if span_pct > span_limit_pct() {
+        panic!(
+            "span overhead {span_pct:.2}% exceeds the {:.1}% budget \
+             (tracing-on {on:.6e}s vs tracing-off {off:.6e}s)",
+            span_limit_pct()
+        );
+    }
+    println!(
+        "span overhead tracing-on vs tracing-off: {span_pct:.2}% (budget {:.1}%)",
+        span_limit_pct()
+    );
 }
 
 criterion_group!(benches, bench_observe);

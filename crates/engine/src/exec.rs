@@ -273,10 +273,11 @@ impl Engine {
         stats: &mut ExecStats,
         mut nodes: Option<&mut NodeStats>,
     ) -> Result<Vec<Row>, String> {
-        // Per-node clock reads only in analyze mode; the span guard is a
-        // single relaxed atomic load when tracing is off.
+        // Per-node clock reads only in analyze mode; the span and profile
+        // guards are each a single relaxed atomic load when disabled.
         let started = nodes.as_ref().map(|_| Instant::now());
         let mut span = obs::Span::enter(op_name(&plan.node));
+        let _frame = obs::ProfileSpan::enter(op_name(&plan.node));
         let rows = match &plan.node {
             PlanNode::Scan { table } => {
                 let t = catalog.require(table)?;
@@ -288,6 +289,9 @@ impl Engine {
                     ));
                 }
                 t.rows().to_vec()
+            }
+            PlanNode::VirtualScan { table } => {
+                crate::vtab::virtual_table_rows(table, catalog, indexes)?
             }
             PlanNode::Values { rows } => rows.clone(),
             PlanNode::Filter { input, predicate } => {
@@ -690,6 +694,7 @@ fn sorted_by_begin(rows: &[Row], ts: usize) -> Vec<&Row> {
 fn op_name(node: &PlanNode) -> &'static str {
     match node {
         PlanNode::Scan { .. } => "Scan",
+        PlanNode::VirtualScan { .. } => "VirtualScan",
         PlanNode::Values { .. } => "Values",
         PlanNode::Filter { .. } => "Filter",
         PlanNode::Project { .. } => "Project",

@@ -29,6 +29,7 @@ mod exec;
 pub mod sliding;
 pub mod split;
 pub mod temporal;
+pub mod vtab;
 
 pub use eval::{eval_expr, eval_predicate, like_match};
 pub use exec::{

@@ -276,6 +276,13 @@ impl IndexCatalog {
         self.maintenance
     }
 
+    /// Look up the registered index for `name` regardless of freshness
+    /// (introspection: the `snapshot_stat_indexes` virtual table reports
+    /// stale entries as such instead of hiding them).
+    pub fn get(&self, name: &str) -> Option<&TableIndex> {
+        self.indexes.get(name).map(|arc| arc.as_ref())
+    }
+
     /// Number of registered indexes.
     pub fn len(&self) -> usize {
         self.indexes.len()

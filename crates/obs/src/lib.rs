@@ -1,4 +1,4 @@
-//! Observability subsystem: metrics and tracing for the whole pipeline.
+//! Observability subsystem: metrics, tracing, and introspection state.
 //!
 //! The runtime now spans seven layers (parse → bind → rewrite → indexed
 //! execute → txn → WAL → checkpoint) and this crate is their single
@@ -8,14 +8,15 @@
 //! dependency graph so that every layer (index, engine, txn, wal, session)
 //! can report into it.
 //!
-//! Two facilities:
+//! Five facilities:
 //!
 //! * [`metrics`] — a global, thread-safe [`MetricsRegistry`] of atomic
 //!   [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s
 //!   (p50/p95/p99 extraction), rendered in Prometheus text exposition
-//!   format by [`MetricsRegistry::render_text`]. Recording is always-on
-//!   and lock-free — a handful of relaxed atomic operations — so there is
-//!   no "metrics off" switch to get wrong; hot paths pin their handles in
+//!   format by [`MetricsRegistry::render_text`] and readable in bulk via
+//!   [`MetricsRegistry::snapshot`]. Recording is always-on and lock-free —
+//!   a handful of relaxed atomic operations — so there is no "metrics off"
+//!   switch to get wrong; hot paths pin their handles in
 //!   [`LazyCounter`]/[`LazyHistogram`] statics so the registry lock is
 //!   touched once per process, not per event.
 //! * [`trace`] — lightweight tracing spans: [`Span::enter`] returns an
@@ -24,15 +25,69 @@
 //!   buffer into a per-query span tree. When tracing is disabled (the
 //!   default) `Span::enter` is a single relaxed atomic load returning an
 //!   inert guard — no clock read, no allocation.
+//! * [`stmtstats`] — pg_stat_statements-style statement statistics:
+//!   normalized query [`fingerprint`]s with per-fingerprint calls, rows,
+//!   and total/mean/p95 latency in a bounded LRU.
+//! * [`slowlog`] — a bounded ring of statements that crossed the session's
+//!   slow-query threshold, with phase splits and operator actuals.
+//! * [`profile`] — the operator-level executor profiler:
+//!   [`ProfileSpan::enter`] maintains a per-thread operator stack and
+//!   attributes self wall time to folded stack paths
+//!   ([`render_folded`] emits flamegraph-compatible output).
+//!
+//! # Testing against process-global state
+//!
+//! The registry, statement stats, slow log, and profiler are process
+//! globals, and `cargo test` runs tests in parallel threads — a test that
+//! asserts an *absolute* counter value races with its neighbours. The
+//! convention, used throughout this workspace:
+//!
+//! * Prefer **delta assertions** on metric values (`get()` before, assert
+//!   `>` after) over absolute equality, and tolerate concurrent bumps.
+//! * When a test needs exclusive access to global observability state
+//!   (absolute equality, `reset()`, toggling tracing/profiling), take
+//!   [`testing::serial_guard()`] for its whole body so such tests
+//!   serialize against each other.
+//! * For statement stats, use table/column names unique to the test so
+//!   its fingerprints cannot collide with other tests' statements.
 
 pub mod metrics;
+pub mod profile;
+pub mod slowlog;
+pub mod stmtstats;
 pub mod trace;
 
 pub use metrics::{
-    default_latency_bounds, registry, Counter, Gauge, Histogram, LazyCounter, LazyHistogram,
-    MetricsRegistry,
+    default_latency_bounds, process_start, refresh_process_metrics, registry, Counter, Gauge,
+    Histogram, LazyCounter, LazyHistogram, MetricSample, MetricsRegistry,
+};
+pub use profile::{
+    profile_stats, profiling_enabled, render_folded, reset_profile, set_profiling, PathStat,
+    ProfileSpan,
+};
+pub use slowlog::{record_slow_query, reset_slow_log, slow_queries, SlowQuery, SLOW_LOG_CAPACITY};
+pub use stmtstats::{
+    fingerprint, record_statement, reset_statement_stats, statement_stats, StatementStat,
+    FINGERPRINT_CAPACITY,
 };
 pub use trace::{
     reset_thread_trace, set_tracing, take_thread_trace, tracing_enabled, Span, SpanNode,
     SpanRecord, SpanTree,
 };
+
+/// Test-support utilities; see the crate docs' *Testing against
+/// process-global state* section.
+pub mod testing {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// A process-global lock serializing tests that need exclusive access
+    /// to global observability state (absolute-value assertions, registry
+    /// resets, tracing/profiling toggles). A panic while holding the
+    /// guard poisons nothing observable — the lock is recovered.
+    pub fn serial_guard() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

@@ -234,6 +234,33 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// A constant `1`-valued sample whose information lives in its labels
+    /// (the Prometheus `build_info` idiom). Set once, never reset.
+    Info(Arc<Vec<(String, String)>>),
+}
+
+/// A point-in-time reading of one registered metric, as produced by
+/// [`MetricsRegistry::snapshot`] for introspection surfaces (the
+/// `snapshot_stat_metrics` virtual table, primarily). Fields that do not
+/// apply to the metric's kind are `None`.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, `"histogram"`, or `"info"`.
+    pub kind: &'static str,
+    /// Counter/gauge current value (`1` for info metrics).
+    pub value: Option<f64>,
+    /// Histogram observation count.
+    pub count: Option<u64>,
+    /// Histogram observation sum.
+    pub sum: Option<f64>,
+    /// Histogram p50 estimate (when non-empty).
+    pub p50: Option<f64>,
+    /// Histogram p95 estimate (when non-empty).
+    pub p95: Option<f64>,
+    /// Histogram p99 estimate (when non-empty).
+    pub p99: Option<f64>,
 }
 
 /// A named collection of metrics with Prometheus text exposition.
@@ -304,6 +331,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Register the info metric `name` carrying `labels` (first writer
+    /// wins; re-registering is a no-op, so callers can refresh freely).
+    pub fn info(&self, name: &str, labels: &[(&str, &str)]) {
+        let mut map = self.metrics.write().unwrap();
+        map.entry(name.to_string()).or_insert_with(|| {
+            Metric::Info(Arc::new(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            ))
+        });
+    }
+
     /// Look up an existing counter without creating it.
     pub fn get_counter(&self, name: &str) -> Option<Arc<Counter>> {
         match self.metrics.read().unwrap().get(name) {
@@ -336,8 +377,62 @@ impl MetricsRegistry {
                 Metric::Counter(c) => c.reset(),
                 Metric::Gauge(g) => g.reset(),
                 Metric::Histogram(h) => h.reset(),
+                Metric::Info(_) => {} // constant by design
             }
         }
+    }
+
+    /// Read every registered metric into a flat, name-sorted sample list.
+    /// Histograms report count/sum and p50/p95/p99 estimates instead of
+    /// raw buckets — the shape the `snapshot_stat_metrics` virtual table
+    /// exposes.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let empty = MetricSample {
+            name: String::new(),
+            kind: "",
+            value: None,
+            count: None,
+            sum: None,
+            p50: None,
+            p95: None,
+            p99: None,
+        };
+        self.metrics
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, metric)| {
+                let mut s = MetricSample {
+                    name: name.clone(),
+                    ..empty.clone()
+                };
+                match metric {
+                    Metric::Counter(c) => {
+                        s.kind = "counter";
+                        s.value = Some(c.get() as f64);
+                    }
+                    Metric::Gauge(g) => {
+                        s.kind = "gauge";
+                        s.value = Some(g.get() as f64);
+                    }
+                    Metric::Histogram(h) => {
+                        s.kind = "histogram";
+                        s.count = Some(h.count());
+                        s.sum = Some(h.sum());
+                        if let Some((p50, p95, p99)) = h.percentiles() {
+                            s.p50 = Some(p50);
+                            s.p95 = Some(p95);
+                            s.p99 = Some(p99);
+                        }
+                    }
+                    Metric::Info(_) => {
+                        s.kind = "info";
+                        s.value = Some(1.0);
+                    }
+                }
+                s
+            })
+            .collect()
     }
 
     /// Render every metric in Prometheus text exposition format: a
@@ -372,6 +467,12 @@ impl MetricsRegistry {
                     let _ = writeln!(out, "{name}_sum {}", h.sum());
                     let _ = writeln!(out, "{name}_count {}", h.count());
                 }
+                Metric::Info(labels) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let rendered: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    let _ = writeln!(out, "{name}{{{}}} 1", rendered.join(","));
+                }
             }
         }
         out
@@ -381,7 +482,42 @@ impl MetricsRegistry {
 /// The process-global registry every instrumented layer reports into.
 pub fn registry() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-    GLOBAL.get_or_init(MetricsRegistry::new)
+    GLOBAL.get_or_init(|| {
+        let _ = process_start(); // pin the uptime epoch at first telemetry
+        MetricsRegistry::new()
+    })
+}
+
+/// The process's observability epoch: the instant the registry (or this
+/// function) was first touched. The base of `snapshot_uptime_seconds`.
+pub fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Refresh the process-level metrics in the global registry: the
+/// `snapshot_build_info` info gauge (crate version + build profile in its
+/// labels) and the `snapshot_uptime_seconds` gauge. Render points (the
+/// shell's `.metrics`, the observe bench, the stat virtual tables) call
+/// this just before reading so the exposition is current.
+pub fn refresh_process_metrics() {
+    let reg = registry();
+    reg.info(
+        "snapshot_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            (
+                "profile",
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                },
+            ),
+        ],
+    );
+    reg.gauge("snapshot_uptime_seconds")
+        .set(process_start().elapsed().as_secs() as i64);
 }
 
 /// A counter handle pinned in a `static`: resolves its registry entry on
@@ -560,6 +696,58 @@ mod tests {
         reg.reset();
         assert_eq!(reg.get_counter("x_total").unwrap().get(), 0);
         assert_eq!(reg.get_histogram("y_seconds").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn info_metric_renders_labels_and_survives_reset() {
+        let reg = MetricsRegistry::new();
+        reg.info(
+            "demo_build_info",
+            &[("version", "1.2.3"), ("profile", "release")],
+        );
+        reg.info("demo_build_info", &[("version", "9.9.9")]); // no-op
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE demo_build_info gauge"));
+        assert!(text.contains("demo_build_info{version=\"1.2.3\",profile=\"release\"} 1"));
+        reg.reset();
+        assert!(reg.render_text().contains("version=\"1.2.3\""));
+    }
+
+    #[test]
+    fn snapshot_reads_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(3);
+        reg.gauge("b").set(-2);
+        reg.histogram_with("lat_seconds", &[0.001, 0.01])
+            .observe(0.0005);
+        reg.info("c_info", &[("k", "v")]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 4);
+        let find = |n: &str| snap.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("a_total").kind, "counter");
+        assert_eq!(find("a_total").value, Some(3.0));
+        assert_eq!(find("b").value, Some(-2.0));
+        let h = find("lat_seconds");
+        assert_eq!(h.kind, "histogram");
+        assert_eq!(h.count, Some(1));
+        assert!(h.p95.is_some());
+        assert!(h.value.is_none());
+        assert_eq!(find("c_info").value, Some(1.0));
+    }
+
+    #[test]
+    fn process_metrics_refresh_into_the_global_registry() {
+        refresh_process_metrics();
+        let text = registry().render_text();
+        assert!(text.contains("snapshot_build_info{version=\""));
+        assert!(text.contains("# TYPE snapshot_uptime_seconds gauge"));
+        assert!(
+            registry()
+                .get_gauge("snapshot_uptime_seconds")
+                .unwrap()
+                .get()
+                >= 0
+        );
     }
 
     #[test]

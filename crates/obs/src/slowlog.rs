@@ -1,0 +1,122 @@
+//! The slow-query log: a bounded, process-global ring of offenders.
+//!
+//! The session layer, when a statement's wall time crosses the session's
+//! configured threshold (`SessionOptions::slow_query_ms`, the shell's
+//! `.slow` command, or the `--slow-ms` flag), records a [`SlowQuery`] with
+//! the statement text, the per-phase time split, and — when available —
+//! the `EXPLAIN ANALYZE`-style operator actuals of the executed plan. The
+//! ring keeps the most recent [`SLOW_LOG_CAPACITY`] entries; the
+//! `snapshot_stat_slow_queries` virtual table and the tests read it back
+//! via [`slow_queries`]. Like all obs state it is in-memory only.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Maximum number of retained slow queries (oldest evicted beyond).
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// One logged slow statement.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Monotone sequence number (process-global arrival order).
+    pub seq: u64,
+    /// The statement text as executed.
+    pub statement: String,
+    /// Total wall time, milliseconds.
+    pub total_ms: f64,
+    /// Parse phase, milliseconds.
+    pub parse_ms: f64,
+    /// Bind phase, milliseconds.
+    pub bind_ms: f64,
+    /// Rewrite phase, milliseconds.
+    pub rewrite_ms: f64,
+    /// Index-maintenance phase, milliseconds.
+    pub index_ms: f64,
+    /// Execute phase, milliseconds.
+    pub execute_ms: f64,
+    /// Commit phase, milliseconds.
+    pub commit_ms: f64,
+    /// Result cardinality for queries, `None` for DML/DDL.
+    pub rows: Option<u64>,
+    /// Rendered operator actuals (`EXPLAIN ANALYZE` style), when the
+    /// statement ran a plan.
+    pub plan: Option<String>,
+}
+
+#[derive(Default)]
+struct Log {
+    ring: VecDeque<SlowQuery>,
+    next_seq: u64,
+}
+
+fn log() -> MutexGuard<'static, Log> {
+    static GLOBAL: OnceLock<Mutex<Log>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Append one slow query to the ring (the `seq` field is assigned here;
+/// the caller's value is ignored).
+pub fn record_slow_query(mut q: SlowQuery) {
+    let mut l = log();
+    q.seq = l.next_seq;
+    l.next_seq += 1;
+    if l.ring.len() == SLOW_LOG_CAPACITY {
+        l.ring.pop_front();
+    }
+    l.ring.push_back(q);
+}
+
+/// Snapshot the retained slow queries, oldest first.
+pub fn slow_queries() -> Vec<SlowQuery> {
+    log().ring.iter().cloned().collect()
+}
+
+/// Clear the ring (benches and tests; the sequence keeps counting).
+pub fn reset_slow_log() {
+    log().ring.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(text: &str, total_ms: f64) -> SlowQuery {
+        SlowQuery {
+            seq: 0,
+            statement: text.to_string(),
+            total_ms,
+            parse_ms: 0.01,
+            bind_ms: 0.02,
+            rewrite_ms: 0.03,
+            index_ms: 0.0,
+            execute_ms: total_ms - 0.06,
+            commit_ms: 0.0,
+            rows: Some(7),
+            plan: Some("Scan t (actual rows=7)".to_string()),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        reset_slow_log();
+        for i in 0..(SLOW_LOG_CAPACITY + 5) {
+            record_slow_query(entry(&format!("q{i}"), 10.0 + i as f64));
+        }
+        let got = slow_queries();
+        assert_eq!(got.len(), SLOW_LOG_CAPACITY);
+        // Oldest entries were evicted; order is arrival order.
+        assert_eq!(got.first().unwrap().statement, "q5");
+        assert_eq!(
+            got.last().unwrap().statement,
+            format!("q{}", SLOW_LOG_CAPACITY + 4)
+        );
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(got[0].rows, Some(7));
+        assert!(got[0].plan.as_deref().unwrap().contains("actual rows=7"));
+        reset_slow_log();
+        assert!(slow_queries().is_empty());
+    }
+}

@@ -14,7 +14,7 @@
 //! rings and are not part of the statement's tree — the sequential spine is
 //! what the tree shows).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,40 +52,42 @@ pub struct SpanRecord {
     pub rows: Option<u64>,
 }
 
+/// Per-thread trace state. The scalar fields live in `Cell`s so the
+/// enter-side hot path (seq/depth bump) is plain loads and stores with no
+/// `RefCell` borrow-flag traffic; only the ring push on drop borrows.
 struct ThreadTrace {
-    epoch: Instant,
-    next_seq: u64,
-    depth: u32,
-    ring: VecDeque<SpanRecord>,
-    dropped: u64,
+    epoch: Cell<Instant>,
+    next_seq: Cell<u64>,
+    depth: Cell<u32>,
+    ring: RefCell<VecDeque<SpanRecord>>,
+    dropped: Cell<u64>,
 }
 
 impl ThreadTrace {
     fn new() -> Self {
         ThreadTrace {
-            epoch: Instant::now(),
-            next_seq: 0,
-            depth: 0,
-            ring: VecDeque::new(),
-            dropped: 0,
+            epoch: Cell::new(Instant::now()),
+            next_seq: Cell::new(0),
+            depth: Cell::new(0),
+            ring: RefCell::new(VecDeque::new()),
+            dropped: Cell::new(0),
         }
     }
 }
 
 thread_local! {
-    static TRACE: RefCell<ThreadTrace> = RefCell::new(ThreadTrace::new());
+    static TRACE: ThreadTrace = ThreadTrace::new();
 }
 
 /// Clear this thread's ring buffer and restart the trace epoch. Call at
 /// the start of the unit of work (e.g. one SQL statement).
 pub fn reset_thread_trace() {
     TRACE.with(|t| {
-        let mut t = t.borrow_mut();
-        t.epoch = Instant::now();
-        t.next_seq = 0;
-        t.depth = 0;
-        t.ring.clear();
-        t.dropped = 0;
+        t.epoch.set(Instant::now());
+        t.next_seq.set(0);
+        t.depth.set(0);
+        t.ring.borrow_mut().clear();
+        t.dropped.set(0);
     });
 }
 
@@ -110,11 +112,10 @@ impl Span {
             return Span { active: None };
         }
         let (seq, depth) = TRACE.with(|t| {
-            let mut t = t.borrow_mut();
-            let seq = t.next_seq;
-            t.next_seq += 1;
-            let depth = t.depth;
-            t.depth += 1;
+            let seq = t.next_seq.get();
+            t.next_seq.set(seq + 1);
+            let depth = t.depth.get();
+            t.depth.set(depth + 1);
             (seq, depth)
         });
         Span {
@@ -148,14 +149,14 @@ impl Drop for Span {
         };
         let dur_ns = a.start.elapsed().as_nanos() as u64;
         TRACE.with(|t| {
-            let mut t = t.borrow_mut();
-            t.depth = t.depth.saturating_sub(1);
-            let start_ns = a.start.duration_since(t.epoch).as_nanos() as u64;
-            if t.ring.len() == RING_CAPACITY {
-                t.ring.pop_front();
-                t.dropped += 1;
+            t.depth.set(t.depth.get().saturating_sub(1));
+            let start_ns = a.start.duration_since(t.epoch.get()).as_nanos() as u64;
+            let mut ring = t.ring.borrow_mut();
+            if ring.len() == RING_CAPACITY {
+                ring.pop_front();
+                t.dropped.set(t.dropped.get() + 1);
             }
-            t.ring.push_back(SpanRecord {
+            ring.push_back(SpanRecord {
                 name: a.name,
                 seq: a.seq,
                 depth: a.depth,
@@ -228,10 +229,9 @@ impl SpanTree {
 /// Drain this thread's ring buffer into a [`SpanTree`] (and clear it).
 pub fn take_thread_trace() -> SpanTree {
     let (records, dropped) = TRACE.with(|t| {
-        let mut t = t.borrow_mut();
-        let records: Vec<SpanRecord> = t.ring.drain(..).collect();
-        let dropped = t.dropped;
-        t.dropped = 0;
+        let records: Vec<SpanRecord> = t.ring.borrow_mut().drain(..).collect();
+        let dropped = t.dropped.get();
+        t.dropped.set(0);
         (records, dropped)
     });
     SpanTree {

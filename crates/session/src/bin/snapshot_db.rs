@@ -66,6 +66,10 @@ fn main() {
                 Some(n) => options.parallelism = engine::resolve_parallelism(n),
                 None => die_usage("--parallelism requires a worker count (0 = auto)"),
             },
+            "--slow-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => options.slow_query_ms = Some(n),
+                None => die_usage("--slow-ms requires a threshold in milliseconds"),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -174,7 +178,7 @@ enum Flow {
 
 const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLICY]
                    [--checkpoint-every N] [--parallelism N] [--no-index]
-                   [--verify] [--quiet]
+                   [--verify] [--slow-ms N] [--quiet]
   --db DIR              open a durable database in DIR (created if missing):
                         statements are write-ahead-logged and the catalog is
                         checkpointed, so the database survives restarts
@@ -189,6 +193,8 @@ const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLIC
                         sessions inherit the setting
   --no-index            execute queries on the naive route only
   --verify              re-run every indexed query naively and fail on divergence
+  --slow-ms N           log statements taking >= N ms to the slow-query log
+                        (queryable as snapshot_stat_slow_queries)
   --quiet               print summaries and timings but not result tables
   --help, -h            print this usage";
 
@@ -210,6 +216,17 @@ Meta commands:
   .metrics [FILE]    dump the global metrics registry (Prometheus text
                      format) to stdout or FILE
   .trace on|off      print the tracing-span tree after every statement
+  .slow [N|off]      log statements taking >= N ms (with phase split and
+                     operator actuals) to the slow-query log, queryable as
+                     snapshot_stat_slow_queries; bare .slow shows the state
+  .profile [on|off|FILE]
+                     operator-level profiler: 'on' starts (resets) folded
+                     stack collection, 'off' stops it, bare .profile prints
+                     the folded stacks (flamegraph format), FILE writes them
+
+Introspection: the snapshot_stat_* virtual tables (metrics, statements,
+tables, indexes, transactions, slow_queries) answer ordinary SELECTs, e.g.
+  SELECT * FROM snapshot_stat_statements ORDER BY total_time_ms DESC;
   .checkpoint        write a checkpoint now (durable databases only)
   .dump [FILE]       write the catalog as a re-loadable SQL script
                      (to stdout when FILE is omitted)
@@ -352,6 +369,8 @@ impl Shell {
             "checkpoint" => self.checkpoint(),
             "dump" => self.dump(words.next()),
             "metrics" => self.metrics(words.next()),
+            "slow" => self.slow(words.next()),
+            "profile" => self.profile(words.next()),
             "trace" => match words.next() {
                 Some("on") => {
                     self.trace = true;
@@ -568,9 +587,78 @@ impl Shell {
         Ok(())
     }
 
+    /// `.slow [N|off]` — set, clear, or show the slow-query threshold.
+    /// Updates both the live session and the option template `.parallel`
+    /// readers inherit.
+    fn slow(&mut self, arg: Option<&str>) -> Result<(), String> {
+        match arg {
+            None => {
+                match self.options.slow_query_ms {
+                    Some(ms) => println!("slow-query log: on (threshold {ms} ms)"),
+                    None => println!("slow-query log: off"),
+                }
+                let logged = snapshot_obs::slow_queries().len();
+                println!("{logged} entr(ies) logged — SELECT * FROM snapshot_stat_slow_queries;");
+                Ok(())
+            }
+            Some("off") => {
+                self.session.options_mut().slow_query_ms = None;
+                self.options.slow_query_ms = None;
+                println!("slow-query log: off");
+                Ok(())
+            }
+            Some(n) => match n.parse::<u64>() {
+                Ok(ms) => {
+                    self.session.options_mut().slow_query_ms = Some(ms);
+                    self.options.slow_query_ms = Some(ms);
+                    println!("slow-query log: on (threshold {ms} ms)");
+                    Ok(())
+                }
+                Err(_) => Err("usage: .slow [N|off] (N in milliseconds)".to_string()),
+            },
+        }
+    }
+
+    /// `.profile [on|off|FILE]` — control the operator-level profiler and
+    /// print or save its folded-stack output.
+    fn profile(&self, arg: Option<&str>) -> Result<(), String> {
+        match arg {
+            Some("on") => {
+                snapshot_obs::reset_profile();
+                snapshot_obs::set_profiling(true);
+                println!(
+                    "profile: on (folded operator stacks; .profile prints, .profile FILE saves)"
+                );
+                Ok(())
+            }
+            Some("off") => {
+                snapshot_obs::set_profiling(false);
+                println!("profile: off");
+                Ok(())
+            }
+            arg => {
+                let text = snapshot_obs::render_folded();
+                if text.is_empty() {
+                    println!("(no profile samples — enable with .profile on, then run queries)");
+                    return Ok(());
+                }
+                match arg {
+                    Some(path) => {
+                        std::fs::write(path, &text)
+                            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+                        println!("wrote {} byte(s) to {path}", text.len());
+                    }
+                    None => print!("{text}"),
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// `.metrics [FILE]` — dump the global registry in Prometheus text
     /// exposition format, to stdout or a file.
     fn metrics(&self, file: Option<&str>) -> Result<(), String> {
+        snapshot_obs::refresh_process_metrics();
         let text = snapshot_obs::registry().render_text();
         match file {
             Some(path) => {

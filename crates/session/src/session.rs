@@ -145,10 +145,20 @@ pub struct SessionOptions {
     /// Rewriting options for `SEQ VT` compilation.
     pub rewrite: RewriteOptions,
     /// Publish per-statement engine operator counters to the global
-    /// metrics registry ([`snapshot_obs::registry`]). On by default — the
-    /// publication is a handful of atomic adds once per statement, after
-    /// execution, so the engine hot path never touches the registry.
+    /// metrics registry ([`snapshot_obs::registry`]), and feed the
+    /// statement fingerprint statistics behind `snapshot_stat_statements`.
+    /// On by default — the publication is a handful of atomic adds once
+    /// per statement, after execution, so the engine hot path never
+    /// touches the registry.
     pub collect_metrics: bool,
+    /// Slow-query threshold, in milliseconds: a statement whose total
+    /// wall time reaches it is recorded in the global slow-query log
+    /// ([`snapshot_obs::slow_queries`], queryable as
+    /// `snapshot_stat_slow_queries`) together with its phase split and
+    /// `EXPLAIN ANALYZE`-style operator actuals. `None` (the default)
+    /// disables the log *and* the per-node actuals collection it implies;
+    /// set it via the shell's `--slow-ms` flag or `.slow` command.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for SessionOptions {
@@ -159,6 +169,7 @@ impl Default for SessionOptions {
             parallelism: default_parallelism(),
             rewrite: RewriteOptions::default(),
             collect_metrics: true,
+            slow_query_ms: None,
         }
     }
 }
@@ -333,6 +344,10 @@ pub struct Session {
     retries: RetryStats,
     /// Per-phase breakdown of the most recent statement.
     phases: PhaseTimings,
+    /// Rendered operator actuals of the most recent plan execution, kept
+    /// only while the slow-query log is armed (see
+    /// [`SessionOptions::slow_query_ms`]).
+    slow_actuals: Option<String>,
 }
 
 impl Default for Session {
@@ -356,6 +371,7 @@ impl Session {
             next_owned_txn_id: 0,
             retries: RetryStats::default(),
             phases: PhaseTimings::default(),
+            slow_actuals: None,
         }
     }
 
@@ -369,6 +385,7 @@ impl Session {
             next_owned_txn_id: 0,
             retries: RetryStats::default(),
             phases: PhaseTimings::default(),
+            slow_actuals: None,
         }
     }
 
@@ -593,8 +610,11 @@ impl Session {
         // `apply_inner` reset the phase breakdown; fold the parse time in
         // afterwards so it survives the reset.
         self.phases.parse_ns = parse_ns;
-        if result.is_ok() && self.options.collect_metrics {
-            self.phases.publish_to_registry();
+        if let Ok(r) = &result {
+            if self.options.collect_metrics {
+                self.phases.publish_to_registry();
+            }
+            self.observe_statement(sql, r);
         }
         result
     }
@@ -621,6 +641,8 @@ impl Session {
             if self.options.collect_metrics {
                 self.phases.publish_to_registry();
             }
+            let result = out.last().expect("just pushed");
+            self.observe_statement(piece, result);
         }
         Ok(out)
     }
@@ -675,6 +697,37 @@ impl Session {
         }
     }
 
+    /// Feed the global statement statistics and (past the threshold) the
+    /// slow-query log with one successfully executed statement.
+    fn observe_statement(&mut self, sql: &str, result: &StatementResult) {
+        let total_ns = self.phases.total_ns();
+        let rows = result.rows().map(|t| t.len() as u64);
+        if self.options.collect_metrics {
+            obs::record_statement(sql, rows, total_ns as f64 / 1e9);
+        }
+        let Some(threshold_ms) = self.options.slow_query_ms else {
+            return;
+        };
+        let total_ms = total_ns as f64 / 1e6;
+        if total_ms < threshold_ms as f64 {
+            return;
+        }
+        let p = &self.phases;
+        obs::record_slow_query(obs::SlowQuery {
+            seq: 0, // assigned by the log
+            statement: clean_statement(sql),
+            total_ms,
+            parse_ms: p.parse_ns as f64 / 1e6,
+            bind_ms: p.bind_ns as f64 / 1e6,
+            rewrite_ms: p.rewrite_ns as f64 / 1e6,
+            index_ms: p.index_ns as f64 / 1e6,
+            execute_ms: p.execute_ns as f64 / 1e6,
+            commit_ms: p.commit_ns as f64 / 1e6,
+            rows,
+            plan: self.slow_actuals.take(),
+        });
+    }
+
     /// Routes one statement: transaction control, query, or mutation.
     fn apply_inner(
         &mut self,
@@ -682,6 +735,7 @@ impl Session {
         text: Option<&str>,
     ) -> Result<StatementResult, String> {
         self.phases = PhaseTimings::default();
+        self.slow_actuals = None;
         match stmt {
             SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
             SqlStatement::Explain { analyze, statement } => Ok(StatementResult::Rows(
@@ -1034,6 +1088,7 @@ impl Session {
                 txn,
                 options,
                 phases,
+                slow_actuals,
                 ..
             } = self;
             let txn = txn.as_mut().expect("checked");
@@ -1044,12 +1099,20 @@ impl Session {
                 txn.refresh_indexes(&plan.referenced_tables());
                 phases.index_ns += started.elapsed().as_nanos() as u64;
             }
-            return execute_plan(options, &plan, txn.catalog(), txn.indexes(), phases);
+            return execute_plan(
+                options,
+                &plan,
+                txn.catalog(),
+                txn.indexes(),
+                phases,
+                slow_actuals,
+            );
         }
         let Session {
             backend,
             options,
             phases,
+            slow_actuals,
             ..
         } = self;
         match backend {
@@ -1061,7 +1124,14 @@ impl Session {
                     db.refresh_indexes(&plan.referenced_tables());
                     phases.index_ns += started.elapsed().as_nanos() as u64;
                 }
-                execute_plan(options, &plan, db.catalog(), db.indexes(), phases)
+                execute_plan(
+                    options,
+                    &plan,
+                    db.catalog(),
+                    db.indexes(),
+                    phases,
+                    slow_actuals,
+                )
             }
             Backend::Shared(shared) => {
                 let mut snap = shared.snapshot();
@@ -1075,7 +1145,14 @@ impl Session {
                     snap.refresh_indexes(&plan.referenced_tables());
                     phases.index_ns += started.elapsed().as_nanos() as u64;
                 }
-                execute_plan(options, &plan, snap.catalog(), snap.indexes(), phases)
+                execute_plan(
+                    options,
+                    &plan,
+                    snap.catalog(),
+                    snap.indexes(),
+                    phases,
+                    slow_actuals,
+                )
             }
         }
     }
@@ -1187,13 +1264,18 @@ fn compile_query_timed(
 /// from the session options, so a parallelism change applies to the very
 /// next statement. Per-operator counters are published to the metrics
 /// registry once per statement when [`SessionOptions::collect_metrics`]
-/// is on.
+/// is on. With the slow-query log armed
+/// ([`SessionOptions::slow_query_ms`]), execution additionally collects
+/// per-node actuals — the same dispatch routes, plus one clock read per
+/// operator — and leaves their rendering in `slow_actuals` for the
+/// session to attach if the statement turns out slow.
 fn execute_plan(
     options: &SessionOptions,
     plan: &Plan,
     catalog: &Catalog,
     indexes: &IndexCatalog,
     phases: &mut PhaseTimings,
+    slow_actuals: &mut Option<String>,
 ) -> Result<Table, String> {
     let engine = Engine::with_config(EngineConfig {
         parallelism: options.parallelism,
@@ -1202,31 +1284,42 @@ fn execute_plan(
     let started = Instant::now();
     let _span = obs::Span::enter("session.execute");
     let mut stats = ExecStats::default();
-    let result = if !options.use_indexes {
-        engine.execute_with_stats(plan, catalog, &mut stats)
-    } else {
-        engine
-            .execute_indexed_with_stats(plan, catalog, indexes, &mut stats)
-            .and_then(|indexed| {
-                if options.verify_indexed {
-                    // The cross-check runs sequentially on purpose:
-                    // divergence then implicates either index invalidation
-                    // or the parallel route, never both.
-                    let naive = Engine::new().execute(plan, catalog)?;
-                    if naive.canonicalized() != indexed.canonicalized() {
-                        return Err(format!(
-                            "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
-                            indexed.len(),
-                            naive.len()
-                        ));
-                    }
-                }
-                Ok(indexed)
-            })
+    let mut nodes = options.slow_query_ms.map(|_| NodeStats::default());
+    let result = match &mut nodes {
+        Some(nodes) => engine.execute_analyzed(
+            plan,
+            catalog,
+            options.use_indexes.then_some(indexes),
+            &mut stats,
+            nodes,
+        ),
+        None if !options.use_indexes => engine.execute_with_stats(plan, catalog, &mut stats),
+        None => engine.execute_indexed_with_stats(plan, catalog, indexes, &mut stats),
     };
+    let result = result.and_then(|executed| {
+        if options.use_indexes && options.verify_indexed {
+            // The cross-check runs sequentially on purpose:
+            // divergence then implicates either index invalidation
+            // or the parallel route, never both.
+            let naive = Engine::new().execute(plan, catalog)?;
+            if naive.canonicalized() != executed.canonicalized() {
+                return Err(format!(
+                    "indexed and naive results diverge: {} vs {} rows — index invalidation bug",
+                    executed.len(),
+                    naive.len()
+                ));
+            }
+        }
+        Ok(executed)
+    });
     phases.execute_ns += started.elapsed().as_nanos() as u64;
     if options.collect_metrics {
         stats.publish_to_registry();
+    }
+    if result.is_ok() {
+        if let Some(nodes) = &nodes {
+            *slow_actuals = Some(engine::explain_analyzed(plan, nodes));
+        }
     }
     result
 }

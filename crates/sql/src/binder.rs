@@ -303,8 +303,33 @@ fn bind_from_item(item: &FromItem, catalog: &Catalog, mode: Mode) -> Result<Boun
             alias,
             period,
         } => {
-            let table = catalog.require(name)?;
             let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+            // A real catalog table shadows a virtual table of the same
+            // name; the virtual route only answers catalog misses.
+            let table = match catalog.get(name) {
+                Some(t) => t,
+                None => match algebra::vtab::virtual_table_schema(name) {
+                    Some(schema) => {
+                        if mode == Mode::Snapshot {
+                            return Err(format!(
+                                "virtual table '{name}' is not a temporal relation and \
+                                 cannot appear in a SEQ VT block"
+                            ));
+                        }
+                        if period.is_some() {
+                            return Err(format!(
+                                "PERIOD specification is not valid on virtual table '{name}'"
+                            ));
+                        }
+                        let visible = schema.with_qualifier(&qualifier);
+                        return Ok(Bound {
+                            qb: QB::Plain(Plan::virtual_scan(name.clone(), schema)),
+                            visible,
+                        });
+                    }
+                    None => return Err(format!("unknown table '{name}'")),
+                },
+            };
             match mode {
                 Mode::Plain => {
                     if period.is_some() {

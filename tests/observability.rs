@@ -50,11 +50,9 @@ fn number_after(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// For every query in the smoke script: actual cardinality == the root
-/// operator's `actual rows=` == the `(result: N rows …)` footer.
-#[test]
-fn explain_analyze_matches_actual_cardinalities_on_smoke_queries() {
-    let mut session = Session::default();
+/// The smoke-script differential: for every query, actual cardinality ==
+/// the root operator's `actual rows=` == the `(result: N rows …)` footer.
+fn run_smoke_differential(session: &mut Session) {
     let mut queries_checked = 0;
     for stmt_text in smoke_statements() {
         let is_query = matches!(
@@ -92,6 +90,28 @@ fn explain_analyze_matches_actual_cardinalities_on_smoke_queries() {
         queries_checked >= 8,
         "smoke script should exercise plenty of queries, got {queries_checked}"
     );
+}
+
+/// For every query in the smoke script: actual cardinality == the root
+/// operator's `actual rows=` == the `(result: N rows …)` footer.
+#[test]
+fn explain_analyze_matches_actual_cardinalities_on_smoke_queries() {
+    run_smoke_differential(&mut Session::default());
+}
+
+/// The same differential with the parallel-sweep join route active
+/// (parallelism 4): slab-parallel operators must report true
+/// cardinalities in their actuals, not per-worker partials.
+#[test]
+fn explain_analyze_matches_actual_cardinalities_at_parallelism_4() {
+    let mut session = Session::with_options(
+        snapshot_session::Database::new(),
+        SessionOptions {
+            parallelism: 4,
+            ..SessionOptions::default()
+        },
+    );
+    run_smoke_differential(&mut session);
 }
 
 /// The same differential on a shared (MVCC) session — EXPLAIN ANALYZE

@@ -1,0 +1,7 @@
+-- CI introspection smoke, restart leg: the table recovers from the WAL,
+-- but statement statistics are process state — the collector must come
+-- back empty (WAL replay bypasses it), not resurrect the first leg's
+-- fingerprints. The SELECT below is this process's only query before the
+-- stat dump, so 'insert into intro_ci …' must not appear in the output.
+SELECT x FROM intro_ci;
+SELECT fingerprint, calls, total_time_ms FROM snapshot_stat_statements ORDER BY total_time_ms DESC;
