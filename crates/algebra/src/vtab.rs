@@ -17,9 +17,11 @@
 use storage::{Schema, SqlType};
 
 /// Every virtual table name, sorted.
-pub const VIRTUAL_TABLES: [&str; 6] = [
+pub const VIRTUAL_TABLES: [&str; 8] = [
+    "snapshot_stat_activity",
     "snapshot_stat_indexes",
     "snapshot_stat_metrics",
+    "snapshot_stat_progress",
     "snapshot_stat_slow_queries",
     "snapshot_stat_statements",
     "snapshot_stat_tables",
@@ -42,7 +44,37 @@ pub fn virtual_table_schema(name: &str) -> Option<Schema> {
             ("p95", SqlType::Double),
             ("p99", SqlType::Double),
         ],
-        // One row per retained statement fingerprint.
+        // One row per live session: who is running what, right now.
+        // `elapsed_ms` is time since the current statement started (for
+        // idle sessions: since the last one started); `statement` is the
+        // current or most recent statement text.
+        "snapshot_stat_activity" => &[
+            ("session_id", SqlType::Int),
+            ("backend", SqlType::Str),
+            ("state", SqlType::Str),
+            ("in_txn", SqlType::Bool),
+            ("phase", SqlType::Str),
+            ("statement", SqlType::Str),
+            ("fingerprint", SqlType::Str),
+            ("elapsed_ms", SqlType::Double),
+            ("rows_emitted", SqlType::Int),
+        ],
+        // One row per live session: the statement's live resource
+        // counters (engine operators bump them while it runs).
+        "snapshot_stat_progress" => &[
+            ("session_id", SqlType::Int),
+            ("phase", SqlType::Str),
+            ("elapsed_ms", SqlType::Double),
+            ("rows_scanned", SqlType::Int),
+            ("rows_emitted", SqlType::Int),
+            ("join_pairs", SqlType::Int),
+            ("index_probes", SqlType::Int),
+            ("bytes_materialized", SqlType::Int),
+        ],
+        // One row per retained statement fingerprint. The collector is a
+        // bounded LRU: when the workload exceeds its capacity in distinct
+        // shapes, the coldest rows are evicted and the drop count is the
+        // `stmt_stats_evictions_total` counter in `snapshot_stat_metrics`.
         "snapshot_stat_statements" => &[
             ("fingerprint", SqlType::Str),
             ("calls", SqlType::Int),
@@ -84,6 +116,7 @@ pub fn virtual_table_schema(name: &str) -> Option<Schema> {
             ("commit_ms", SqlType::Double),
             ("rows", SqlType::Int),
             ("plan", SqlType::Str),
+            ("cancelled", SqlType::Str),
         ],
         _ => return None,
     };

@@ -312,6 +312,8 @@ fn bench_observe(c: &mut Criterion) {
         "txn_snapshot_seconds",
         "session_execute_seconds",
         "engine_scan_invocations_total",
+        "statements_cancelled_total",
+        "statement_timeouts_total",
         "snapshot_build_info",
         "snapshot_uptime_seconds",
     ] {

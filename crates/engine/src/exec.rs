@@ -8,12 +8,48 @@ use crate::temporal::{agg_arg_types, temporal_aggregate, temporal_except_all};
 use algebra::{BinOp, Expr, JoinAlgo, Plan, PlanNode, TimesliceAlgo};
 use index::{
     choose_cuts, elementary_boundaries, elementary_boundaries_from_events,
-    parallel_sweep_join_presorted, sweep_join_presorted, IndexCatalog,
+    parallel_sweep_join_presorted, sweep_join_presorted, try_parallel_sweep_join_presorted,
+    try_sweep_join_presorted, IndexCatalog,
 };
 use snapshot_obs as obs;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{Catalog, Row, Table, Value};
+
+/// Join-pair interval between cooperative cancellation checks: frequent
+/// enough that a runaway join reacts within microseconds, rare enough
+/// that the per-pair cost is one counter bump.
+const CANCEL_CHECK_INTERVAL: u64 = 1024;
+
+/// Per-statement execution context: the live [`obs::ResourceAccount`]
+/// the operators bump and the [`obs::CancelToken`] they check at batch
+/// boundaries. Shared (`Arc`) with the owning session's entry in the
+/// activity registry, so `snapshot_stat_progress` sees counters move
+/// while the statement runs and `.kill` can reach into the executor.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    account: Arc<obs::ResourceAccount>,
+    token: Arc<obs::CancelToken>,
+}
+
+impl ExecContext {
+    /// Context over a session's shared account and token.
+    pub fn new(account: Arc<obs::ResourceAccount>, token: Arc<obs::CancelToken>) -> Self {
+        ExecContext { account, token }
+    }
+
+    /// The live resource counters.
+    pub fn account(&self) -> &obs::ResourceAccount {
+        &self.account
+    }
+
+    /// The cooperative check (see [`obs::CancelToken::check`]).
+    fn check(&self) -> Result<(), String> {
+        self.token.check(&self.account)
+    }
+}
 
 /// Join strategy for the non-temporal part of join conditions.
 ///
@@ -177,6 +213,10 @@ pub fn resolve_parallelism(n: usize) -> usize {
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    /// Resource accounting + cooperative cancellation for the statement
+    /// being executed; `None` (engines built outside a session) keeps the
+    /// hot path at a single branch per operator.
+    ctx: Option<ExecContext>,
 }
 
 impl Engine {
@@ -187,7 +227,7 @@ impl Engine {
 
     /// Engine with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine { config, ctx: None }
     }
 
     /// Engine with default strategy and the given worker-thread count.
@@ -196,6 +236,13 @@ impl Engine {
             parallelism,
             ..EngineConfig::default()
         })
+    }
+
+    /// Attach a per-statement execution context: operators bump its
+    /// resource account and honor its cancellation token.
+    pub fn with_context(mut self, ctx: ExecContext) -> Self {
+        self.ctx = Some(ctx);
+        self
     }
 
     /// Executes a plan against a catalog, producing a result table.
@@ -278,6 +325,11 @@ impl Engine {
         let started = nodes.as_ref().map(|_| Instant::now());
         let mut span = obs::Span::enter(op_name(&plan.node));
         let _frame = obs::ProfileSpan::enter(op_name(&plan.node));
+        // Operator boundary: a cancelled statement stops before producing
+        // another node's output.
+        if let Some(ctx) = &self.ctx {
+            ctx.check()?;
+        }
         let rows = match &plan.node {
             PlanNode::Scan { table } => {
                 let t = catalog.require(table)?;
@@ -380,6 +432,9 @@ impl Engine {
                 {
                     let rows = accel.coalesced_rows();
                     stats.record("IndexCoalesce", rows.len());
+                    if let Some(ctx) = &self.ctx {
+                        ctx.account.add_index_probes(1);
+                    }
                     rows
                 } else {
                     let input_rows =
@@ -403,6 +458,9 @@ impl Engine {
                 if let Some((idx, table)) = indexed {
                     let rows = idx.timeslice_rows(table, *at);
                     stats.record("IndexTimeslice", rows.len());
+                    if let Some(ctx) = &self.ctx {
+                        ctx.account.add_index_probes(1);
+                    }
                     rows
                 } else {
                     let input_rows =
@@ -431,6 +489,9 @@ impl Engine {
                 if let Some((idx, table)) = indexed {
                     let rows = idx.overlapping_rows(table, b, e);
                     stats.record("IndexTimeRange", rows.len());
+                    if let Some(ctx) = &self.ctx {
+                        ctx.account.add_index_probes(1);
+                    }
                     rows
                 } else {
                     let input_rows =
@@ -482,6 +543,22 @@ impl Engine {
         stats.record(op_name(&plan.node), rows.len());
         if let (Some(nodes), Some(started)) = (nodes, started) {
             nodes.record(plan, rows.len(), started.elapsed());
+        }
+        if let Some(ctx) = &self.ctx {
+            let n = rows.len() as u64;
+            ctx.account.add_rows_emitted(n);
+            // Approximate materialization: rows × arity × a 16-byte value.
+            ctx.account
+                .add_bytes_materialized(n * plan.schema.arity() as u64 * 16);
+            if matches!(
+                plan.node,
+                PlanNode::Scan { .. } | PlanNode::VirtualScan { .. } | PlanNode::Values { .. }
+            ) {
+                ctx.account.add_rows_scanned(n);
+            }
+            // Re-check after bumping so `max_rows_scanned` /
+            // `max_result_rows` trip at the node that crossed them.
+            ctx.check()?;
         }
         Ok(rows)
     }
@@ -574,17 +651,51 @@ impl Engine {
                     _ => elementary_boundaries(&l_sorted, (lts, lte), &r_sorted, (rts, rte)),
                 };
                 let cuts = choose_cuts(&boundaries, self.config.parallelism.max(1));
-                let (out, pstats) = parallel_sweep_join_presorted(
-                    &l_sorted,
-                    &r_sorted,
-                    (lts, lte),
-                    (rts, rte),
-                    &cuts,
-                    |lr, rr| {
-                        let joined = lr.concat(rr);
-                        eval_predicate(condition, &joined).then_some(joined)
-                    },
-                );
+                // Slab workers share one pair counter; every worker checks
+                // the token each `CANCEL_CHECK_INTERVAL` pairs, so a kill
+                // or timeout lands mid-sweep on every thread. The tally is
+                // flushed to the resource account at the same cadence so
+                // `snapshot_stat_progress` moves while the join runs.
+                // Without a context the closure is the bare pair test —
+                // ctx-less execution (benches, ad-hoc Engine users) pays
+                // nothing for cancellability.
+                let (out, pstats) = match &self.ctx {
+                    Some(ctx) => {
+                        let pairs = AtomicU64::new(0);
+                        let (out, pstats) = try_parallel_sweep_join_presorted::<_, String, _>(
+                            &l_sorted,
+                            &r_sorted,
+                            (lts, lte),
+                            (rts, rte),
+                            &cuts,
+                            |lr, rr| {
+                                let seen = pairs.fetch_add(1, Ordering::Relaxed) + 1;
+                                if seen.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                                    ctx.account.add_join_pairs(CANCEL_CHECK_INTERVAL);
+                                    ctx.check()?;
+                                }
+                                let joined = lr.concat(rr);
+                                Ok(eval_predicate(condition, &joined).then_some(joined))
+                            },
+                        )?;
+                        ctx.account
+                            .add_join_pairs(pairs.load(Ordering::Relaxed) % CANCEL_CHECK_INTERVAL);
+                        ctx.account
+                            .add_index_probes(if both_indexed { 2 } else { 0 });
+                        (out, pstats)
+                    }
+                    None => parallel_sweep_join_presorted(
+                        &l_sorted,
+                        &r_sorted,
+                        (lts, lte),
+                        (rts, rte),
+                        &cuts,
+                        |lr, rr| {
+                            let joined = lr.concat(rr);
+                            eval_predicate(condition, &joined).then_some(joined)
+                        },
+                    ),
+                };
                 stats.record("ParallelSweepJoin", out.len());
                 stats.record("ParallelSweepSlabs", pstats.slabs);
                 out
@@ -604,12 +715,47 @@ impl Engine {
                     None => sorted_by_begin(right, rts),
                 };
                 let mut out = Vec::new();
-                sweep_join_presorted(&l_sorted, &r_sorted, (lts, lte), (rts, rte), |lr, rr| {
-                    let joined = lr.concat(rr);
-                    if eval_predicate(condition, &joined) {
-                        out.push(joined);
+                // Same split as the parallel arm: the cancellation check
+                // and live pair tally only ride along when a context is
+                // attached; ctx-less sweeps keep the bare kernel closure.
+                match &self.ctx {
+                    Some(ctx) => {
+                        let mut pairs = 0u64;
+                        try_sweep_join_presorted(
+                            &l_sorted,
+                            &r_sorted,
+                            (lts, lte),
+                            (rts, rte),
+                            |lr, rr| -> Result<(), String> {
+                                pairs += 1;
+                                if pairs.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                                    ctx.account.add_join_pairs(CANCEL_CHECK_INTERVAL);
+                                    ctx.check()?;
+                                }
+                                let joined = lr.concat(rr);
+                                if eval_predicate(condition, &joined) {
+                                    out.push(joined);
+                                }
+                                Ok(())
+                            },
+                        )?;
+                        ctx.account.add_join_pairs(pairs % CANCEL_CHECK_INTERVAL);
+                        ctx.account
+                            .add_index_probes(if both_indexed { 2 } else { 0 });
                     }
-                });
+                    None => sweep_join_presorted(
+                        &l_sorted,
+                        &r_sorted,
+                        (lts, lte),
+                        (rts, rte),
+                        |lr, rr| {
+                            let joined = lr.concat(rr);
+                            if eval_predicate(condition, &joined) {
+                                out.push(joined);
+                            }
+                        },
+                    ),
+                }
                 stats.record(
                     if both_indexed {
                         "IndexSweepJoin"
@@ -622,7 +768,16 @@ impl Engine {
             }
             JoinAlgo::MergeInterval if overlap.is_some() => {
                 let (lts, lte, rts, rte) = overlap.unwrap();
-                let out = merge_interval_join(left, right, lts, lte, rts, rte, condition);
+                let out = merge_interval_join(
+                    left,
+                    right,
+                    lts,
+                    lte,
+                    rts,
+                    rte,
+                    condition,
+                    self.ctx.as_ref(),
+                )?;
                 stats.record("MergeIntervalJoin", out.len());
                 out
             }
@@ -632,20 +787,31 @@ impl Engine {
             | JoinAlgo::MergeInterval
                 if !equi.is_empty() =>
             {
-                let out = hash_join(left, right, &equi, condition);
+                let out = hash_join(left, right, &equi, condition, self.ctx.as_ref())?;
                 stats.record("HashJoin", out.len());
                 out
             }
             _ => {
                 // Nested loop fallback.
                 let mut out = Vec::new();
+                let mut pairs = 0u64;
                 for l in left {
                     for r in right {
+                        if let Some(ctx) = &self.ctx {
+                            pairs += 1;
+                            if pairs.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                                ctx.account.add_join_pairs(CANCEL_CHECK_INTERVAL);
+                                ctx.check()?;
+                            }
+                        }
                         let joined = l.concat(r);
                         if eval_predicate(condition, &joined) {
                             out.push(joined);
                         }
                     }
+                }
+                if let Some(ctx) = &self.ctx {
+                    ctx.account.add_join_pairs(pairs % CANCEL_CHECK_INTERVAL);
                 }
                 stats.record("NestedLoopJoin", out.len());
                 out
@@ -789,7 +955,13 @@ fn overlap_pattern(
     (has_l_lt_r && has_r_lt_l).then_some((lts, lte, rts_g - l_arity, rte_g - l_arity))
 }
 
-fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &Expr) -> Vec<Row> {
+fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    keys: &[(usize, usize)],
+    condition: &Expr,
+    ctx: Option<&ExecContext>,
+) -> Result<Vec<Row>, String> {
     // Build on the smaller side; probe with the larger.
     let build_left = left.len() <= right.len();
     let (build, probe) = if build_left {
@@ -820,6 +992,7 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &E
     }
 
     let mut out = Vec::new();
+    let mut pairs = 0u64;
     'probe: for row in probe {
         let mut key = Vec::with_capacity(probe_keys.len());
         for &i in &probe_keys {
@@ -831,6 +1004,13 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &E
         }
         if let Some(matches) = table.get(&key) {
             for m in matches {
+                if let Some(ctx) = ctx {
+                    pairs += 1;
+                    if pairs.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                        ctx.account.add_join_pairs(CANCEL_CHECK_INTERVAL);
+                        ctx.check()?;
+                    }
+                }
                 let joined = if build_left {
                     m.concat(row)
                 } else {
@@ -842,12 +1022,16 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)], condition: &E
             }
         }
     }
-    out
+    if let Some(ctx) = ctx {
+        ctx.account.add_join_pairs(pairs % CANCEL_CHECK_INTERVAL);
+    }
+    Ok(out)
 }
 
 /// Forward-scan plane sweep over interval overlap (Bouros & Mamoulis style):
 /// both sides sorted by interval begin; each overlapping pair is emitted
 /// exactly once, then filtered by the full join condition.
+#[allow(clippy::too_many_arguments)]
 fn merge_interval_join(
     left: &[Row],
     right: &[Row],
@@ -856,23 +1040,35 @@ fn merge_interval_join(
     rts: usize,
     rte: usize,
     condition: &Expr,
-) -> Vec<Row> {
+    ctx: Option<&ExecContext>,
+) -> Result<Vec<Row>, String> {
     let mut l: Vec<&Row> = left.iter().collect();
     let mut r: Vec<&Row> = right.iter().collect();
     l.sort_by_key(|row| row.int(lts));
     r.sort_by_key(|row| row.int(rts));
 
     let mut out = Vec::new();
+    let mut pairs = 0u64;
+    let mut consider = |joined: Row, out: &mut Vec<Row>| -> Result<(), String> {
+        if let Some(ctx) = ctx {
+            pairs += 1;
+            if pairs.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                ctx.account.add_join_pairs(CANCEL_CHECK_INTERVAL);
+                ctx.check()?;
+            }
+        }
+        if eval_predicate(condition, &joined) {
+            out.push(joined);
+        }
+        Ok(())
+    };
     let (mut i, mut j) = (0usize, 0usize);
     while i < l.len() && j < r.len() {
         if l[i].int(lts) <= r[j].int(rts) {
             let end = l[i].int(lte);
             let mut k = j;
             while k < r.len() && r[k].int(rts) < end {
-                let joined = l[i].concat(r[k]);
-                if eval_predicate(condition, &joined) {
-                    out.push(joined);
-                }
+                consider(l[i].concat(r[k]), &mut out)?;
                 k += 1;
             }
             i += 1;
@@ -880,16 +1076,16 @@ fn merge_interval_join(
             let end = r[j].int(rte);
             let mut k = i;
             while k < l.len() && l[k].int(lts) < end {
-                let joined = l[k].concat(r[j]);
-                if eval_predicate(condition, &joined) {
-                    out.push(joined);
-                }
+                consider(l[k].concat(r[j]), &mut out)?;
                 k += 1;
             }
             j += 1;
         }
     }
-    out
+    if let Some(ctx) = ctx {
+        ctx.account.add_join_pairs(pairs % CANCEL_CHECK_INTERVAL);
+    }
+    Ok(out)
 }
 
 fn except_all(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
@@ -1364,6 +1560,44 @@ mod tests {
             .execute_with_stats(&equi, &c, &mut stats)
             .unwrap();
         assert!(stats.get("ParallelSweepJoin").is_none(), "{stats:?}");
+    }
+
+    #[test]
+    fn context_accounts_and_cancels() {
+        let c = works_catalog();
+        let account = Arc::new(obs::ResourceAccount::default());
+        let token = Arc::new(obs::CancelToken::default());
+        token.arm(None, None, None);
+        let engine =
+            Engine::new().with_context(ExecContext::new(Arc::clone(&account), Arc::clone(&token)));
+        let plan = Plan::scan("works", works_schema()).filter(Expr::col(1).eq(Expr::lit("SP")));
+        engine.execute(&plan, &c).unwrap();
+        let usage = account.usage();
+        assert_eq!(usage.rows_scanned, 4, "scan accounted");
+        assert_eq!(usage.rows_emitted, 4 + 3, "scan + filter outputs");
+        assert!(usage.bytes_materialized > 0);
+
+        // A pre-tripped token fails execution with the cancel marker, and
+        // the result is an error, not a partial table.
+        token.cancel(obs::CancelKind::Killed);
+        let err = engine.execute(&plan, &c).unwrap_err();
+        assert!(obs::is_cancel_error(&err), "{err}");
+
+        // A row-scan limit trips mid-plan.
+        account.reset();
+        token.arm(None, Some(2), None);
+        let err = engine.execute(&plan, &c).unwrap_err();
+        assert!(err.contains("max_rows_scanned"), "{err}");
+
+        // Join pairs are accounted on the nested-loop path.
+        account.reset();
+        token.arm(None, None, None);
+        let join = Plan::scan("works", works_schema()).join(
+            Plan::scan("works", works_schema()),
+            Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(4)),
+        );
+        engine.execute(&join, &c).unwrap();
+        assert_eq!(account.usage().join_pairs, 16, "4x4 pairs considered");
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod vtab;
 
 pub use eval::{eval_expr, eval_predicate, like_match};
 pub use exec::{
-    explain_analyzed, resolve_parallelism, Engine, EngineConfig, ExecStats, JoinStrategy,
-    NodeActuals, NodeStats,
+    explain_analyzed, resolve_parallelism, Engine, EngineConfig, ExecContext, ExecStats,
+    JoinStrategy, NodeActuals, NodeStats,
 };

@@ -95,6 +95,43 @@ pub fn virtual_table_rows(
                 })
                 .collect())
         }
+        "snapshot_stat_activity" => Ok(obs::sessions_snapshot()
+            .into_iter()
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int(s.session_id as i64),
+                    Value::str(s.backend),
+                    Value::str(s.state),
+                    Value::Bool(s.in_txn),
+                    Value::str(s.phase.as_str()),
+                    s.statement
+                        .as_deref()
+                        .map(Value::str)
+                        .unwrap_or(Value::Null),
+                    s.fingerprint
+                        .as_deref()
+                        .map(Value::str)
+                        .unwrap_or(Value::Null),
+                    opt_f64(s.elapsed_ms),
+                    Value::Int(s.usage.rows_emitted as i64),
+                ])
+            })
+            .collect()),
+        "snapshot_stat_progress" => Ok(obs::sessions_snapshot()
+            .into_iter()
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int(s.session_id as i64),
+                    Value::str(s.phase.as_str()),
+                    opt_f64(s.elapsed_ms),
+                    Value::Int(s.usage.rows_scanned as i64),
+                    Value::Int(s.usage.rows_emitted as i64),
+                    Value::Int(s.usage.join_pairs as i64),
+                    Value::Int(s.usage.index_probes as i64),
+                    Value::Int(s.usage.bytes_materialized as i64),
+                ])
+            })
+            .collect()),
         "snapshot_stat_transactions" => {
             // Name/value pairs over the registry's transaction-layer
             // counters. The engine has no session state, so this is the
@@ -106,6 +143,7 @@ pub fn virtual_table_rows(
                 ("snapshots", counter("txn_snapshots_total")),
                 ("commits", counter("txn_commits_total")),
                 ("conflicts", counter("txn_conflicts_total")),
+                ("rollbacks", counter("txn_rollbacks_total")),
                 ("retries", counter("session_retries_total")),
                 ("retry_give_ups", counter("session_retry_give_ups_total")),
             ];
@@ -129,6 +167,10 @@ pub fn virtual_table_rows(
                     Value::Double(q.commit_ms),
                     opt_u64(q.rows),
                     q.plan.as_deref().map(Value::str).unwrap_or(Value::Null),
+                    q.cancelled
+                        .as_deref()
+                        .map(Value::str)
+                        .unwrap_or(Value::Null),
                 ])
             })
             .collect()),

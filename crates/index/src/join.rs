@@ -26,10 +26,28 @@ use storage::Row;
 pub fn sweep_join_presorted<'a>(
     left: &[&'a Row],
     right: &[&'a Row],
-    (lts, lte): (usize, usize),
-    (rts, rte): (usize, usize),
+    lcols: (usize, usize),
+    rcols: (usize, usize),
     mut emit: impl FnMut(&'a Row, &'a Row),
 ) {
+    let infallible: Result<(), std::convert::Infallible> =
+        try_sweep_join_presorted(left, right, lcols, rcols, |l, r| {
+            emit(l, r);
+            Ok(())
+        });
+    let Ok(()) = infallible;
+}
+
+/// The fallible form of [`sweep_join_presorted`]: `emit` may return an
+/// error (e.g. a cooperative-cancellation check tripping), which aborts
+/// the sweep immediately and is returned to the caller.
+pub fn try_sweep_join_presorted<'a, E>(
+    left: &[&'a Row],
+    right: &[&'a Row],
+    (lts, lte): (usize, usize),
+    (rts, rte): (usize, usize),
+    mut emit: impl FnMut(&'a Row, &'a Row) -> Result<(), E>,
+) -> Result<(), E> {
     // Active sets as min-heaps on end: after purging entries with
     // `end <= t`, everything remaining is alive at t, so pair enumeration
     // can walk the raw heap storage without order concerns.
@@ -55,7 +73,7 @@ pub fn sweep_join_presorted<'a>(
                 active_r.pop();
             }
             for &Reverse((_, rid)) in active_r.iter() {
-                emit(l, right[rid as usize]);
+                emit(l, right[rid as usize])?;
             }
             active_l.push(Reverse((l.int(lte), i as u32)));
             i += 1;
@@ -69,12 +87,13 @@ pub fn sweep_join_presorted<'a>(
                 active_l.pop();
             }
             for &Reverse((_, lid)) in active_l.iter() {
-                emit(left[lid as usize], r);
+                emit(left[lid as usize], r)?;
             }
             active_r.push(Reverse((r.int(rte), j as u32)));
             j += 1;
         }
     }
+    Ok(())
 }
 
 /// Sweeps two unsorted sides: sorts both by begin, then runs
@@ -193,6 +212,24 @@ mod tests {
             sweep_pairs(&l, &r, (1, 2), (1, 2)),
             nested_loop_pairs(&l, &r, (1, 2), (1, 2))
         );
+    }
+
+    #[test]
+    fn try_sweep_aborts_on_first_error() {
+        let rows = [row!["a", 0, 10], row!["b", 1, 10], row!["c", 2, 10]];
+        let refs: Vec<&Row> = rows.iter().collect();
+        let mut emitted = 0;
+        let err = try_sweep_join_presorted(&refs, &refs, (1, 2), (1, 2), |_, _| {
+            emitted += 1;
+            if emitted == 2 {
+                Err("stop".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "stop");
+        assert_eq!(emitted, 2, "no pairs inspected after the error");
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub mod table_index;
 pub use coalesce::CoalesceIndex;
 pub use events::EventList;
 pub use interval_tree::IntervalTree;
-pub use join::{sweep_join, sweep_join_presorted};
+pub use join::{sweep_join, sweep_join_presorted, try_sweep_join_presorted};
 pub use parallel::{
     choose_cuts, elementary_boundaries, elementary_boundaries_from_events,
-    parallel_sweep_join_presorted, ParallelJoinStats,
+    parallel_sweep_join_presorted, try_parallel_sweep_join_presorted, ParallelJoinStats,
 };
 pub use table_index::{IndexCatalog, MaintenanceStats, TableIndex};

@@ -22,7 +22,7 @@
 //! that against the sequential routes and the point-wise oracle.
 
 use crate::events::EventList;
-use crate::join::sweep_join_presorted;
+use crate::join::try_sweep_join_presorted;
 use storage::Row;
 
 /// Counters describing one parallel join execution.
@@ -138,8 +138,8 @@ pub fn choose_cuts(boundaries: &[i64], slabs: usize) -> Vec<i64> {
 pub fn parallel_sweep_join_presorted<'a, R, F>(
     left: &[&'a Row],
     right: &[&'a Row],
-    (lts, lte): (usize, usize),
-    (rts, rte): (usize, usize),
+    lcols: (usize, usize),
+    rcols: (usize, usize),
     cuts: &[i64],
     map: F,
 ) -> (Vec<R>, ParallelJoinStats)
@@ -147,49 +147,76 @@ where
     R: Send,
     F: Fn(&'a Row, &'a Row) -> Option<R> + Sync,
 {
+    let infallible: Result<_, std::convert::Infallible> =
+        try_parallel_sweep_join_presorted(left, right, lcols, rcols, cuts, |l, r| Ok(map(l, r)));
+    let Ok(out) = infallible;
+    out
+}
+
+/// The fallible form of [`parallel_sweep_join_presorted`]: `map` may
+/// return an error (e.g. a cooperative-cancellation check tripping inside
+/// a slab worker), which aborts that slab's sweep immediately and fails
+/// the whole join. All workers are scoped, so every thread has finished
+/// before the first error is returned; with multiple failing slabs the
+/// lowest slab's error wins (deterministic for fixed cuts).
+pub fn try_parallel_sweep_join_presorted<'a, R, E, F>(
+    left: &[&'a Row],
+    right: &[&'a Row],
+    (lts, lte): (usize, usize),
+    (rts, rte): (usize, usize),
+    cuts: &[i64],
+    map: F,
+) -> Result<(Vec<R>, ParallelJoinStats), E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(&'a Row, &'a Row) -> Result<Option<R>, E> + Sync,
+{
     if cuts.is_empty() {
         let mut out = Vec::new();
-        sweep_join_presorted(left, right, (lts, lte), (rts, rte), |l, r| {
-            if let Some(v) = map(l, r) {
+        try_sweep_join_presorted(left, right, (lts, lte), (rts, rte), |l, r| {
+            if let Some(v) = map(l, r)? {
                 out.push(v);
             }
-        });
-        return (
+            Ok(())
+        })?;
+        return Ok((
             out,
             ParallelJoinStats {
                 slabs: 1,
                 suppressed: 0,
             },
-        );
+        ));
     }
     debug_assert!(
         cuts.windows(2).all(|w| w[0] < w[1]),
         "slab cuts must be strictly increasing"
     );
     let slabs = cuts.len() + 1;
-    let run_slab = |k: usize| -> (Vec<R>, u64) {
+    let run_slab = |k: usize| -> Result<(Vec<R>, u64), E> {
         let lo = (k > 0).then(|| cuts[k - 1]);
         let hi = (k < cuts.len()).then(|| cuts[k]);
         let l_slab = slab_rows(left, (lts, lte), lo, hi);
         let r_slab = slab_rows(right, (rts, rte), lo, hi);
         let mut out = Vec::new();
         let mut suppressed = 0u64;
-        sweep_join_presorted(&l_slab, &r_slab, (lts, lte), (rts, rte), |l, r| {
+        try_sweep_join_presorted(&l_slab, &r_slab, (lts, lte), (rts, rte), |l, r| {
             // Credit rule: the overlap's start is below this slab exactly
             // when a lower slab already emitted the pair. (It cannot be
             // at or above `hi`: both begins are < `hi` by construction.)
             let start = l.int(lts).max(r.int(rts));
             if lo.is_some_and(|lo| start < lo) {
                 suppressed += 1;
-                return;
+                return Ok(());
             }
-            if let Some(v) = map(l, r) {
+            if let Some(v) = map(l, r)? {
                 out.push(v);
             }
-        });
-        (out, suppressed)
+            Ok(())
+        })?;
+        Ok((out, suppressed))
     };
-    let results: Vec<(Vec<R>, u64)> = std::thread::scope(|scope| {
+    let results: Vec<Result<(Vec<R>, u64), E>> = std::thread::scope(|scope| {
         let run_slab = &run_slab;
         let handles: Vec<_> = (1..slabs)
             .map(|k| scope.spawn(move || run_slab(k)))
@@ -209,12 +236,13 @@ where
         slabs,
         suppressed: 0,
     };
-    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
-    for (v, s) in results {
+    let mut out = Vec::new();
+    for r in results {
+        let (v, s) = r?;
         out.extend(v);
         stats.suppressed += s;
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// The rows of a begin-sorted side whose interval overlaps the slab
@@ -352,6 +380,33 @@ mod tests {
         let (got, stats) = parallel_pairs(&l, &l, (1, 2), (1, 2), 4);
         assert_eq!(got, sequential_pairs(&l, &l, (1, 2), (1, 2)));
         assert!(stats.slabs >= 2);
+    }
+
+    #[test]
+    fn try_variant_propagates_worker_errors_across_slab_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let l: Vec<Row> = (0..40).map(|k| row![k as i64, 0, 100]).collect();
+        let refs: Vec<&Row> = l.iter().collect();
+        for slabs in [1, 2, 4, 8] {
+            let cuts = choose_cuts(&elementary_boundaries(&refs, (1, 2), &refs, (1, 2)), slabs);
+            let pairs = AtomicU64::new(0);
+            let err =
+                try_parallel_sweep_join_presorted(&refs, &refs, (1, 2), (1, 2), &cuts, |a, b| {
+                    if pairs.fetch_add(1, Ordering::Relaxed) >= 10 {
+                        Err(format!("cancelled at {slabs}"))
+                    } else {
+                        Ok(Some((a.clone(), b.clone())))
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, format!("cancelled at {slabs}"));
+            // Each slab stops at its first error, so pair work is bounded
+            // well below the 1600 the full join would consider.
+            assert!(pairs.load(Ordering::Relaxed) < 10 + slabs as u64 + 1);
+        }
+        // And the infallible wrapper still agrees with the sequential path.
+        let (got, _) = parallel_pairs(&l, &l, (1, 2), (1, 2), 4);
+        assert_eq!(got, sequential_pairs(&l, &l, (1, 2), (1, 2)));
     }
 
     #[test]

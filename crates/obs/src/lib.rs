@@ -8,7 +8,7 @@
 //! dependency graph so that every layer (index, engine, txn, wal, session)
 //! can report into it.
 //!
-//! Five facilities:
+//! Six facilities:
 //!
 //! * [`metrics`] — a global, thread-safe [`MetricsRegistry`] of atomic
 //!   [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s
@@ -34,6 +34,12 @@
 //!   [`ProfileSpan::enter`] maintains a per-thread operator stack and
 //!   attributes self wall time to folded stack paths
 //!   ([`render_folded`] emits flamegraph-compatible output).
+//! * [`activity`] — the in-flight plane: a registry of live sessions and
+//!   their current statement (phase, start time, live [`ResourceAccount`]
+//!   counters), plus cooperative cancellation via per-statement
+//!   [`CancelToken`]s (statement timeouts, resource limits, explicit
+//!   kills). Feeds the `snapshot_stat_activity` and
+//!   `snapshot_stat_progress` virtual tables and the shell's `.activity`.
 //!
 //! # Testing against process-global state
 //!
@@ -51,12 +57,18 @@
 //! * For statement stats, use table/column names unique to the test so
 //!   its fingerprints cannot collide with other tests' statements.
 
+pub mod activity;
 pub mod metrics;
 pub mod profile;
 pub mod slowlog;
 pub mod stmtstats;
 pub mod trace;
 
+pub use activity::{
+    cancel_session, is_cancel_error, note_cancellation, register_session, sessions_snapshot,
+    ActivityHandle, CancelKind, CancelToken, Phase, ResourceAccount, ResourceUsage,
+    SessionSnapshot, CANCEL_ERROR_MARKER,
+};
 pub use metrics::{
     default_latency_bounds, process_start, refresh_process_metrics, registry, Counter, Gauge,
     Histogram, LazyCounter, LazyHistogram, MetricSample, MetricsRegistry,
@@ -65,7 +77,10 @@ pub use profile::{
     profile_stats, profiling_enabled, render_folded, reset_profile, set_profiling, PathStat,
     ProfileSpan,
 };
-pub use slowlog::{record_slow_query, reset_slow_log, slow_queries, SlowQuery, SLOW_LOG_CAPACITY};
+pub use slowlog::{
+    record_slow_query, reset_slow_log, set_slow_log_capacity, slow_log_capacity, slow_queries,
+    SlowQuery, SLOW_LOG_CAPACITY,
+};
 pub use stmtstats::{
     fingerprint, record_statement, reset_statement_stats, statement_stats, StatementStat,
     FINGERPRINT_CAPACITY,

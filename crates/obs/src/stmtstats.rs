@@ -14,12 +14,18 @@
 //! back via [`statement_stats`]. Stats live in memory only — they reset
 //! with the process, never with the database files.
 
-use crate::metrics::{default_latency_bounds, Histogram};
+use crate::metrics::{default_latency_bounds, Histogram, LazyCounter};
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Maximum number of distinct fingerprints retained (LRU eviction beyond).
 pub const FINGERPRINT_CAPACITY: usize = 256;
+
+/// Fingerprints evicted from the LRU under capacity pressure. A non-zero
+/// value means `snapshot_stat_statements` is missing shapes — the
+/// workload ran more than [`FINGERPRINT_CAPACITY`] distinct statement
+/// shapes and the coldest were dropped.
+static STMT_STATS_EVICTIONS: LazyCounter = LazyCounter::new("stmt_stats_evictions_total");
 
 /// Normalize a SQL statement into its fingerprint: string and numeric
 /// literals become `?`, whitespace runs collapse to one space, letters
@@ -140,6 +146,7 @@ pub fn record_statement(sql: &str, rows: Option<u64>, seconds: f64) {
             .map(|(k, _)| k.clone())
         {
             c.map.remove(&victim);
+            STMT_STATS_EVICTIONS.inc();
         }
     }
     let e = c.map.entry(fp).or_insert_with(|| Entry {
@@ -244,7 +251,11 @@ mod tests {
         assert!(s.p95_seconds.is_some());
 
         // LRU bound: flooding with unique shapes never exceeds capacity,
-        // and the hot (recently touched) fingerprint survives.
+        // the hot (recently touched) fingerprint survives, and every
+        // eviction is counted.
+        let evicted_before = crate::registry()
+            .counter("stmt_stats_evictions_total")
+            .get();
         for i in 0..(2 * FINGERPRINT_CAPACITY) {
             record_statement(&format!("SELECT c{i} FROM stmtstats_t"), None, 0.001);
             record_statement("SELECT x FROM stmtstats_t WHERE y = 3", Some(1), 0.001);
@@ -254,6 +265,13 @@ mod tests {
         assert!(stats
             .iter()
             .any(|s| s.fingerprint == "select x from stmtstats_t where y = ?"));
+        assert!(
+            crate::registry()
+                .counter("stmt_stats_evictions_total")
+                .get()
+                > evicted_before,
+            "capacity-pressure evictions are counted"
+        );
         reset_statement_stats();
         assert!(statement_stats().is_empty());
     }

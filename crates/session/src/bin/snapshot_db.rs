@@ -33,6 +33,7 @@ fn main() {
     let mut persistence = PersistenceOptions::default();
     let mut durability_flag: Option<&str> = None;
     let mut quiet = false;
+    let mut continue_on_error = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +71,11 @@ fn main() {
                 Some(n) => options.slow_query_ms = Some(n),
                 None => die_usage("--slow-ms requires a threshold in milliseconds"),
             },
+            "--timeout-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => options.statement_timeout_ms = (n > 0).then_some(n),
+                None => die_usage("--timeout-ms requires a limit in milliseconds"),
+            },
+            "--continue-on-error" => continue_on_error = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -127,6 +133,7 @@ fn main() {
         options,
         quiet,
         interactive: script.is_none(),
+        continue_on_error,
         pending: String::new(),
         trace: false,
     };
@@ -178,7 +185,8 @@ enum Flow {
 
 const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLICY]
                    [--checkpoint-every N] [--parallelism N] [--no-index]
-                   [--verify] [--slow-ms N] [--quiet]
+                   [--verify] [--slow-ms N] [--timeout-ms N]
+                   [--continue-on-error] [--quiet]
   --db DIR              open a durable database in DIR (created if missing):
                         statements are write-ahead-logged and the catalog is
                         checkpointed, so the database survives restarts
@@ -195,6 +203,11 @@ const USAGE: &str = "usage: snapshot_db [--db DIR] [--script FILE] [--sync POLIC
   --verify              re-run every indexed query naively and fail on divergence
   --slow-ms N           log statements taking >= N ms to the slow-query log
                         (queryable as snapshot_stat_slow_queries)
+  --timeout-ms N        cancel statements still executing after N ms
+                        (cooperative; also per session via SET
+                        statement_timeout = N, or .timeout)
+  --continue-on-error   in script mode, report statement errors and carry
+                        on instead of exiting with status 1
   --quiet               print summaries and timings but not result tables
   --help, -h            print this usage";
 
@@ -216,6 +229,12 @@ Meta commands:
   .metrics [FILE]    dump the global metrics registry (Prometheus text
                      format) to stdout or FILE
   .trace on|off      print the tracing-span tree after every statement
+  .activity          list live sessions (id, state, phase, statement,
+                     elapsed, rows) — the snapshot_stat_activity view
+  .kill ID           cooperatively cancel session ID's running statement
+                     (same as SELECT snapshot_cancel(ID); idle = no-op)
+  .timeout [N|off]   cancel statements still executing after N ms; bare
+                     .timeout shows the state (also: SET statement_timeout)
   .slow [N|off]      log statements taking >= N ms (with phase split and
                      operator actuals) to the slow-query log, queryable as
                      snapshot_stat_slow_queries; bare .slow shows the state
@@ -224,8 +243,9 @@ Meta commands:
                      stack collection, 'off' stops it, bare .profile prints
                      the folded stacks (flamegraph format), FILE writes them
 
-Introspection: the snapshot_stat_* virtual tables (metrics, statements,
-tables, indexes, transactions, slow_queries) answer ordinary SELECTs, e.g.
+Introspection: the snapshot_stat_* virtual tables (activity, progress,
+metrics, statements, tables, indexes, transactions, slow_queries) answer
+ordinary SELECTs, e.g.
   SELECT * FROM snapshot_stat_statements ORDER BY total_time_ms DESC;
   .checkpoint        write a checkpoint now (durable databases only)
   .dump [FILE]       write the catalog as a re-loadable SQL script
@@ -250,6 +270,10 @@ struct Shell {
     options: SessionOptions,
     quiet: bool,
     interactive: bool,
+    /// `--continue-on-error` — script mode reports statement errors and
+    /// carries on instead of exiting (the CI smoke scripts drive expected
+    /// cancellations through this).
+    continue_on_error: bool,
     /// Multi-line statement accumulator (REPL and scripts alike).
     pending: String,
     /// `.trace on` — print the span tree after every statement.
@@ -287,10 +311,11 @@ impl Shell {
         Flow::Continue
     }
 
-    /// Reports an error; interactive sessions carry on, scripts fail.
+    /// Reports an error; interactive sessions (and scripts run with
+    /// `--continue-on-error`) carry on, other scripts fail.
     fn fail(&self, e: &str) -> Flow {
         eprintln!("error: {e}");
-        if self.interactive {
+        if self.interactive || self.continue_on_error {
             Flow::Continue
         } else {
             Flow::Fail
@@ -369,6 +394,12 @@ impl Shell {
             "checkpoint" => self.checkpoint(),
             "dump" => self.dump(words.next()),
             "metrics" => self.metrics(words.next()),
+            "activity" => {
+                self.activity();
+                Ok(())
+            }
+            "kill" => self.kill(words.next()),
+            "timeout" => self.timeout(words.next()),
             "slow" => self.slow(words.next()),
             "profile" => self.profile(words.next()),
             "trace" => match words.next() {
@@ -585,6 +616,80 @@ impl Shell {
         // query itself (or EXPLAIN ANALYZE) for execution timings.
         println!("  ({})", self.session.last_phase_timings().render());
         Ok(())
+    }
+
+    /// `.activity` — list the live sessions of this process: who is
+    /// running what, since when, and how much work it has done (the shell
+    /// rendering of `snapshot_stat_activity`).
+    fn activity(&self) {
+        let own = self.session.session_id();
+        for s in snapshot_obs::sessions_snapshot() {
+            let marker = if s.session_id == own {
+                " (this shell)"
+            } else {
+                ""
+            };
+            let elapsed = s
+                .elapsed_ms
+                .map(|ms| format!("{ms:.1} ms"))
+                .unwrap_or_else(|| "-".into());
+            let statement = s.statement.as_deref().unwrap_or("-");
+            println!(
+                "session {} [{} {}]{} phase={} elapsed={} rows={} — {}",
+                s.session_id,
+                s.backend,
+                s.state,
+                marker,
+                s.phase.as_str(),
+                elapsed,
+                s.usage.rows_emitted,
+                statement,
+            );
+        }
+    }
+
+    /// `.kill <id>` — cooperatively cancel the running statement of
+    /// another session (same as `SELECT snapshot_cancel(<id>)`).
+    fn kill(&self, id: Option<&str>) -> Result<(), String> {
+        let id: u64 = id
+            .and_then(|w| w.parse().ok())
+            .ok_or("usage: .kill <session-id> (see .activity)")?;
+        if Session::cancel_session(id) {
+            println!("session {id}: cancellation signalled");
+        } else {
+            println!("session {id}: idle or unknown — nothing to cancel");
+        }
+        Ok(())
+    }
+
+    /// `.timeout [N|off]` — set, clear, or show the statement timeout.
+    /// Updates both the live session and the option template `.parallel`
+    /// readers inherit.
+    fn timeout(&mut self, arg: Option<&str>) -> Result<(), String> {
+        match arg {
+            None => {
+                match self.options.statement_timeout_ms {
+                    Some(ms) => println!("statement timeout: {ms} ms"),
+                    None => println!("statement timeout: off"),
+                }
+                Ok(())
+            }
+            Some("off") => {
+                self.session.options_mut().statement_timeout_ms = None;
+                self.options.statement_timeout_ms = None;
+                println!("statement timeout: off");
+                Ok(())
+            }
+            Some(n) => match n.parse::<u64>() {
+                Ok(ms) if ms > 0 => {
+                    self.session.options_mut().statement_timeout_ms = Some(ms);
+                    self.options.statement_timeout_ms = Some(ms);
+                    println!("statement timeout: {ms} ms");
+                    Ok(())
+                }
+                _ => Err("usage: .timeout [N|off] (N in milliseconds, > 0)".to_string()),
+            },
+        }
     }
 
     /// `.slow [N|off]` — set, clear, or show the slow-query threshold.

@@ -30,7 +30,7 @@ use crate::database::{
 };
 use crate::shared::SharedDatabase;
 use algebra::Plan;
-use engine::{eval_expr, eval_predicate, Engine, EngineConfig, ExecStats, NodeStats};
+use engine::{eval_expr, eval_predicate, Engine, EngineConfig, ExecContext, ExecStats, NodeStats};
 use index::{IndexCatalog, MaintenanceStats};
 use rewrite::{infer_domain, RewriteOptions, SnapshotCompiler};
 use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
@@ -92,6 +92,13 @@ pub enum StatementResult {
     },
     /// `ROLLBACK` discarded the open transaction.
     RolledBack,
+    /// `SET` changed a session option.
+    Set {
+        /// Option name.
+        name: String,
+        /// The raw value it was set to.
+        value: String,
+    },
 }
 
 impl StatementResult {
@@ -122,6 +129,7 @@ impl fmt::Display for StatementResult {
             StatementResult::Began => write!(f, "BEGIN"),
             StatementResult::Committed { tables } => write!(f, "COMMIT ({tables} table(s))"),
             StatementResult::RolledBack => write!(f, "ROLLBACK"),
+            StatementResult::Set { name, value } => write!(f, "SET {name} = {value}"),
         }
     }
 }
@@ -159,6 +167,25 @@ pub struct SessionOptions {
     /// disables the log *and* the per-node actuals collection it implies;
     /// set it via the shell's `--slow-ms` flag or `.slow` command.
     pub slow_query_ms: Option<u64>,
+    /// Statement timeout, in milliseconds: a statement still executing
+    /// past it is cooperatively cancelled at the next operator batch
+    /// boundary and surfaces a "statement cancelled" error. `None` (the
+    /// default) and `0` both mean no timeout. Set it per session via
+    /// `SET statement_timeout = <ms>`, the shell's `--timeout-ms` flag,
+    /// or `.timeout`.
+    pub statement_timeout_ms: Option<u64>,
+    /// Resource limit: cancel a statement once its scans have produced
+    /// more than this many rows (`SET max_rows_scanned = <n>`).
+    pub max_rows_scanned: Option<u64>,
+    /// Resource limit: cancel a statement once its operators have emitted
+    /// more than this many rows (`SET max_result_rows = <n>`).
+    pub max_result_rows: Option<u64>,
+    /// Capacity of the process-wide slow-query ring
+    /// ([`snapshot_obs::slow_queries`]). Applied on session creation when
+    /// it differs from the built-in default
+    /// ([`snapshot_obs::SLOW_LOG_CAPACITY`]); overflow drops the oldest
+    /// entries and counts them in `slow_log_evictions_total`.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for SessionOptions {
@@ -170,6 +197,10 @@ impl Default for SessionOptions {
             rewrite: RewriteOptions::default(),
             collect_metrics: true,
             slow_query_ms: None,
+            statement_timeout_ms: None,
+            max_rows_scanned: None,
+            max_result_rows: None,
+            slow_log_capacity: obs::SLOW_LOG_CAPACITY,
         }
     }
 }
@@ -348,6 +379,9 @@ pub struct Session {
     /// only while the slow-query log is armed (see
     /// [`SessionOptions::slow_query_ms`]).
     slow_actuals: Option<String>,
+    /// This session's entry in the global live-activity registry
+    /// (`snapshot_stat_activity`); dropping the session deregisters it.
+    activity: obs::ActivityHandle,
 }
 
 impl Default for Session {
@@ -364,6 +398,7 @@ impl Session {
 
     /// A session over an exclusively owned database, with explicit options.
     pub fn with_options(db: Database, options: SessionOptions) -> Self {
+        apply_slow_log_capacity(&options);
         Session {
             backend: Backend::Owned(Box::new(db)),
             options,
@@ -372,12 +407,14 @@ impl Session {
             retries: RetryStats::default(),
             phases: PhaseTimings::default(),
             slow_actuals: None,
+            activity: obs::register_session("owned"),
         }
     }
 
     /// A session over a shared database (one of many — see
     /// [`SharedDatabase::session`]).
     pub(crate) fn from_shared(shared: SharedDatabase, options: SessionOptions) -> Self {
+        apply_slow_log_capacity(&options);
         Session {
             backend: Backend::Shared(shared),
             options,
@@ -386,7 +423,22 @@ impl Session {
             retries: RetryStats::default(),
             phases: PhaseTimings::default(),
             slow_actuals: None,
+            activity: obs::register_session("shared"),
         }
+    }
+
+    /// This session's id in the live-activity registry — what
+    /// `snapshot_stat_activity` reports and what `.kill <id>` /
+    /// `SELECT snapshot_cancel(<id>)` target.
+    pub fn session_id(&self) -> u64 {
+        self.activity.session_id()
+    }
+
+    /// Cancels the current statement of session `id` process-wide (the
+    /// `.kill` entry point). Returns `false` when `id` is unknown or
+    /// idle — killing an idle session is a clean no-op.
+    pub fn cancel_session(id: u64) -> bool {
+        obs::cancel_session(id)
     }
 
     /// Opens a *durable* session on a database directory, recovering
@@ -680,7 +732,7 @@ impl Session {
                 ..
             } = self;
             let txn = txn.as_ref().expect("checked");
-            return compile_query_timed(options, txn.catalog(), &q, phases);
+            return compile_query_timed(options, txn.catalog(), &q, phases, None);
         }
         let Session {
             backend,
@@ -689,10 +741,10 @@ impl Session {
             ..
         } = self;
         match backend {
-            Backend::Owned(db) => compile_query_timed(options, db.catalog(), &q, phases),
+            Backend::Owned(db) => compile_query_timed(options, db.catalog(), &q, phases, None),
             Backend::Shared(shared) => {
                 let snap = shared.snapshot();
-                compile_query_timed(options, snap.catalog(), &q, phases)
+                compile_query_timed(options, snap.catalog(), &q, phases, None)
             }
         }
     }
@@ -725,10 +777,14 @@ impl Session {
             commit_ms: p.commit_ns as f64 / 1e6,
             rows,
             plan: self.slow_actuals.take(),
+            cancelled: None,
         });
     }
 
-    /// Routes one statement: transaction control, query, or mutation.
+    /// Routes one statement: transaction control, query, or mutation —
+    /// bracketed by live-activity registration ([`snapshot_obs::activity`])
+    /// and followed by the cancellation unwind if the statement died with
+    /// a "statement cancelled" error.
     fn apply_inner(
         &mut self,
         stmt: &SqlStatement,
@@ -736,16 +792,118 @@ impl Session {
     ) -> Result<StatementResult, String> {
         self.phases = PhaseTimings::default();
         self.slow_actuals = None;
+        self.activity.begin_statement(
+            text.unwrap_or("<prepared statement>"),
+            self.options.statement_timeout_ms,
+            self.options.max_rows_scanned,
+            self.options.max_result_rows,
+        );
+        let result = self.dispatch(stmt, text);
+        if let Err(e) = &result {
+            if obs::is_cancel_error(e) {
+                self.unwind_cancelled(text);
+            }
+        }
+        self.activity.set_in_txn(self.txn.is_some());
+        self.activity.end_statement();
+        result
+    }
+
+    /// The statement router proper (see [`Session::apply_inner`]).
+    fn dispatch(
+        &mut self,
+        stmt: &SqlStatement,
+        text: Option<&str>,
+    ) -> Result<StatementResult, String> {
         match stmt {
-            SqlStatement::Query(q) => Ok(StatementResult::Rows(self.run_query(q)?)),
+            SqlStatement::Query(q) => {
+                // `SELECT snapshot_cancel(<id>)` is a session-level verb,
+                // not a query: intercept it before binding (the algebra
+                // has no scalar-function form for it).
+                if let Some(id) = cancel_request(q) {
+                    return Ok(StatementResult::Rows(cancel_result_table(
+                        Session::cancel_session(id),
+                    )));
+                }
+                Ok(StatementResult::Rows(self.run_query(q)?))
+            }
             SqlStatement::Explain { analyze, statement } => Ok(StatementResult::Rows(
                 self.run_explain(*analyze, statement)?,
             )),
             SqlStatement::Begin => self.begin_txn(),
             SqlStatement::Commit => self.commit_txn(),
             SqlStatement::Rollback => self.rollback_txn(),
+            SqlStatement::Set { name, value } => self.apply_set(name, value),
             _ => self.apply_mutation(stmt, text),
         }
+    }
+
+    /// `SET <option> = <value>`: session-scoped knobs for cancellation
+    /// and the slow log. Numeric options accept `off` (or `0`) to clear.
+    fn apply_set(&mut self, name: &str, value: &str) -> Result<StatementResult, String> {
+        let parsed = if value.eq_ignore_ascii_case("off") {
+            None
+        } else {
+            Some(value.parse::<u64>().map_err(|_| {
+                format!("invalid value '{value}' for '{name}' (expected a number or 'off')")
+            })?)
+        };
+        match name {
+            "statement_timeout" | "statement_timeout_ms" => {
+                self.options.statement_timeout_ms = parsed.filter(|&ms| ms > 0);
+            }
+            "max_rows_scanned" => self.options.max_rows_scanned = parsed.filter(|&n| n > 0),
+            "max_result_rows" => self.options.max_result_rows = parsed.filter(|&n| n > 0),
+            "slow_log_capacity" => {
+                let n = parsed
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "slow_log_capacity must be a positive number".to_string())?;
+                obs::set_slow_log_capacity(n as usize);
+                self.options.slow_log_capacity = obs::slow_log_capacity();
+            }
+            other => return Err(format!("unknown session option '{other}'")),
+        }
+        Ok(StatementResult::Set {
+            name: name.to_string(),
+            value: value.to_string(),
+        })
+    }
+
+    /// A statement died with a cancellation error: count it in the
+    /// registry, roll back whatever transaction it was running in (the
+    /// WAL never saw its writes — statements are only logged at COMMIT),
+    /// and stamp the slow log (when armed) with the cancellation reason.
+    fn unwind_cancelled(&mut self, text: Option<&str>) {
+        let kind = self.activity.cancel_kind();
+        if let Some(kind) = kind {
+            obs::note_cancellation(kind);
+        }
+        // Drop the open transaction (explicit or implicit): its pinned
+        // snapshot is what everyone else still sees, so this is the whole
+        // rollback. A durable owned session is safe too — buffered
+        // statement text only reaches the WAL at COMMIT.
+        self.txn = None;
+        if self.options.slow_query_ms.is_none() {
+            return;
+        }
+        let p = &self.phases;
+        obs::record_slow_query(obs::SlowQuery {
+            seq: 0, // assigned by the log
+            statement: clean_statement(text.unwrap_or("<prepared statement>")),
+            total_ms: p.total_ns() as f64 / 1e6,
+            parse_ms: p.parse_ns as f64 / 1e6,
+            bind_ms: p.bind_ns as f64 / 1e6,
+            rewrite_ms: p.rewrite_ns as f64 / 1e6,
+            index_ms: p.index_ns as f64 / 1e6,
+            execute_ms: p.execute_ns as f64 / 1e6,
+            commit_ms: p.commit_ns as f64 / 1e6,
+            rows: None,
+            plan: self.slow_actuals.take(),
+            cancelled: Some(
+                kind.map(|k| k.reason().to_string())
+                    .unwrap_or_else(|| "cancelled".into()),
+            ),
+        });
     }
 
     /// `BEGIN`: pin a snapshot and open a transaction over it.
@@ -776,6 +934,7 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| "no transaction is open".to_string())?;
+        self.activity.set_phase(obs::Phase::Commit);
         let started = Instant::now();
         let _span = obs::Span::enter("session.commit");
         let tables = match &mut self.backend {
@@ -1048,7 +1207,8 @@ impl Session {
             | SqlStatement::Explain { .. }
             | SqlStatement::Begin
             | SqlStatement::Commit
-            | SqlStatement::Rollback => {
+            | SqlStatement::Rollback
+            | SqlStatement::Set { .. } => {
                 unreachable!("routed by apply_inner")
             }
         }
@@ -1089,11 +1249,13 @@ impl Session {
                 options,
                 phases,
                 slow_actuals,
+                activity,
                 ..
             } = self;
             let txn = txn.as_mut().expect("checked");
-            let plan = compile_query_timed(options, txn.catalog(), stmt, phases)?;
+            let plan = compile_query_timed(options, txn.catalog(), stmt, phases, Some(activity))?;
             if options.use_indexes {
+                activity.set_phase(obs::Phase::Index);
                 let started = Instant::now();
                 let _span = obs::Span::enter("session.index");
                 txn.refresh_indexes(&plan.referenced_tables());
@@ -1106,6 +1268,7 @@ impl Session {
                 txn.indexes(),
                 phases,
                 slow_actuals,
+                Some(activity),
             );
         }
         let Session {
@@ -1113,12 +1276,15 @@ impl Session {
             options,
             phases,
             slow_actuals,
+            activity,
             ..
         } = self;
         match backend {
             Backend::Owned(db) => {
-                let plan = compile_query_timed(options, db.catalog(), stmt, phases)?;
+                let plan =
+                    compile_query_timed(options, db.catalog(), stmt, phases, Some(activity))?;
                 if options.use_indexes {
+                    activity.set_phase(obs::Phase::Index);
                     let started = Instant::now();
                     let _span = obs::Span::enter("session.index");
                     db.refresh_indexes(&plan.referenced_tables());
@@ -1131,15 +1297,18 @@ impl Session {
                     db.indexes(),
                     phases,
                     slow_actuals,
+                    Some(activity),
                 )
             }
             Backend::Shared(shared) => {
                 let mut snap = shared.snapshot();
-                let plan = compile_query_timed(options, snap.catalog(), stmt, phases)?;
+                let plan =
+                    compile_query_timed(options, snap.catalog(), stmt, phases, Some(activity))?;
                 if options.use_indexes {
                     // Repair the *pinned* registry: the repaired entries
                     // match the pinned tables exactly (version epochs),
                     // never a newer committed state.
+                    activity.set_phase(obs::Phase::Index);
                     let started = Instant::now();
                     let _span = obs::Span::enter("session.index");
                     snap.refresh_indexes(&plan.referenced_tables());
@@ -1152,6 +1321,7 @@ impl Session {
                     snap.indexes(),
                     phases,
                     slow_actuals,
+                    Some(activity),
                 )
             }
         }
@@ -1173,40 +1343,74 @@ impl Session {
                 txn,
                 options,
                 phases,
+                activity,
                 ..
             } = self;
             let txn = txn.as_mut().expect("checked");
-            let plan = compile_query_timed(options, txn.catalog(), stmt, phases)?;
+            let plan = compile_query_timed(options, txn.catalog(), stmt, phases, Some(activity))?;
             if options.use_indexes {
                 txn.refresh_indexes(&plan.referenced_tables());
             }
-            analyze_plan(options, &plan, txn.catalog(), txn.indexes(), phases)?
+            analyze_plan(
+                options,
+                &plan,
+                txn.catalog(),
+                txn.indexes(),
+                phases,
+                Some(activity),
+            )?
         } else {
             let Session {
                 backend,
                 options,
                 phases,
+                activity,
                 ..
             } = self;
             match backend {
                 Backend::Owned(db) => {
-                    let plan = compile_query_timed(options, db.catalog(), stmt, phases)?;
+                    let plan =
+                        compile_query_timed(options, db.catalog(), stmt, phases, Some(activity))?;
                     if options.use_indexes {
                         db.refresh_indexes(&plan.referenced_tables());
                     }
-                    analyze_plan(options, &plan, db.catalog(), db.indexes(), phases)?
+                    analyze_plan(
+                        options,
+                        &plan,
+                        db.catalog(),
+                        db.indexes(),
+                        phases,
+                        Some(activity),
+                    )?
                 }
                 Backend::Shared(shared) => {
                     let mut snap = shared.snapshot();
-                    let plan = compile_query_timed(options, snap.catalog(), stmt, phases)?;
+                    let plan =
+                        compile_query_timed(options, snap.catalog(), stmt, phases, Some(activity))?;
                     if options.use_indexes {
                         snap.refresh_indexes(&plan.referenced_tables());
                     }
-                    analyze_plan(options, &plan, snap.catalog(), snap.indexes(), phases)?
+                    analyze_plan(
+                        options,
+                        &plan,
+                        snap.catalog(),
+                        snap.indexes(),
+                        phases,
+                        Some(activity),
+                    )?
                 }
             }
         };
         Ok(plan_text_table(&text))
+    }
+}
+
+/// Applies a non-default [`SessionOptions::slow_log_capacity`] to the
+/// process-wide slow-query ring on session creation (sessions built with
+/// the default leave the global setting alone).
+fn apply_slow_log_capacity(options: &SessionOptions) {
+    if options.slow_log_capacity > 0 && options.slow_log_capacity != obs::SLOW_LOG_CAPACITY {
+        obs::set_slow_log_capacity(options.slow_log_capacity);
     }
 }
 
@@ -1234,23 +1438,31 @@ fn compile_query(
     catalog: &Catalog,
     stmt: &Statement,
 ) -> Result<Plan, String> {
-    compile_query_timed(options, catalog, stmt, &mut PhaseTimings::default())
+    compile_query_timed(options, catalog, stmt, &mut PhaseTimings::default(), None)
 }
 
 /// [`compile_query`], splitting the bind and rewrite wall-clock into the
-/// caller's phase breakdown.
+/// caller's phase breakdown (and, when the statement runs on behalf of a
+/// registered session, into its live-activity phase).
 fn compile_query_timed(
     options: &SessionOptions,
     catalog: &Catalog,
     stmt: &Statement,
     phases: &mut PhaseTimings,
+    activity: Option<&obs::ActivityHandle>,
 ) -> Result<Plan, String> {
+    if let Some(a) = activity {
+        a.set_phase(obs::Phase::Bind);
+    }
     let started = Instant::now();
     let bound = {
         let _span = obs::Span::enter("session.bind");
         bind_statement(stmt, catalog)?
     };
     phases.bind_ns += started.elapsed().as_nanos() as u64;
+    if let Some(a) = activity {
+        a.set_phase(obs::Phase::Rewrite);
+    }
     let started = Instant::now();
     let _span = obs::Span::enter("session.rewrite");
     let compiler = SnapshotCompiler::with_options(infer_domain(catalog), options.rewrite);
@@ -1269,6 +1481,7 @@ fn compile_query_timed(
 /// per-node actuals — the same dispatch routes, plus one clock read per
 /// operator — and leaves their rendering in `slow_actuals` for the
 /// session to attach if the statement turns out slow.
+#[allow(clippy::too_many_arguments)]
 fn execute_plan(
     options: &SessionOptions,
     plan: &Plan,
@@ -1276,11 +1489,12 @@ fn execute_plan(
     indexes: &IndexCatalog,
     phases: &mut PhaseTimings,
     slow_actuals: &mut Option<String>,
+    activity: Option<&obs::ActivityHandle>,
 ) -> Result<Table, String> {
-    let engine = Engine::with_config(EngineConfig {
-        parallelism: options.parallelism,
-        ..EngineConfig::default()
-    });
+    if let Some(a) = activity {
+        a.set_phase(obs::Phase::Execute);
+    }
+    let engine = build_engine(options, activity);
     let started = Instant::now();
     let _span = obs::Span::enter("session.execute");
     let mut stats = ExecStats::default();
@@ -1333,11 +1547,12 @@ fn analyze_plan(
     catalog: &Catalog,
     indexes: &IndexCatalog,
     phases: &mut PhaseTimings,
+    activity: Option<&obs::ActivityHandle>,
 ) -> Result<String, String> {
-    let engine = Engine::with_config(EngineConfig {
-        parallelism: options.parallelism,
-        ..EngineConfig::default()
-    });
+    if let Some(a) = activity {
+        a.set_phase(obs::Phase::Execute);
+    }
+    let engine = build_engine(options, activity);
     let started = Instant::now();
     let mut stats = ExecStats::default();
     let mut nodes = NodeStats::default();
@@ -1362,6 +1577,64 @@ fn analyze_plan(
         phases.execute_ns as f64 / 1e6
     ));
     Ok(text)
+}
+
+/// The per-statement engine: parallelism from the options, and — when the
+/// statement runs on behalf of a registered session — the session's
+/// resource account and cancellation token attached, so operators bill
+/// their work to `snapshot_stat_progress` and observe kills, timeouts,
+/// and resource limits at batch boundaries.
+fn build_engine(options: &SessionOptions, activity: Option<&obs::ActivityHandle>) -> Engine {
+    let engine = Engine::with_config(EngineConfig {
+        parallelism: options.parallelism,
+        ..EngineConfig::default()
+    });
+    match activity {
+        Some(a) => engine.with_context(ExecContext::new(a.account(), a.token())),
+        None => engine,
+    }
+}
+
+/// Recognizes `SELECT snapshot_cancel(<id>)` — a bare select with no
+/// FROM/WHERE/GROUP BY and exactly that one function call — and returns
+/// the target session id.
+fn cancel_request(stmt: &Statement) -> Option<u64> {
+    if !stmt.order_by.is_empty() {
+        return None;
+    }
+    let sql::QueryExpr::Select(select) = &stmt.query else {
+        return None;
+    };
+    if !select.from.is_empty()
+        || select.where_clause.is_some()
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+    {
+        return None;
+    }
+    let [sql::SelectItem::Expr { expr, .. }] = select.items.as_slice() else {
+        return None;
+    };
+    let AstExpr::Func { name, args, star } = expr else {
+        return None;
+    };
+    if name != "snapshot_cancel" || *star {
+        return None;
+    }
+    let [AstExpr::Lit(Value::Int(id))] = args.as_slice() else {
+        return None;
+    };
+    u64::try_from(*id).ok()
+}
+
+/// The one-row result of `SELECT snapshot_cancel(<id>)`: whether a
+/// running statement was actually signalled (`false` for unknown or idle
+/// sessions — killing those is a clean no-op).
+fn cancel_result_table(signalled: bool) -> Table {
+    let schema = Schema::new(vec![Column::new("cancelled".to_string(), SqlType::Bool)]);
+    let mut table = Table::new(schema);
+    table.push(Row::new(vec![Value::Bool(signalled)]));
+    table
 }
 
 /// Wraps rendered plan text as a one-column result table, one row per

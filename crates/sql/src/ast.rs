@@ -69,6 +69,15 @@ pub enum SqlStatement {
         /// The explained query statement.
         statement: Box<Statement>,
     },
+    /// `SET <name> [= | TO] <value>` — a session option assignment. The
+    /// value is kept as raw text; the session layer interprets it (e.g.
+    /// `SET statement_timeout = 500`).
+    Set {
+        /// Option name (lower-cased by the lexer).
+        name: String,
+        /// Raw option value (number, identifier, or string literal).
+        value: String,
+    },
 }
 
 /// One column of a `CREATE TABLE` statement.

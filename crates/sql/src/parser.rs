@@ -233,7 +233,29 @@ impl Parser {
         if self.at_keyword("rollback") {
             return self.parse_txn_statement("rollback", SqlStatement::Rollback);
         }
+        if self.at_keyword("set") {
+            return self.parse_set();
+        }
         Ok(SqlStatement::Query(self.parse_query_statement()?))
+    }
+
+    /// `SET <name> [= | TO] <value>` — the value is a number, identifier,
+    /// or string literal, carried to the session layer as raw text.
+    fn parse_set(&mut self) -> Result<SqlStatement, String> {
+        self.expect_keyword("set")?;
+        let name = self.expect_ident()?;
+        if !self.eat_symbol(Sym::Eq) {
+            let _ = self.eat_keyword("to");
+        }
+        let negated = self.eat_symbol(Sym::Minus);
+        let value = match self.bump() {
+            Token::Int(i) => (if negated { -i } else { i }).to_string(),
+            Token::Double(d) => (if negated { -d } else { d }).to_string(),
+            Token::Str(s) if !negated => s,
+            Token::Ident(s) if !negated => s,
+            other => return Err(format!("expected a SET value, found '{other}'")),
+        };
+        Ok(SqlStatement::Set { name, value })
     }
 
     /// `BEGIN`/`COMMIT`/`ROLLBACK`, each tolerating an optional
@@ -1039,6 +1061,43 @@ mod tests {
         // Trailing garbage is rejected, not ignored.
         assert!(parse_sql_statement("BEGIN now").is_err());
         assert!(parse_sql_statement("COMMIT 5").is_err());
+    }
+
+    #[test]
+    fn set_statements_parse() {
+        let set = |name: &str, value: &str| SqlStatement::Set {
+            name: name.into(),
+            value: value.into(),
+        };
+        for (sql, want) in [
+            (
+                "SET statement_timeout = 500",
+                set("statement_timeout", "500"),
+            ),
+            (
+                "set statement_timeout to 500;",
+                set("statement_timeout", "500"),
+            ),
+            (
+                "SET max_rows_scanned 10000",
+                set("max_rows_scanned", "10000"),
+            ),
+            (
+                "SET statement_timeout = off",
+                set("statement_timeout", "off"),
+            ),
+            (
+                "SET slow_log_capacity TO '64'",
+                set("slow_log_capacity", "64"),
+            ),
+            ("SET x = -3", set("x", "-3")),
+        ] {
+            assert_eq!(parse_sql_statement(sql).unwrap(), want, "{sql}");
+        }
+        assert!(parse_sql_statement("SET").is_err());
+        assert!(parse_sql_statement("SET statement_timeout =").is_err());
+        assert!(parse_sql_statement("SET x = 1 2").is_err());
+        assert!(parse_sql_statement("SET x = -off").is_err());
     }
 
     #[test]

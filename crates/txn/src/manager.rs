@@ -18,6 +18,7 @@ static SNAPSHOTS: LazyCounter = LazyCounter::new("txn_snapshots_total");
 static SNAPSHOT_SECONDS: LazyHistogram = LazyHistogram::new("txn_snapshot_seconds");
 static COMMITS: LazyCounter = LazyCounter::new("txn_commits_total");
 static CONFLICTS: LazyCounter = LazyCounter::new("txn_conflicts_total");
+static ROLLBACKS: LazyCounter = LazyCounter::new("txn_rollbacks_total");
 static COMMIT_WAIT_SECONDS: LazyHistogram = LazyHistogram::new("txn_commit_wait_seconds");
 static VALIDATE_SECONDS: LazyHistogram = LazyHistogram::new("txn_validate_seconds");
 static PUBLISH_SECONDS: LazyHistogram = LazyHistogram::new("txn_publish_seconds");
@@ -264,8 +265,11 @@ impl TxnManager {
 
     /// Rolls a transaction back. The committed state was never touched, so
     /// this only drops the working catalog — kept as an explicit method
-    /// because "rollback is free" is an API promise worth naming.
+    /// because "rollback is free" is an API promise worth naming. Counted
+    /// in `txn_rollbacks_total` (explicit `ROLLBACK` statements and
+    /// cancellation unwinds both land here).
     pub fn rollback(&self, txn: Transaction) {
+        ROLLBACKS.inc();
         drop(txn);
     }
 
