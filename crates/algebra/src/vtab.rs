@@ -51,6 +51,7 @@ pub fn virtual_table_schema(name: &str) -> Option<Schema> {
         "snapshot_stat_activity" => &[
             ("session_id", SqlType::Int),
             ("backend", SqlType::Str),
+            ("remote_addr", SqlType::Str),
             ("state", SqlType::Str),
             ("in_txn", SqlType::Bool),
             ("phase", SqlType::Str),

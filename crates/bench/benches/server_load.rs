@@ -1,0 +1,234 @@
+//! Network server load bench: throughput and tail latency of a mixed
+//! temporal read/write workload over real TCP connections.
+//!
+//! An in-process [`snapshot_server::Server`] serves a seeded in-memory
+//! database; for each connection count N, N client threads connect with
+//! the [`snapshot_server::Client`] library and run a deterministic mix of
+//! `SEQ VT` reads and `INSERT`/`UPDATE`/`DELETE` writes, each operation's
+//! round-trip latency recorded individually. The run reports queries per
+//! second and p50/p95/p99 latency per connection count, and — as the
+//! observability witness — queries `snapshot_stat_statements` *over the
+//! wire* at the end to confirm the workload's statements were accounted
+//! server-side.
+//!
+//! Emits a machine-readable `BENCH_server.json` at the repository root.
+//! Hand-rolled measurement loop (no criterion): tail percentiles need the
+//! individual sample latencies, not iteration medians.
+
+use bench_harness::meta::BenchMeta;
+use snapshot_server::{Client, RemoteResult, Server, ServerConfig};
+use snapshot_session::SharedDatabase;
+use std::time::{Duration, Instant};
+
+const CONNECTION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Operations per connection per measured round.
+const OPS_PER_CONNECTION: usize = 50;
+/// Rows seeded into the works table before measurement.
+const SEED_ROWS: usize = 4_000;
+/// Out of every 10 operations, how many are reads.
+const READS_PER_10: usize = 8;
+
+const CREATE: &str = "CREATE TABLE works (name TEXT, skill TEXT, ts INT, te INT) PERIOD (ts, te)";
+const READ_QUERY: &str = "SEQ VT (SELECT skill, count(*) AS cnt FROM works GROUP BY skill);";
+
+fn seeded_shared(rows: usize) -> SharedDatabase {
+    let shared = SharedDatabase::in_memory();
+    let mut s = shared.session();
+    s.execute(CREATE).unwrap();
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(256) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                let ts = (i % 97) as i64;
+                format!("('p{}', 'S{}', {ts}, {})", i % 31, i % 5, ts + 5)
+            })
+            .collect();
+        s.execute(&format!("INSERT INTO works VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    shared.refresh_indexes(None);
+    shared
+}
+
+/// The `op`-th operation of connection `conn`: a read 8 times out of 10,
+/// otherwise an insert / update / delete over a churn row keyed to the
+/// connection (writers never collide on the same logical entity, but do
+/// contend on the table).
+fn operation(conn: usize, op: usize) -> String {
+    if op % 10 < READS_PER_10 {
+        return READ_QUERY.to_string();
+    }
+    let key = format!("c{conn}_{}", op / 20);
+    if op % 20 < 10 {
+        let ts = ((conn * 13 + op * 7) % 97) as i64;
+        format!(
+            "INSERT INTO works VALUES ('{key}', 'S9', {ts}, {});",
+            ts + 4
+        )
+    } else if op.is_multiple_of(4) {
+        format!("UPDATE works SET skill = 'S8' WHERE name = '{key}';")
+    } else {
+        format!("DELETE FROM works WHERE name = '{key}';")
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+struct LoadPoint {
+    connections: usize,
+    ops: usize,
+    queries_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn measure(addr: std::net::SocketAddr, connections: usize) -> LoadPoint {
+    let started = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut samples = Vec::with_capacity(OPS_PER_CONNECTION);
+                    for op in 0..OPS_PER_CONNECTION {
+                        let sql = operation(conn, op);
+                        let t = Instant::now();
+                        let resp = client.query(&sql).expect("connection alive");
+                        if let Some(e) = resp.error {
+                            panic!("operation failed: {e}\n({sql})");
+                        }
+                        samples.push(t.elapsed());
+                    }
+                    client.close().expect("clean close");
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let ops = connections * OPS_PER_CONNECTION;
+    LoadPoint {
+        connections,
+        ops,
+        queries_per_s: ops as f64 / wall,
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        p99_ms: percentile(&sorted, 0.99),
+    }
+}
+
+/// The observability witness: ask the *server* (over the wire) what the
+/// statement-stats registry saw, and return (fingerprints, total calls).
+fn stat_statements_witness(addr: std::net::SocketAddr) -> (usize, i64) {
+    let mut client = Client::connect(addr).expect("witness connects");
+    let resp = client
+        .query("SELECT fingerprint, calls FROM snapshot_stat_statements;")
+        .expect("witness query");
+    assert!(
+        resp.error.is_none(),
+        "witness query failed: {:?}",
+        resp.error
+    );
+    let table = resp
+        .results
+        .iter()
+        .find_map(|r| match r {
+            RemoteResult::Rows(t) => Some(t),
+            RemoteResult::Done(_) => None,
+        })
+        .expect("witness rows");
+    let calls: i64 = table
+        .rows()
+        .iter()
+        .map(|r| match r.values()[1] {
+            storage::Value::Int(n) => n,
+            ref other => panic!("calls column: {other:?}"),
+        })
+        .sum();
+    let fingerprints = table.len();
+    client.close().expect("clean close");
+    (fingerprints, calls)
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (--bench); ignore them.
+    snapshot_obs::reset_statement_stats();
+    let shared = seeded_shared(SEED_ROWS);
+    let server = Server::bind(shared, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Warm-up round: connection setup, first-query compilation, indexes.
+    let _ = measure(addr, 2);
+
+    let mut points = Vec::new();
+    for &n in &CONNECTION_COUNTS {
+        let point = measure(addr, n);
+        println!(
+            "server_load/connections/{n}: {:.0} q/s, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms \
+             ({} ops)",
+            point.queries_per_s, point.p50_ms, point.p95_ms, point.p99_ms, point.ops
+        );
+        points.push(point);
+    }
+
+    let (fingerprints, calls) = stat_statements_witness(addr);
+    let measured_ops: usize = points.iter().map(|p| p.ops).sum();
+    println!(
+        "snapshot_stat_statements over the wire: {fingerprints} fingerprint(s), \
+         {calls} call(s) accounted"
+    );
+    assert!(
+        calls >= measured_ops as i64,
+        "server-side statement stats must cover the workload: \
+         {calls} accounted < {measured_ops} measured"
+    );
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+
+    let meta = BenchMeta::new("server")
+        .param("seed_rows", SEED_ROWS)
+        .param("ops_per_connection", OPS_PER_CONNECTION)
+        .param("reads_per_10", READS_PER_10)
+        .param_str("read_query", READ_QUERY.trim_end_matches(';'));
+    let load: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"connections\": {}, \"ops\": {}, \"queries_per_s\": {:.0}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                p.connections, p.ops, p.queries_per_s, p.p50_ms, p.p95_ms, p.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n{},\n  \"load\": [\n{}\n  ],\n  \"stat_statements_witness\": \
+         {{\"fingerprints\": {fingerprints}, \"calls\": {calls}, \
+         \"measured_ops\": {measured_ops}}}\n}}\n",
+        meta.render(),
+        load.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -101,6 +101,10 @@ pub fn virtual_table_rows(
                 Row::new(vec![
                     Value::Int(s.session_id as i64),
                     Value::str(s.backend),
+                    s.remote_addr
+                        .as_deref()
+                        .map(Value::str)
+                        .unwrap_or(Value::Null),
                     Value::str(s.state),
                     Value::Bool(s.in_txn),
                     Value::str(s.phase.as_str()),

@@ -378,6 +378,8 @@ pub struct SessionEntry {
     phase: AtomicU8,
     /// Current (or most recent) statement text + fingerprint.
     statement: Mutex<Option<(String, String)>>,
+    /// Peer address for server-backed sessions (`None` for local ones).
+    remote_addr: Mutex<Option<String>>,
     /// When the current statement started, ns since [`process_start`]
     /// (0 = never ran one).
     statement_started_ns: AtomicU64,
@@ -402,6 +404,9 @@ pub struct SessionSnapshot {
     pub session_id: u64,
     /// Backend kind (`"owned"` or `"shared"`).
     pub backend: &'static str,
+    /// Peer address (`host:port`) when the session serves a network
+    /// client; `None` for local sessions.
+    pub remote_addr: Option<String>,
     /// `"active"` (statement running) or `"idle"`.
     pub state: &'static str,
     /// Whether an explicit transaction is open.
@@ -520,6 +525,18 @@ impl ActivityHandle {
     pub fn cancel_kind(&self) -> Option<CancelKind> {
         self.entry.token.cancel_kind()
     }
+
+    /// Stamp the peer address (`host:port`) of the network client this
+    /// session serves. Shown as `remote_addr` in `snapshot_stat_activity`
+    /// so `.kill <id>` / `snapshot_cancel(id)` work as an admin plane
+    /// against remote connections.
+    pub fn set_remote_addr(&self, addr: &str) {
+        *self
+            .entry
+            .remote_addr
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(addr.to_string());
+    }
 }
 
 /// Register a new live session of the given backend kind; the returned
@@ -536,6 +553,7 @@ pub fn register_session(backend: &'static str) -> ActivityHandle {
         in_txn: AtomicBool::new(false),
         phase: AtomicU8::new(Phase::Idle.code()),
         statement: Mutex::new(None),
+        remote_addr: Mutex::new(None),
         statement_started_ns: AtomicU64::new(0),
         statements_run: AtomicUsize::new(0),
         account: Arc::new(ResourceAccount::default()),
@@ -576,9 +594,15 @@ pub fn sessions_snapshot() -> Vec<SessionSnapshot> {
                 .map(|(s, f)| (Some(s), Some(f)))
                 .unwrap_or((None, None));
             let started = e.statement_started_ns.load(Ordering::Relaxed);
+            let remote_addr = e
+                .remote_addr
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
             SessionSnapshot {
                 session_id: e.id,
                 backend: e.backend,
+                remote_addr,
                 state: if e.state.load(Ordering::Acquire) == STATE_ACTIVE {
                     "active"
                 } else {
@@ -608,6 +632,11 @@ mod tests {
         let me = snap.iter().find(|s| s.session_id == id).expect("listed");
         assert_eq!(me.backend, "owned");
         assert_eq!(me.state, "idle");
+        assert!(me.remote_addr.is_none());
+        h.set_remote_addr("127.0.0.1:4777");
+        let snap = sessions_snapshot();
+        let me = snap.iter().find(|s| s.session_id == id).expect("listed");
+        assert_eq!(me.remote_addr.as_deref(), Some("127.0.0.1:4777"));
         assert_eq!(me.phase, Phase::Idle);
         assert!(me.statement.is_none());
         assert!(me.elapsed_ms.is_none());

@@ -1,5 +1,5 @@
 //! Statement-level database subsystem: sessions, temporal DDL/DML, and the
-//! `snapshot_db` shell.
+//! shell meta-command library.
 //!
 //! The paper's middleware (Section 9) exposes snapshot semantics as a SQL
 //! language feature over a *live* database. This crate supplies the
@@ -16,8 +16,9 @@
 //!   plain, `SEQ VT (...)`, `SEQ VT AS OF t (...)` (timeslice pushdown,
 //!   Theorem 6.3), and `SEQ VT BETWEEN t1 AND t2 (...)` (range-restricted
 //!   compilation over interval-tree overlap probes),
-//! * `snapshot_db` (`src/bin/`) — the line-oriented shell driving a
-//!   session interactively or from `.sql` scripts.
+//! * [`meta`] — the shell meta commands (`.tables`, `.kill`, `.dump`, …)
+//!   as a library, shared by the `snapshot_db` shell and the network
+//!   server (both live in the `snapshot_server` crate).
 //!
 //! Sessions are durable when opened on a database directory
 //! ([`Session::open_durable`]): every executed DDL/DML statement is
@@ -28,6 +29,7 @@
 //! tails instead of failing.
 
 pub mod database;
+pub mod meta;
 pub mod session;
 pub mod shared;
 

@@ -434,6 +434,15 @@ impl Session {
         self.activity.session_id()
     }
 
+    /// Stamp the peer address (`host:port`) of the network client this
+    /// session serves — shown as `remote_addr` in
+    /// `snapshot_stat_activity`, turning `.kill <id>` /
+    /// `snapshot_cancel(<id>)` into an admin plane over remote
+    /// connections. Local sessions never call this and report NULL.
+    pub fn set_remote_addr(&self, addr: &str) {
+        self.activity.set_remote_addr(addr);
+    }
+
     /// Cancels the current statement of session `id` process-wide (the
     /// `.kill` entry point). Returns `false` when `id` is unknown or
     /// idle — killing an idle session is a clean no-op.
@@ -854,6 +863,12 @@ impl Session {
             }
             "max_rows_scanned" => self.options.max_rows_scanned = parsed.filter(|&n| n > 0),
             "max_result_rows" => self.options.max_result_rows = parsed.filter(|&n| n > 0),
+            "parallelism" => {
+                let n = parsed.ok_or_else(|| {
+                    "parallelism must be a number (0 = one worker per hardware thread)".to_string()
+                })?;
+                self.options.parallelism = engine::resolve_parallelism(n as usize);
+            }
             "slow_log_capacity" => {
                 let n = parsed
                     .filter(|&n| n > 0)

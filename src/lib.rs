@@ -24,8 +24,10 @@
 //!   with its first-committer-wins commit path),
 //! * [`session`] — the statement-level database subsystem (`Database`,
 //!   `SharedDatabase`, `Session::execute` with `BEGIN`/`COMMIT`/
-//!   `ROLLBACK`, the `snapshot_db` shell; durable when opened on a
-//!   database directory),
+//!   `ROLLBACK`; durable when opened on a database directory),
+//! * [`server`] — the network subsystem: a threaded TCP server speaking a
+//!   length-prefixed CRC32-framed binary protocol, the `Client` library
+//!   type, and the `snapshot_server` / `snapshot_db` binaries,
 //! * [`baseline`] — comparator implementations (point-wise oracle, ATSQL
 //!   interval preservation, alignment-based native evaluation),
 //! * [`datagen`] — synthetic Employees / TPC-BiH-style datasets.
@@ -38,6 +40,7 @@ pub use index;
 pub use rewrite;
 pub use semiring;
 pub use snapshot_core;
+pub use snapshot_server as server;
 pub use snapshot_session as session;
 pub use snapshot_txn as txn;
 pub use snapshot_wal as wal;
