@@ -11,7 +11,7 @@
 //!   evaluated with **set** semantics. Snapshot aggregation yields no rows
 //!   for gaps (AG bug) and difference ignores multiplicities (BD bug).
 //! * [`BaselineKind::IntervalPreservation`] — ATSQL-style evaluation
-//!   (paper ref [9]): joins intersect intervals pairwise, inputs survive
+//!   (paper ref \[9\]): joins intersect intervals pairwise, inputs survive
 //!   fragmentarily into outputs, no coalescing — so the output encoding
 //!   depends on the input encoding (non-unique). Shares the AG and BD bugs.
 //!

@@ -1,4 +1,4 @@
-//! TPC-BiH-style valid-time TPC-H generator (paper Section 10.1, ref [25]).
+//! TPC-BiH-style valid-time TPC-H generator (paper Section 10.1, ref \[25\]).
 //!
 //! The schema is the TPC-H subset referenced by the snapshot query workload
 //! (Q1, Q3, Q5, Q6, Q7, Q8, Q9, Q10, Q12, Q14, Q19 — the queries without

@@ -116,6 +116,7 @@ impl ExecStats {
     /// plain `BTreeMap` bump.
     pub fn publish_to_registry(&self) {
         let reg = obs::registry();
+        // lint:allow(cancellation) bounded by the number of operator kinds
         for (op, (invocations, rows)) in self.iter() {
             let op = op.to_lowercase();
             reg.counter(&format!("engine_{op}_invocations_total"))
@@ -184,6 +185,7 @@ pub fn explain_analyzed(plan: &Plan, nodes: &NodeStats) -> String {
             None => out.push_str(" (never executed)"),
         }
         out.push('\n');
+        // lint:allow(cancellation) bounded by plan size
         for child in plan.children() {
             walk(out, child, depth + 1, nodes);
         }
@@ -411,6 +413,7 @@ impl Engine {
                 let mut input_rows =
                     self.run(input, catalog, indexes, stats, nodes.as_deref_mut())?;
                 input_rows.sort_by(|a, b| {
+                    // lint:allow(cancellation) bounded by sort-key arity
                     for (e, asc) in keys {
                         let (va, vb) = (eval_expr(e, a), eval_expr(e, b));
                         let ord = va.cmp(&vb);
@@ -901,6 +904,7 @@ fn collect_conjuncts(e: &Expr) -> Vec<&Expr> {
 /// Extracts `left_col = right_col` pairs from conjuncts.
 fn equi_keys(conjuncts: &[&Expr], l_arity: usize) -> Vec<(usize, usize)> {
     let mut keys = Vec::new();
+    // lint:allow(cancellation) bounded by predicate size
     for c in conjuncts {
         if let Expr::Binary {
             op: BinOp::Eq,
@@ -935,6 +939,7 @@ fn overlap_pattern(
     let (rts_g, rte_g) = (l_arity + r_arity - 2, l_arity + r_arity - 1);
     let mut has_l_lt_r = false;
     let mut has_r_lt_l = false;
+    // lint:allow(cancellation) bounded by predicate size
     for c in conjuncts {
         if let Expr::Binary {
             op: BinOp::Lt,
@@ -979,8 +984,16 @@ fn hash_join(
         .collect();
 
     let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(build.len());
-    'build: for row in build {
+    'build: for (n, row) in build.iter().enumerate() {
+        if let Some(ctx) = ctx {
+            // The build side can be arbitrarily large; poll the token at
+            // the same cadence as the probe phase's pair counting.
+            if (n as u64 + 1).is_multiple_of(CANCEL_CHECK_INTERVAL) {
+                ctx.check()?;
+            }
+        }
         let mut key = Vec::with_capacity(build_keys.len());
+        // lint:allow(cancellation) bounded by join-key arity
         for &i in &build_keys {
             let v = row.get(i);
             if v.is_null() {
@@ -1090,6 +1103,7 @@ fn merge_interval_join(
 
 fn except_all(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
     let mut counts: HashMap<&Row, usize> = HashMap::with_capacity(right.len());
+    // lint:allow(cancellation) single linear counting pass, no pair blowup
     for r in right {
         *counts.entry(r).or_insert(0) += 1;
     }
@@ -1119,6 +1133,7 @@ fn hash_aggregate(
             .collect()
     };
     let mut groups: BTreeMap<Vec<Value>, Vec<SlidingAgg>> = BTreeMap::new();
+    // lint:allow(cancellation) single linear pass over already-checked input
     for r in rows {
         let key: Vec<Value> = group_cols.iter().map(|&i| r.get(i).clone()).collect();
         let state = groups.entry(key).or_insert_with(new_state);

@@ -66,6 +66,7 @@ pub fn try_sweep_join_presorted<'a, E>(
         if take_left {
             let l = left[i];
             let t = l.int(lts);
+            // lint:allow(cancellation) amortized: one pop per insertion
             while let Some(&Reverse((e, _))) = active_r.peek() {
                 if e > t {
                     break;
@@ -80,6 +81,7 @@ pub fn try_sweep_join_presorted<'a, E>(
         } else {
             let r = right[j];
             let t = r.int(rts);
+            // lint:allow(cancellation) amortized: one pop per insertion
             while let Some(&Reverse((e, _))) = active_l.peek() {
                 if e > t {
                     break;

@@ -8,7 +8,7 @@
 //! interval endpoints of both inputs cut the time line into elementary
 //! intervals, and any grouping of those into `P` contiguous *slabs*
 //! partitions the endpoint domain. Each slab is handed to a scoped worker
-//! thread that runs the ordinary [`sweep_join_presorted`] kernel over the
+//! thread that runs the ordinary [`sweep_join_presorted`](crate::join::sweep_join_presorted) kernel over the
 //! rows overlapping the slab.
 //!
 //! A pair of intervals whose overlap straddles a slab cut would be found
@@ -48,10 +48,12 @@ pub fn elementary_boundaries(
     (rts, rte): (usize, usize),
 ) -> Vec<i64> {
     let mut b: Vec<i64> = Vec::with_capacity(2 * (left.len() + right.len()));
+    // lint:allow(cancellation) linear endpoint collection, no pair blowup
     for r in left {
         b.push(r.int(lts));
         b.push(r.int(lte));
     }
+    // lint:allow(cancellation) linear endpoint collection, no pair blowup
     for r in right {
         b.push(r.int(rts));
         b.push(r.int(rte));
@@ -80,6 +82,7 @@ fn merge_dedup(a: &[i64], b: &[i64]) -> Vec<i64> {
             out.push(v);
         }
     };
+    // lint:allow(cancellation) linear merge of already-materialized lists
     while i < a.len() && j < b.len() {
         if a[i] <= b[j] {
             push(&mut out, a[i]);
@@ -89,9 +92,11 @@ fn merge_dedup(a: &[i64], b: &[i64]) -> Vec<i64> {
             j += 1;
         }
     }
+    // lint:allow(cancellation) linear merge tail
     for &v in &a[i..] {
         push(&mut out, v);
     }
+    // lint:allow(cancellation) linear merge tail
     for &v in &b[j..] {
         push(&mut out, v);
     }
@@ -110,6 +115,7 @@ pub fn choose_cuts(boundaries: &[i64], slabs: usize) -> Vec<i64> {
         return Vec::new();
     }
     let mut cuts = Vec::with_capacity(slabs - 1);
+    // lint:allow(cancellation) bounded by the requested slab count
     for i in 1..slabs {
         let idx = (i * boundaries.len() / slabs).min(boundaries.len() - 1);
         let c = boundaries[idx];
@@ -237,6 +243,7 @@ where
         suppressed: 0,
     };
     let mut out = Vec::new();
+    // lint:allow(cancellation) bounded by slab count; workers already checked
     for r in results {
         let (v, s) = r?;
         out.extend(v);

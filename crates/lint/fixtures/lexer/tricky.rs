@@ -1,0 +1,34 @@
+//! Lexer torture fixture: not compiled, only lexed by snapshot_lint tests.
+//! Exactly ONE `unwrap` ident in production position and TWO in test
+//! regions; everything else hides inside literals and comments.
+
+pub fn production(x: Option<u8>) -> u8 {
+    // The word unwrap() in this comment is not a token.
+    /* nor in /* this nested */ block comment: unwrap() */
+    let _raw = r#"a raw "string" with unwrap() inside"#;
+    let _rawer = r##"more #"# hashes, still one token: unwrap()"##;
+    let _bytes = b"byte string unwrap()";
+    let _c: char = '\'';
+    let _nl = '\n';
+    let _lifetime_fn: fn(&'static str) = drop;
+    let _range: Vec<u8> = (0..4).collect();
+    x.unwrap()
+}
+
+#[cfg(not(test))]
+pub fn still_production() -> &'static str {
+    r"raw without hashes: unwrap()"
+}
+
+#[test]
+fn attr_test_region(x: [u8; 4]) {
+    let _ = Some(x[0]).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(dead_code)]
+    fn helper() -> u8 {
+        Some(1_u8).unwrap()
+    }
+}

@@ -1,0 +1,9 @@
+//! Bad-tree fixture: a loop that never polls the token.
+
+pub fn scan(rows: &[u32]) -> u64 {
+    let mut sum = 0;
+    for &r in rows {
+        sum += u64::from(r);
+    }
+    sum
+}

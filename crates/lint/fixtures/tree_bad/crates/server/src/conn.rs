@@ -1,0 +1,9 @@
+//! Bad-tree fixture: constructs the cancel marker by hand.
+
+pub fn cancel_message(id: u64) -> String {
+    format!("statement cancelled: {id}")
+}
+
+pub fn classify(err: &str) -> bool {
+    err.contains(CANCEL_ERROR_MARKER)
+}

@@ -1,0 +1,16 @@
+//! Bad-tree fixture: metric hygiene violations.
+
+pub struct Reg;
+impl Reg {
+    pub fn counter(&self, _n: &str) {}
+    pub fn gauge(&self, _n: &str) {}
+}
+
+pub fn register(reg: &Reg, dynamic: &str) {
+    reg.counter("session_good_total");
+    reg.counter("Bad_Name_Total");
+    reg.counter("mystery_total");
+    reg.counter("session_undocumented_total");
+    reg.gauge("session_good_total");
+    reg.counter(dynamic);
+}

@@ -1,0 +1,17 @@
+//! Bad-tree fixture: raw locking and inverted acquisition order.
+
+use std::sync::Mutex;
+
+mod lock {
+    pub fn lock(_name: &str, _m: &str) {}
+}
+
+pub fn bare(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn inverted() {
+    let _b = lock::lock("b.inner", "m2");
+    let _a = lock::lock("a.outer", "m1");
+    let _c = lock::lock("c.undeclared", "m3");
+}

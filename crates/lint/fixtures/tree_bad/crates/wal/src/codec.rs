@@ -1,0 +1,15 @@
+//! Bad-tree fixture: every panic primitive the rule bans.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("second byte");
+    if *first > 9 {
+        panic!("bad byte");
+    }
+    u32::from(*second) + u32::from(bytes[2])
+}
+
+pub fn allowed(bytes: &[u8]) -> u8 {
+    // lint:allow(panic_freedom) fixture proves suppression works
+    bytes[0]
+}

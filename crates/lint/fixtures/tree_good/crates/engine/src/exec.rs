@@ -1,0 +1,21 @@
+//! Good-tree fixture: loops poll the token.
+
+pub struct Token;
+impl Token {
+    pub fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn scan(rows: &[u32], token: &Token) -> Result<u64, String> {
+    let mut sum = 0u64;
+    for &r in rows {
+        token.check()?;
+        sum += u64::from(r);
+    }
+    // lint:allow(cancellation) bounded by a constant
+    for i in 0..4u32 {
+        sum += u64::from(i);
+    }
+    Ok(sum)
+}

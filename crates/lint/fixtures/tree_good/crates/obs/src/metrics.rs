@@ -1,0 +1,14 @@
+//! Good-tree fixture: the registry impl may forward dynamic names.
+
+pub struct Reg;
+impl Reg {
+    pub fn counter(&self, _n: &str) {}
+}
+
+pub fn forward(reg: &Reg, name: &str) {
+    reg.counter(name);
+}
+
+pub fn register(reg: &Reg) {
+    reg.counter("wal_good_total");
+}

@@ -1,0 +1,10 @@
+//! Good-tree fixture: ordered, helper-mediated locking.
+
+mod lock {
+    pub fn lock(_name: &str, _m: &str) {}
+}
+
+pub fn ordered() {
+    let _a = lock::lock("a.outer", "m1");
+    let _b = lock::lock("b.inner", "m2");
+}

@@ -1,0 +1,18 @@
+//! Good-tree fixture: panic-free decoding.
+
+pub fn decode(bytes: &[u8]) -> Result<u32, String> {
+    let word: [u8; 4] = bytes
+        .get(0..4)
+        .ok_or("short")?
+        .try_into()
+        .map_err(|_| "short")?;
+    Ok(u32::from_le_bytes(word))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::decode(&[1, 0, 0, 0]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,558 @@
+//! A lossless-enough Rust lexer for rule checking.
+//!
+//! This is not a full Rust lexer: it produces exactly the token stream the
+//! rules in [`crate::rules`] need, and nothing more. What it must get right —
+//! and what the fixture tests pin down — is the *boundaries*:
+//!
+//! - string/char literals (so `"a.unwrap()"` inside a string is not a call),
+//!   including raw strings with any number of `#` guards and byte strings;
+//! - nested block comments (`/* /* */ */` is one comment);
+//! - lifetimes vs char literals (`'a>` is a lifetime, `'a'` is a char);
+//! - raw identifiers (`r#type` is the identifier `type`, not a raw string);
+//! - numeric literals that stop before `..` (so `0..n` lexes as a range);
+//! - `#[test]` / `#[cfg(test)]` / `mod tests` regions, so rules can skip
+//!   test-only code without understanding Rust semantics.
+//!
+//! Tokens carry their 1-based source line and an `in_test` flag. Line
+//! comments are scanned for `lint:allow(rule)` escape hatches, which are
+//! returned alongside the tokens.
+
+/// One lexed token. Comments and whitespace are dropped (comments leave
+/// [`Allow`] records behind); everything else becomes one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident(String),
+    /// A lifetime such as `'a` (name stored without the quote).
+    Lifetime(String),
+    /// A char or byte literal; rules never need its value.
+    Char,
+    /// A string literal's *contents* (cooked, raw, or byte).
+    Str(String),
+    /// A numeric literal (digits/underscores/suffix, possibly a float).
+    Num(String),
+    /// Any single ASCII punctuation byte.
+    Punct(char),
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// True when the token sits inside a `#[test]` / `#[cfg(test)]` item or
+    /// a `mod tests` block.
+    pub in_test: bool,
+}
+
+/// One `// lint:allow(rule) reason` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub line: u32,
+    pub rule: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+impl LexedFile {
+    /// True when `rule` is allowed for a finding on `line` — the allow
+    /// comment may sit on the same line (trailing) or the line above.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Lexes `src`; never fails (unterminated literals just run to EOF).
+pub fn lex(src: &str) -> LexedFile {
+    let b = src.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments): scan for lint:allow markers.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            record_allow(
+                &String::from_utf8_lossy(&b[start..i]),
+                line,
+                &mut out.allows,
+            );
+            continue;
+        }
+        // Block comments nest in Rust.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let next = b.get(i).copied();
+            if (word == "r" || word == "br") && matches!(next, Some(b'"') | Some(b'#')) {
+                let mut hashes = 0usize;
+                while b.get(i + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                if b.get(i + hashes) == Some(&b'"') {
+                    // Raw (byte) string: runs to `"` followed by `hashes` #s.
+                    i += hashes + 1;
+                    let content_start = i;
+                    let start_line = line;
+                    while i < b.len() {
+                        if b[i] == b'"'
+                            && b[i + 1..].len() >= hashes
+                            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                        {
+                            break;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    let content = String::from_utf8_lossy(&b[content_start..i.min(b.len())]);
+                    push(&mut out.tokens, Tok::Str(content.into_owned()), start_line);
+                    i = (i + 1 + hashes).min(b.len());
+                } else if word == "r" && hashes == 1 {
+                    // Raw identifier r#ident.
+                    i += 1;
+                    let id_start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    push(
+                        &mut out.tokens,
+                        Tok::Ident(src[id_start..i].to_string()),
+                        line,
+                    );
+                } else {
+                    push(&mut out.tokens, Tok::Ident(word.to_string()), line);
+                }
+                continue;
+            }
+            if word == "b" && next == Some(b'"') {
+                let start_line = line;
+                let content = cooked_string(b, &mut i, &mut line);
+                push(&mut out.tokens, Tok::Str(content), start_line);
+                continue;
+            }
+            if word == "b" && next == Some(b'\'') {
+                char_or_lifetime(b, &mut i, &mut line, &mut out.tokens);
+                continue;
+            }
+            push(&mut out.tokens, Tok::Ident(word.to_string()), line);
+            continue;
+        }
+        if c == b'"' {
+            let start_line = line;
+            let content = cooked_string(b, &mut i, &mut line);
+            push(&mut out.tokens, Tok::Str(content), start_line);
+            continue;
+        }
+        if c == b'\'' {
+            char_or_lifetime(b, &mut i, &mut line, &mut out.tokens);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    i += 1;
+                } else if d == b'.' && !seen_dot && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    // `1.5` is a float; `1..n` is a range — stop before `..`.
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            push(&mut out.tokens, Tok::Num(src[start..i].to_string()), line);
+            continue;
+        }
+        if c < 0x80 {
+            push(&mut out.tokens, Tok::Punct(c as char), line);
+            i += 1;
+            continue;
+        }
+        // Non-ASCII outside strings/comments (only legal in identifiers,
+        // which this workspace does not use): skip the byte.
+        i += 1;
+    }
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+fn push(tokens: &mut Vec<Token>, tok: Tok, line: u32) {
+    tokens.push(Token {
+        tok,
+        line,
+        in_test: false,
+    });
+}
+
+/// Consumes a cooked string starting at `*i` (the opening quote); returns
+/// its contents with escapes left as written.
+fn cooked_string(b: &[u8], i: &mut usize, line: &mut u32) -> String {
+    *i += 1;
+    let start = *i;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => break,
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    let end = (*i).min(b.len());
+    let content = String::from_utf8_lossy(&b[start..end]).into_owned();
+    *i = end + 1; // past the closing quote (or EOF)
+    content
+}
+
+/// Disambiguates `'a'` / `b'x'` / `'\n'` (char literals) from `'a` /
+/// `'static` (lifetimes). `*i` points at the quote.
+fn char_or_lifetime(b: &[u8], i: &mut usize, line: &mut u32, tokens: &mut Vec<Token>) {
+    let quote = *i;
+    let mut j = quote + 1;
+    match b.get(j) {
+        Some(b'\\') => j += 2, // escape: at least one more byte belongs to it
+        Some(&c) if c < 0x80 => j += 1,
+        Some(&c) => {
+            // Multi-byte char literal like 'é': skip the UTF-8 sequence.
+            j += utf8_len(c);
+        }
+        None => {
+            *i = j;
+            return;
+        }
+    }
+    if b.get(j) == Some(&b'\'') {
+        push(tokens, Tok::Char, *line);
+        *i = j + 1;
+        return;
+    }
+    let first = b.get(quote + 1).copied().unwrap_or(0);
+    if first.is_ascii_alphabetic() || first == b'_' {
+        // No closing quote right after one char: a lifetime.
+        let mut k = quote + 1;
+        while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+            k += 1;
+        }
+        let name = String::from_utf8_lossy(&b[quote + 1..k]).into_owned();
+        push(tokens, Tok::Lifetime(name), *line);
+        *i = k;
+        return;
+    }
+    // Longer escape like '\u{1F600}': scan to the closing quote.
+    while j < b.len() && b[j] != b'\'' {
+        if b[j] == b'\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    push(tokens, Tok::Char, *line);
+    *i = (j + 1).min(b.len());
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+fn record_allow(comment: &str, line: u32, allows: &mut Vec<Allow>) {
+    let marker = "lint:allow(";
+    if let Some(pos) = comment.find(marker) {
+        let rest = &comment[pos + marker.len()..];
+        if let Some(end) = rest.find(')') {
+            allows.push(Allow {
+                line,
+                rule: rest[..end].trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Flags every token inside a test-only region.
+///
+/// A region opens at the `{` that follows either an attribute whose tokens
+/// include `test` (e.g. `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` —
+/// but not `#[cfg(not(test))]`) or the item header `mod tests`, and closes
+/// at its matching `}`. A `;` at paren/bracket depth 0 before any `{`
+/// cancels the pending attribute (covers `#[cfg(test)] use ...;`).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut brace_depth = 0i32;
+    let mut group_depth = 0i32; // () and [] nesting
+    let mut regions: Vec<i32> = Vec::new(); // brace depth each region opened at
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if matches!(tokens[i].tok, Tok::Punct('#')) {
+            let mut j = i + 1;
+            if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('!'))) {
+                j += 1;
+            }
+            if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+                let mut depth = 0i32;
+                let mut has_test = false;
+                let mut has_not = false;
+                let mut k = j;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(id) if id == "test" => has_test = true,
+                        Tok::Ident(id) if id == "not" => has_not = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if has_test && !has_not {
+                    pending = true;
+                }
+                let in_test = !regions.is_empty();
+                let upto = tokens.len().min(k + 1);
+                for t in tokens.iter_mut().take(upto).skip(i) {
+                    t.in_test = in_test;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        if let Tok::Ident(id) = &tokens[i].tok {
+            if id == "mod"
+                && matches!(tokens.get(i + 1).map(|t| &t.tok),
+                            Some(Tok::Ident(name)) if name == "tests")
+            {
+                pending = true;
+            }
+        }
+        match &tokens[i].tok {
+            Tok::Punct('{') => {
+                if pending {
+                    regions.push(brace_depth);
+                    pending = false;
+                }
+                brace_depth += 1;
+            }
+            Tok::Punct('}') => {
+                brace_depth -= 1;
+                if regions.last() == Some(&brace_depth) {
+                    regions.pop();
+                }
+            }
+            Tok::Punct('(') | Tok::Punct('[') => group_depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => group_depth -= 1,
+            Tok::Punct(';') if group_depth == 0 => pending = false,
+            _ => {}
+        }
+        tokens[i].in_test = !regions.is_empty();
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRICKY: &str = include_str!("../fixtures/lexer/tricky.rs");
+
+    fn idents(f: &LexedFile) -> Vec<&str> {
+        f.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        let f = lex(r####"let x = r#"an "unwrap()" inside"#; call();"####);
+        let strs: Vec<_> = f
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r#"an "unwrap()" inside"#]);
+        assert!(idents(&f).contains(&"call"));
+        assert!(
+            !idents(&f).contains(&"unwrap"),
+            "string contents must not leak"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers_not_strings() {
+        let f = lex("let r#type = 1; let r = 2;");
+        assert!(idents(&f).contains(&"type"));
+        assert!(f.tokens.iter().all(|t| !matches!(t.tok, Tok::Str(_))));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_entirely() {
+        let f = lex("a /* x /* y.unwrap() */ z */ b");
+        assert_eq!(idents(&f), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            f.tokens.iter().filter(|t| t.tok == Tok::Char).count(),
+            1,
+            "one char literal"
+        );
+        let f = lex(r"let c = '\n'; let s = '\u{1F600}';");
+        assert_eq!(f.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_stop_before_range_dots() {
+        let f = lex("for i in 0..n { x[1.5 as usize]; }");
+        let nums: Vec<_> = f
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5"]);
+    }
+
+    #[test]
+    fn lines_track_through_multiline_strings_and_comments() {
+        let f = lex("a\n\"two\nline\"\n/* c\nc */\nb");
+        let a = f
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("a".into()))
+            .unwrap();
+        let b = f
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn allow_comments_are_recorded_and_matched() {
+        let f = lex("// lint:allow(cancellation) bounded by arity\nfor x in y {}\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "cancellation");
+        assert_eq!(f.allows[0].line, 1);
+        assert!(f.allowed("cancellation", 2), "line-above allow applies");
+        assert!(f.allowed("cancellation", 1), "same-line allow applies");
+        assert!(!f.allowed("cancellation", 3));
+        assert!(!f.allowed("panic_freedom", 2), "rule names must match");
+    }
+
+    #[test]
+    fn test_regions_cover_mod_tests_and_test_attrs() {
+        let f = lex(TRICKY);
+        let unwraps: Vec<(u32, bool)> = f
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Ident("unwrap".into()))
+            .map(|t| (t.line, t.in_test))
+            .collect();
+        // tricky.rs places one unwrap in production code and two in test code.
+        assert_eq!(unwraps.iter().filter(|(_, t)| !t).count(), 1);
+        assert_eq!(unwraps.iter().filter(|(_, t)| *t).count(), 2);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_production_and_cfg_test_use_clears_pending() {
+        let f = lex("#[cfg(not(test))]\nfn p() { a.unwrap(); }\n#[cfg(test)]\nuse x;\nfn q() { b.unwrap(); }");
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Ident("unwrap".into()))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, false]);
+    }
+
+    #[test]
+    fn array_type_in_signature_does_not_cancel_test_attr() {
+        let f = lex("#[test]\nfn f(x: [u8; 4]) { g.unwrap(); }");
+        let t = f
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unwrap".into()))
+            .unwrap();
+        assert!(
+            t.in_test,
+            "`;` inside `[u8; 4]` must not clear the pending attr"
+        );
+    }
+}

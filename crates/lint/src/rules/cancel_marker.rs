@@ -1,0 +1,54 @@
+//! Rule `cancel_marker`: cancel errors have exactly one constructor.
+//!
+//! Cancellation is reported in-band as an error string, and several layers
+//! (the session retry loop, the server, the tests) *classify* errors by
+//! that marker. Classification via `snapshot_obs::is_cancel_error` is safe
+//! only while construction stays centralized in `CancelToken::error()` —
+//! a second construction site could drift (different casing, extra
+//! context) and silently stop being classified.
+//!
+//! Outside `crates/obs/src/`, any non-test string literal containing the
+//! marker text, and any use of the `CANCEL_ERROR_MARKER` identifier (which
+//! only exists to be re-exported and classified against), is a finding.
+
+use crate::lexer::Tok;
+use crate::rules::Finding;
+use crate::SourceFile;
+
+pub const RULE: &str = "cancel_marker";
+
+/// The marker text, assembled so this file does not itself contain the
+/// banned literal (the lint scans its own sources).
+const MARKER: &str = concat!("statement", " ", "cancelled");
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.rel_path.contains("crates/obs/src/") {
+        return;
+    }
+    for t in &file.lexed.tokens {
+        if t.in_test {
+            continue;
+        }
+        match &t.tok {
+            Tok::Str(s) if s.contains(MARKER) => out.push(Finding {
+                file: file.rel_path.clone(),
+                line: t.line,
+                rule: RULE,
+                message: format!(
+                    "string literal contains the cancel marker \"{MARKER}\"; construct \
+                     cancel errors only via CancelToken::error() and classify via \
+                     snapshot_obs::is_cancel_error()"
+                ),
+            }),
+            Tok::Ident(id) if id == "CANCEL_ERROR_MARKER" => out.push(Finding {
+                file: file.rel_path.clone(),
+                line: t.line,
+                rule: RULE,
+                message: "use snapshot_obs::is_cancel_error() instead of comparing against \
+                          CANCEL_ERROR_MARKER directly"
+                    .to_string(),
+            }),
+            _ => {}
+        }
+    }
+}

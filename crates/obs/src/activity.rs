@@ -3,7 +3,7 @@
 //!
 //! Three cooperating pieces, all process-global and std-only:
 //!
-//! * **The activity registry** — every [`crate::…`] session registers an
+//! * **The activity registry** — every session registers an
 //!   entry ([`register_session`]) describing what it is doing *right now*:
 //!   backend kind, transaction state, current statement text +
 //!   fingerprint, pipeline phase, start time, and live resource counters.
@@ -33,7 +33,7 @@ use crate::metrics::{process_start, LazyCounter};
 use crate::stmtstats::fingerprint;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Every cancelled statement, whatever tripped it.
 static STATEMENTS_CANCELLED: LazyCounter = LazyCounter::new("statements_cancelled_total");
@@ -429,12 +429,9 @@ pub struct SessionSnapshot {
 
 type Registry = BTreeMap<u64, Arc<SessionEntry>>;
 
-fn registry() -> MutexGuard<'static, Registry> {
+fn registry() -> crate::lock::LockGuard<'static, Registry> {
     static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
-    GLOBAL
-        .get_or_init(Mutex::default)
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    crate::lock::lock("obs.activity.registry", GLOBAL.get_or_init(Mutex::default))
 }
 
 fn next_session_id() -> u64 {
@@ -481,11 +478,8 @@ impl ActivityHandle {
         max_result_rows: Option<u64>,
     ) {
         let fp = fingerprint(text);
-        *self
-            .entry
-            .statement
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((text.to_string(), fp));
+        *crate::lock::lock("obs.activity.statement", &self.entry.statement) =
+            Some((text.to_string(), fp));
         self.entry
             .statement_started_ns
             .store(now_ns(), Ordering::Relaxed);
@@ -531,11 +525,8 @@ impl ActivityHandle {
     /// so `.kill <id>` / `snapshot_cancel(id)` work as an admin plane
     /// against remote connections.
     pub fn set_remote_addr(&self, addr: &str) {
-        *self
-            .entry
-            .remote_addr
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(addr.to_string());
+        *crate::lock::lock("obs.activity.remote_addr", &self.entry.remote_addr) =
+            Some(addr.to_string());
     }
 }
 
@@ -586,19 +577,13 @@ pub fn sessions_snapshot() -> Vec<SessionSnapshot> {
     entries
         .iter()
         .map(|e| {
-            let (statement, fingerprint) = e
-                .statement
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone()
-                .map(|(s, f)| (Some(s), Some(f)))
-                .unwrap_or((None, None));
+            let (statement, fingerprint) =
+                crate::lock::lock("obs.activity.statement", &e.statement)
+                    .clone()
+                    .map(|(s, f)| (Some(s), Some(f)))
+                    .unwrap_or((None, None));
             let started = e.statement_started_ns.load(Ordering::Relaxed);
-            let remote_addr = e
-                .remote_addr
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .clone();
+            let remote_addr = crate::lock::lock("obs.activity.remote_addr", &e.remote_addr).clone();
             SessionSnapshot {
                 session_id: e.id,
                 backend: e.backend,

@@ -58,6 +58,7 @@
 //!   its fingerprints cannot collide with other tests' statements.
 
 pub mod activity;
+pub mod lock;
 pub mod metrics;
 pub mod profile;
 pub mod slowlog;
@@ -69,6 +70,7 @@ pub use activity::{
     ActivityHandle, CancelKind, CancelToken, Phase, ResourceAccount, ResourceUsage,
     SessionSnapshot, CANCEL_ERROR_MARKER,
 };
+pub use lock::{LockGuard, ReadGuard, WriteGuard};
 pub use metrics::{
     default_latency_bounds, process_start, refresh_process_metrics, registry, Counter, Gauge,
     Histogram, LazyCounter, LazyHistogram, MetricSample, MetricsRegistry,
@@ -93,16 +95,16 @@ pub use trace::{
 /// Test-support utilities; see the crate docs' *Testing against
 /// process-global state* section.
 pub mod testing {
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::sync::{Mutex, OnceLock};
 
     /// A process-global lock serializing tests that need exclusive access
     /// to global observability state (absolute-value assertions, registry
     /// resets, tracing/profiling toggles). A panic while holding the
-    /// guard poisons nothing observable — the lock is recovered.
-    pub fn serial_guard() -> MutexGuard<'static, ()> {
+    /// guard poisons nothing observable — the lock is recovered. Declared
+    /// as `obs.test_serial` (rank 0): it is held across whole test bodies,
+    /// so it must be outermost in `docs/lock_order.md`.
+    pub fn serial_guard() -> crate::lock::LockGuard<'static, ()> {
         static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(Mutex::default)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::lock::lock("obs.test_serial", LOCK.get_or_init(Mutex::default))
     }
 }

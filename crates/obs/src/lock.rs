@@ -1,0 +1,254 @@
+//! Named, order-checked, poison-recovering lock acquisition.
+//!
+//! Every long-lived `Mutex`/`RwLock` in the workspace is taken through
+//! [`lock()`], [`read()`], or [`write()`], passing the lock's declared name. The
+//! declared order lives in `docs/lock_order.md`, embedded here via
+//! `include_str!` so the documentation and the runtime checker cannot
+//! diverge — editing the table *is* editing the checker.
+//!
+//! In `debug_assertions` builds a thread-local stack of held ranks panics
+//! on any acquisition that is undeclared or not strictly above every lock
+//! already held by the thread. Release builds compile the bookkeeping out
+//! and only keep poison recovery: a panic while holding a lock must not
+//! cascade `PoisonError` panics into unrelated sessions or tests.
+//!
+//! The static half of this contract is `snapshot_lint`'s `lock-order` and
+//! `bare-lock` rules, which force acquisitions through these helpers and
+//! check the intra-function nesting graph against the same table.
+
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// The declared-order document; the markdown table in it is parsed by
+/// [`declared_ranks`].
+pub const LOCK_ORDER_DOC: &str = include_str!("../../../docs/lock_order.md");
+
+/// Name → rank for every declared lock, parsed from the markdown table in
+/// `docs/lock_order.md` (rows of the form `| 3 | \`name\` | ... |`).
+pub fn declared_ranks() -> &'static BTreeMap<&'static str, usize> {
+    static RANKS: OnceLock<BTreeMap<&'static str, usize>> = OnceLock::new();
+    RANKS.get_or_init(|| parse_ranks(LOCK_ORDER_DOC))
+}
+
+fn parse_ranks(doc: &str) -> BTreeMap<&str, usize> {
+    let mut ranks = BTreeMap::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| 3 | `name` | ... |` splits into ["", "3", "`name`", ..., ""].
+        let (Some(rank), Some(name)) = (cells.get(1), cells.get(2)) else {
+            continue;
+        };
+        let Ok(rank) = rank.parse::<usize>() else {
+            continue; // header and separator rows
+        };
+        ranks.insert(name.trim_matches('`'), rank);
+    }
+    ranks
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(usize, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(name: &'static str) {
+        let Some(&rank) = super::declared_ranks().get(name) else {
+            panic!("lock `{name}` is not declared in docs/lock_order.md");
+        };
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.iter().max_by_key(|&&(rank, _)| rank) {
+                assert!(
+                    rank > top_rank,
+                    "lock order violation: acquiring `{name}` (rank {rank}) \
+                     while holding `{top_name}` (rank {top_rank}); \
+                     see docs/lock_order.md"
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+
+    pub(super) fn release(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(_, n)| n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+macro_rules! guard_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ident, $($mutable:tt)?) => {
+        $(#[$doc])*
+        pub struct $name<'a, T: ?Sized> {
+            inner: $inner<'a, T>,
+            #[cfg(debug_assertions)]
+            name: &'static str,
+        }
+
+        impl<T: ?Sized> Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $(guard_type!(@$mutable $name);)?
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                #[cfg(debug_assertions)]
+                tracker::release(self.name);
+            }
+        }
+    };
+    (@mut $name:ident) => {
+        impl<T: ?Sized> DerefMut for $name<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+    };
+}
+
+guard_type!(
+    /// RAII guard for [`lock`]; derefs to the protected value.
+    LockGuard, MutexGuard, mut
+);
+guard_type!(
+    /// RAII guard for [`read`]; derefs to the protected value.
+    ReadGuard, RwLockReadGuard,
+);
+guard_type!(
+    /// RAII guard for [`write()`]; derefs to the protected value.
+    WriteGuard, RwLockWriteGuard, mut
+);
+
+/// Acquires `mutex` as the declared lock `name`, recovering from poison.
+///
+/// Panics in debug builds if `name` is undeclared or any lock of equal or
+/// higher rank is already held by this thread.
+pub fn lock<'a, T: ?Sized>(name: &'static str, mutex: &'a Mutex<T>) -> LockGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(name);
+    #[cfg(not(debug_assertions))]
+    let _ = name;
+    LockGuard {
+        inner: mutex.lock().unwrap_or_else(PoisonError::into_inner),
+        #[cfg(debug_assertions)]
+        name,
+    }
+}
+
+/// Acquires `rwlock` for reading as the declared lock `name`.
+pub fn read<'a, T: ?Sized>(name: &'static str, rwlock: &'a RwLock<T>) -> ReadGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(name);
+    #[cfg(not(debug_assertions))]
+    let _ = name;
+    ReadGuard {
+        inner: rwlock.read().unwrap_or_else(PoisonError::into_inner),
+        #[cfg(debug_assertions)]
+        name,
+    }
+}
+
+/// Acquires `rwlock` for writing as the declared lock `name`.
+pub fn write<'a, T: ?Sized>(name: &'static str, rwlock: &'a RwLock<T>) -> WriteGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(name);
+    #[cfg(not(debug_assertions))]
+    let _ = name;
+    WriteGuard {
+        inner: rwlock.write().unwrap_or_else(PoisonError::into_inner),
+        #[cfg(debug_assertions)]
+        name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_parse_from_the_doc() {
+        let ranks = declared_ranks();
+        assert_eq!(ranks.get("obs.test_serial"), Some(&0));
+        assert_eq!(ranks.get("obs.metrics"), Some(&11));
+        assert_eq!(ranks.get("txn.commit"), Some(&1));
+        assert!(ranks.len() >= 12, "expected full table, got {ranks:?}");
+        let mut seen = std::collections::BTreeSet::new();
+        for (&name, &rank) in ranks {
+            assert!(seen.insert(rank), "duplicate rank {rank} at `{name}`");
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = poisoner.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock("obs.metrics", &m), 7);
+    }
+
+    #[test]
+    fn in_order_nesting_is_allowed() {
+        let outer = Mutex::new(());
+        let inner = RwLock::new(());
+        let _a = lock("txn.commit", &outer);
+        let _b = read("txn.state", &inner);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn out_of_order_nesting_panics() {
+        let result = std::thread::spawn(|| {
+            let outer = RwLock::new(());
+            let inner = Mutex::new(());
+            let _a = write("obs.metrics", &outer);
+            let _b = lock("txn.commit", &inner);
+        })
+        .join();
+        assert!(result.is_err(), "rank 1 after rank 11 must panic");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn undeclared_lock_panics() {
+        let result = std::thread::spawn(|| {
+            let m = Mutex::new(());
+            let _g = lock("nope.not_declared", &m);
+        })
+        .join();
+        assert!(result.is_err(), "undeclared lock name must panic");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn release_reopens_the_rank_window() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _g = lock("obs.slowlog", &a);
+        }
+        // slowlog (8) released: taking server.conns (4) afterwards is legal.
+        let _g = lock("server.conns", &b);
+    }
+}

@@ -282,10 +282,11 @@ impl MetricsRegistry {
 
     /// Get or create the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(Metric::Counter(c)) = self.metrics.read().unwrap().get(name) {
+        if let Some(Metric::Counter(c)) = crate::lock::read("obs.metrics", &self.metrics).get(name)
+        {
             return Arc::clone(c);
         }
-        let mut map = self.metrics.write().unwrap();
+        let mut map = crate::lock::write("obs.metrics", &self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -297,10 +298,10 @@ impl MetricsRegistry {
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(Metric::Gauge(g)) = self.metrics.read().unwrap().get(name) {
+        if let Some(Metric::Gauge(g)) = crate::lock::read("obs.metrics", &self.metrics).get(name) {
             return Arc::clone(g);
         }
-        let mut map = self.metrics.write().unwrap();
+        let mut map = crate::lock::write("obs.metrics", &self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -318,10 +319,12 @@ impl MetricsRegistry {
     /// Get or create the histogram `name` with explicit bucket bounds
     /// (ignored if the histogram already exists).
     pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        if let Some(Metric::Histogram(h)) = self.metrics.read().unwrap().get(name) {
+        if let Some(Metric::Histogram(h)) =
+            crate::lock::read("obs.metrics", &self.metrics).get(name)
+        {
             return Arc::clone(h);
         }
-        let mut map = self.metrics.write().unwrap();
+        let mut map = crate::lock::write("obs.metrics", &self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds.to_vec()))))
@@ -334,7 +337,7 @@ impl MetricsRegistry {
     /// Register the info metric `name` carrying `labels` (first writer
     /// wins; re-registering is a no-op, so callers can refresh freely).
     pub fn info(&self, name: &str, labels: &[(&str, &str)]) {
-        let mut map = self.metrics.write().unwrap();
+        let mut map = crate::lock::write("obs.metrics", &self.metrics);
         map.entry(name.to_string()).or_insert_with(|| {
             Metric::Info(Arc::new(
                 labels
@@ -347,7 +350,7 @@ impl MetricsRegistry {
 
     /// Look up an existing counter without creating it.
     pub fn get_counter(&self, name: &str) -> Option<Arc<Counter>> {
-        match self.metrics.read().unwrap().get(name) {
+        match crate::lock::read("obs.metrics", &self.metrics).get(name) {
             Some(Metric::Counter(c)) => Some(Arc::clone(c)),
             _ => None,
         }
@@ -355,7 +358,7 @@ impl MetricsRegistry {
 
     /// Look up an existing gauge without creating it.
     pub fn get_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
-        match self.metrics.read().unwrap().get(name) {
+        match crate::lock::read("obs.metrics", &self.metrics).get(name) {
             Some(Metric::Gauge(g)) => Some(Arc::clone(g)),
             _ => None,
         }
@@ -363,7 +366,7 @@ impl MetricsRegistry {
 
     /// Look up an existing histogram without creating it.
     pub fn get_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
-        match self.metrics.read().unwrap().get(name) {
+        match crate::lock::read("obs.metrics", &self.metrics).get(name) {
             Some(Metric::Histogram(h)) => Some(Arc::clone(h)),
             _ => None,
         }
@@ -372,7 +375,7 @@ impl MetricsRegistry {
     /// Zero every registered metric (keeps registrations). For benches and
     /// tests that attribute deltas between workload phases.
     pub fn reset(&self) {
-        for metric in self.metrics.read().unwrap().values() {
+        for metric in crate::lock::read("obs.metrics", &self.metrics).values() {
             match metric {
                 Metric::Counter(c) => c.reset(),
                 Metric::Gauge(g) => g.reset(),
@@ -397,9 +400,7 @@ impl MetricsRegistry {
             p95: None,
             p99: None,
         };
-        self.metrics
-            .read()
-            .unwrap()
+        crate::lock::read("obs.metrics", &self.metrics)
             .iter()
             .map(|(name, metric)| {
                 let mut s = MetricSample {
@@ -441,7 +442,7 @@ impl MetricsRegistry {
     /// samples for histograms.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        for (name, metric) in self.metrics.read().unwrap().iter() {
+        for (name, metric) in crate::lock::read("obs.metrics", &self.metrics).iter() {
             match metric {
                 Metric::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {name} counter");

@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 static PROFILING: AtomicBool = AtomicBool::new(false);
@@ -61,12 +61,9 @@ struct Accumulator {
     paths: HashMap<String, (u64, u64)>, // path -> (samples, self_ns)
 }
 
-fn accumulator() -> MutexGuard<'static, Accumulator> {
+fn accumulator() -> crate::lock::LockGuard<'static, Accumulator> {
     static GLOBAL: OnceLock<Mutex<Accumulator>> = OnceLock::new();
-    GLOBAL
-        .get_or_init(Mutex::default)
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    crate::lock::lock("obs.profile", GLOBAL.get_or_init(Mutex::default))
 }
 
 /// RAII guard for one operator frame; see the module docs.

@@ -15,7 +15,7 @@
 
 use crate::metrics::LazyCounter;
 use std::collections::VecDeque;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Mutex, OnceLock};
 
 /// Default number of retained slow queries (oldest evicted beyond).
 pub const SLOW_LOG_CAPACITY: usize = 32;
@@ -70,12 +70,9 @@ impl Default for Log {
     }
 }
 
-fn log() -> MutexGuard<'static, Log> {
+fn log() -> crate::lock::LockGuard<'static, Log> {
     static GLOBAL: OnceLock<Mutex<Log>> = OnceLock::new();
-    GLOBAL
-        .get_or_init(Mutex::default)
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    crate::lock::lock("obs.slowlog", GLOBAL.get_or_init(Mutex::default))
 }
 
 /// Append one slow query to the ring (the `seq` field is assigned here;

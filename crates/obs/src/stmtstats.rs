@@ -16,7 +16,7 @@
 
 use crate::metrics::{default_latency_bounds, Histogram, LazyCounter};
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Mutex, OnceLock};
 
 /// Maximum number of distinct fingerprints retained (LRU eviction beyond).
 pub const FINGERPRINT_CAPACITY: usize = 256;
@@ -120,12 +120,9 @@ struct Collector {
     clock: u64,
 }
 
-fn collector() -> MutexGuard<'static, Collector> {
+fn collector() -> crate::lock::LockGuard<'static, Collector> {
     static GLOBAL: OnceLock<Mutex<Collector>> = OnceLock::new();
-    GLOBAL
-        .get_or_init(Mutex::default)
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    crate::lock::lock("obs.stmtstats", GLOBAL.get_or_init(Mutex::default))
 }
 
 /// Record one executed statement: `rows` is the result cardinality for

@@ -16,7 +16,7 @@
 //!   queries and are the key proof device for the timeslice operator
 //!   (Theorem 6.3),
 //! * concrete semirings: [`Boolean`] (set semantics), [`Natural`] (multiset
-//!   semantics), [`Lineage`], [`Why`] (provenance), [`Polynomial`] (N[X]
+//!   semantics), [`Lineage`], [`Why`] (provenance), [`Polynomial`] (N\[X\]
 //!   provenance polynomials), and [`Tropical`] (min-cost), demonstrating that
 //!   the temporal construction of the paper applies to *any* semiring `K`.
 //!

@@ -372,6 +372,7 @@ pub fn read_frame<R: Read>(input: &mut R) -> Result<(Frame, usize), ReadError> {
     // Distinguish clean EOF (zero bytes of a new frame) from a torn one.
     let mut got = 0;
     while got < header.len() {
+        // lint:allow(panic_freedom) `got < header.len()` by the loop condition
         match input.read(&mut header[got..]) {
             Ok(0) if got == 0 => return Err(ReadError::Eof),
             Ok(0) => {
@@ -385,8 +386,9 @@ pub fn read_frame<R: Read>(input: &mut R) -> Result<(Frame, usize), ReadError> {
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let [l0, l1, l2, l3, c0, c1, c2, c3] = header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
+    let crc = u32::from_le_bytes([c0, c1, c2, c3]);
     if len > MAX_FRAME {
         return Err(ReadError::Corrupt(format!(
             "frame length {len} exceeds maximum {MAX_FRAME}"

@@ -10,7 +10,7 @@
 //! * the **reader** blocks on the socket, decodes request frames, and
 //!   feeds the channel. Because it keeps reading *while* a statement
 //!   executes, a client that disappears mid-query is noticed immediately:
-//!   the reader trips the session's [`CancelToken`] (via
+//!   the reader trips the session's [`snapshot_obs::CancelToken`] (via
 //!   [`snapshot_obs::cancel_session`]) so the orphaned statement unwinds
 //!   at its next cooperative check instead of running to completion —
 //!   and the executor then drops the session, deregistering its activity
@@ -81,27 +81,18 @@ struct ConnReg {
 
 impl ServerState {
     fn live_connections(&self) -> usize {
-        self.conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        obs::lock::lock("server.conns", &self.conns).len()
     }
 
     fn register(&self, session_id: u64, stream: TcpStream) {
-        self.conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(ConnReg { session_id, stream });
+        obs::lock::lock("server.conns", &self.conns).push(ConnReg { session_id, stream });
         obs::registry()
             .gauge("server_connections_active")
             .set(self.live_connections() as i64);
     }
 
     fn deregister(&self, session_id: u64) {
-        self.conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .retain(|c| c.session_id != session_id);
+        obs::lock::lock("server.conns", &self.conns).retain(|c| c.session_id != session_id);
         obs::registry()
             .gauge("server_connections_active")
             .set(self.live_connections() as i64);
@@ -246,10 +237,7 @@ impl Server {
         // their sockets (the readers wake with EOF, the executors drop
         // their sessions).
         {
-            let conns = state
-                .conns
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let conns = obs::lock::lock("server.conns", &state.conns);
             for conn in conns.iter() {
                 obs::cancel_session(conn.session_id);
                 let _ = conn.stream.shutdown(Shutdown::Both);

@@ -23,7 +23,7 @@ use snapshot_txn::{CatalogSnapshot, CommitOutcome, Transaction, TxnManager};
 use snapshot_wal::{Persistence, PersistenceOptions};
 use sql::parse_sql_statement;
 use std::path::Path;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use storage::Table;
 
 #[derive(Debug)]
@@ -43,9 +43,10 @@ pub struct SharedDatabase {
 }
 
 /// See [`snapshot_txn::manager`]: poisoning means a panic elsewhere, not
-/// inconsistent data — recover the guard.
-fn recover<G>(r: Result<G, PoisonError<G>>) -> G {
-    r.unwrap_or_else(PoisonError::into_inner)
+/// inconsistent data — the helper recovers the guard and enforces the
+/// declared order (`docs/lock_order.md`) in debug builds.
+fn persistence_guard(inner: &Inner) -> snapshot_obs::LockGuard<'_, Option<Persistence>> {
+    snapshot_obs::lock::lock("session.persistence", &inner.persistence)
 }
 
 impl SharedDatabase {
@@ -92,7 +93,7 @@ impl SharedDatabase {
                 .map_err(|e| format!("WAL replay failed at lsn {}: {e}", record.lsn))?;
         }
         drop(session);
-        *recover(shared.inner.persistence.lock()) = Some(persistence);
+        *persistence_guard(&shared.inner) = Some(persistence);
         Ok((
             shared,
             RecoveryReport {
@@ -127,7 +128,7 @@ impl SharedDatabase {
 
     /// Whether a database directory is attached.
     pub fn is_durable(&self) -> bool {
-        recover(self.inner.persistence.lock()).is_some()
+        persistence_guard(&self.inner).is_some()
     }
 
     /// Opens a transaction over a freshly pinned snapshot.
@@ -142,7 +143,7 @@ impl SharedDatabase {
         let outcome =
             inner
                 .txns
-                .commit_with(txn, |stmts| match &mut *recover(inner.persistence.lock()) {
+                .commit_with(txn, |stmts| match &mut *persistence_guard(inner) {
                     Some(p) => p.log_transaction(stmts),
                     None => Ok(()),
                 })?;
@@ -160,7 +161,7 @@ impl SharedDatabase {
     /// persistence — the same order as the commit path).
     fn checkpoint_serialized(&self, only_when_due: bool) -> Result<Option<u64>, String> {
         self.inner.txns.with_committed_serialized(|catalog, _| {
-            let mut guard = recover(self.inner.persistence.lock());
+            let mut guard = persistence_guard(&self.inner);
             match &mut *guard {
                 Some(p) if !only_when_due || p.should_checkpoint() => {
                     p.checkpoint(catalog).map(Some)
@@ -173,7 +174,7 @@ impl SharedDatabase {
     fn auto_checkpoint(&self) -> Result<(), String> {
         // Cheap pre-check without the commit lock; the authoritative check
         // repeats under it.
-        let due = match &*recover(self.inner.persistence.lock()) {
+        let due = match &*persistence_guard(&self.inner) {
             Some(p) => p.should_checkpoint(),
             None => false,
         };

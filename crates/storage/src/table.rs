@@ -336,7 +336,7 @@ impl Table {
     /// When the table state at `version` was exactly the current
     /// `rows[0..l]` and only appends happened since, returns `Some(l)`;
     /// otherwise `None` (structural change, unknown version, or history
-    /// trimmed past [`MAX_APPEND_CHECKPOINTS`] append batches). Versions are
+    /// trimmed past `MAX_APPEND_CHECKPOINTS` append batches). Versions are
     /// globally unique, so a checkpoint hit can never be a look-alike from
     /// another table or a diverged clone.
     pub fn appended_since(&self, version: u64) -> Option<usize> {

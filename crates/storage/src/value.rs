@@ -80,7 +80,7 @@ impl Value {
 
     /// SQL comparison: `None` when either side is NULL, the types are
     /// incomparable, or a NaN is involved; `Int` and `Double` compare
-    /// numerically — *exactly*, even beyond 2^53 (see [`cmp_int_double`]).
+    /// numerically — *exactly*, even beyond 2^53 (see `cmp_int_double`).
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {

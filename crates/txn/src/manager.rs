@@ -6,7 +6,7 @@ use crate::transaction::Transaction;
 use index::IndexCatalog;
 use snapshot_obs::{self as obs, LazyCounter, LazyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 use storage::{Catalog, Table};
 
@@ -77,14 +77,6 @@ pub struct TxnManager {
     /// Held for the whole validate → log → publish sequence.
     commit_lock: Mutex<()>,
     next_txn_id: AtomicU64,
-}
-
-/// Lock poisoning only happens when a thread panicked mid-operation; the
-/// committed state is swapped atomically (publication builds the new
-/// handles before touching the guard), so the data is still consistent —
-/// recover the guard instead of cascading panics through every session.
-fn recover<G>(r: Result<G, PoisonError<G>>) -> G {
-    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// First-committer-wins validation of `txn` against `committed`: every
@@ -164,16 +156,21 @@ impl TxnManager {
         }
     }
 
-    fn read_state(&self) -> RwLockReadGuard<'_, Committed> {
-        recover(self.state.read())
+    // Poisoning only happens when a thread panicked mid-operation; the
+    // committed state is swapped atomically (publication builds the new
+    // handles before touching the guard), so the data is still consistent —
+    // the obs::lock helpers recover the guard instead of cascading panics
+    // through every session, and enforce `docs/lock_order.md` in debug.
+    fn read_state(&self) -> obs::ReadGuard<'_, Committed> {
+        obs::lock::read("txn.state", &self.state)
     }
 
-    fn write_state(&self) -> RwLockWriteGuard<'_, Committed> {
-        recover(self.state.write())
+    fn write_state(&self) -> obs::WriteGuard<'_, Committed> {
+        obs::lock::write("txn.state", &self.state)
     }
 
-    fn lock_commits(&self) -> MutexGuard<'_, ()> {
-        recover(self.commit_lock.lock())
+    fn lock_commits(&self) -> obs::LockGuard<'_, ()> {
+        obs::lock::lock("txn.commit", &self.commit_lock)
     }
 
     /// Pins a snapshot of the current committed state.

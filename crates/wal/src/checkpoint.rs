@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use storage::Catalog;
+use storage::{Catalog, Table};
 
 /// The checkpoint file magic.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SNAPCKPT";
@@ -94,12 +94,14 @@ impl TableEncodeCache {
     /// whose version epoch is unchanged, and refreshing the cache with
     /// every block written. Entries for dropped tables are evicted.
     pub fn encode_catalog(&mut self, w: &mut Writer, catalog: &Catalog) -> CheckpointReuse {
-        let names: Vec<&str> = catalog.table_names().collect();
-        w.put_u32(names.len() as u32);
+        let tables: Vec<(&str, &Table)> = catalog
+            .table_names()
+            .filter_map(|name| catalog.get(name).map(|t| (name, t)))
+            .collect();
+        w.put_u32(tables.len() as u32);
         let mut reuse = CheckpointReuse::default();
-        for name in &names {
-            let table = catalog.get(name).expect("listed name");
-            match self.entries.get(*name) {
+        for (name, table) in tables {
+            match self.entries.get(name) {
                 Some((version, block)) if *version == table.version() => {
                     w.put_raw(block);
                     reuse.reused += 1;
@@ -145,13 +147,14 @@ fn encode(
 
 /// Parses and validates checkpoint file bytes.
 fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
-    let Some(magic) = bytes.get(..CHECKPOINT_MAGIC.len()) else {
-        return Err("checkpoint file shorter than its magic".into());
+    let Some(after_magic) = bytes.strip_prefix(CHECKPOINT_MAGIC) else {
+        return Err(if bytes.len() < CHECKPOINT_MAGIC.len() {
+            "checkpoint file shorter than its magic".into()
+        } else {
+            "not a snapshot checkpoint file (bad magic)".into()
+        });
     };
-    if magic != CHECKPOINT_MAGIC {
-        return Err("not a snapshot checkpoint file (bad magic)".into());
-    }
-    let mut r = Reader::new(&bytes[CHECKPOINT_MAGIC.len()..]);
+    let mut r = Reader::new(after_magic);
     let version = r.get_u32()?;
     if version != FORMAT_VERSION {
         return Err(format!(
@@ -166,7 +169,9 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
             r.remaining()
         ));
     }
-    let body = &bytes[bytes.len() - body_len..];
+    let Some(body) = bytes.get(bytes.len().saturating_sub(body_len)..) else {
+        return Err("checkpoint body length exceeds the file".into());
+    };
     if crc32(body) != crc {
         return Err("checkpoint CRC mismatch (torn or corrupted write)".into());
     }
@@ -295,10 +300,8 @@ pub fn load_newest(dir: &Path) -> Option<Checkpoint> {
 /// deletion failures are ignored, stale files only cost disk.
 pub fn prune(dir: &Path, keep_newest: usize) {
     let seqs = list_checkpoints(dir);
-    if seqs.len() > keep_newest {
-        for &seq in &seqs[..seqs.len() - keep_newest] {
-            let _ = fs::remove_file(checkpoint_path(dir, seq));
-        }
+    for &seq in seqs.iter().take(seqs.len().saturating_sub(keep_newest)) {
+        let _ = fs::remove_file(checkpoint_path(dir, seq));
     }
 }
 

@@ -92,36 +92,44 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.remaining() < n {
-            return Err(format!(
+        let out = self.bytes.get(self.pos..self.pos + n).ok_or_else(|| {
+            format!(
                 "truncated input: need {n} bytes at offset {}, have {}",
                 self.pos,
                 self.remaining()
-            ));
-        }
-        let out = &self.bytes[self.pos..self.pos + n];
+            )
+        })?;
         self.pos += n;
         Ok(out)
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| format!("truncated input at offset {}", self.pos))
+    }
+
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| format!("truncated input at offset {}", self.pos))
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64, String> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` bit pattern.
@@ -318,11 +326,17 @@ pub fn decode_table(r: &mut Reader) -> Result<Table, String> {
 /// Encodes a catalog: table count, then `(name, table)` pairs in the
 /// catalog's (sorted) iteration order.
 pub fn encode_catalog(w: &mut Writer, catalog: &Catalog) {
-    let names: Vec<&str> = catalog.table_names().collect();
-    w.put_u32(names.len() as u32);
-    for name in names {
+    // Collect the pairs first so the count prefix stays exact even if a
+    // listed name were ever to miss its table (impossible today — both
+    // come from the same map — but the encoder must not be able to panic).
+    let tables: Vec<(&str, &Table)> = catalog
+        .table_names()
+        .filter_map(|name| catalog.get(name).map(|t| (name, t)))
+        .collect();
+    w.put_u32(tables.len() as u32);
+    for (name, table) in tables {
         w.put_str(name);
-        encode_table(w, catalog.get(name).expect("listed name"));
+        encode_table(w, table);
     }
 }
 

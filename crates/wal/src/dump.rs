@@ -17,14 +17,16 @@ const BATCH: usize = 256;
 
 /// Renders `catalog` as a SQL script that recreates it (see module docs).
 pub fn dump_sql(catalog: &Catalog) -> String {
-    let names: Vec<&str> = catalog.table_names().collect();
+    let tables: Vec<(&str, &Table)> = catalog
+        .table_names()
+        .filter_map(|name| catalog.get(name).map(|t| (name, t)))
+        .collect();
     let mut out = format!(
         "-- snapshot_db logical dump: {} table(s), {} row(s)\n",
-        names.len(),
+        tables.len(),
         catalog.total_rows()
     );
-    for name in names {
-        let table = catalog.get(name).expect("listed name");
+    for (name, table) in tables {
         out.push('\n');
         dump_table(&mut out, name, table);
     }

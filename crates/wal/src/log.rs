@@ -119,8 +119,12 @@ impl Wal {
         // magic, or a short file that is not a prefix of our magic (a
         // short *prefix* can only be our own torn header write and is
         // safe to rewrite; any other content is someone else's file).
-        let head = &bytes[..bytes.len().min(WAL_MAGIC.len())];
-        if head != &WAL_MAGIC[..head.len()] {
+        let head_len = bytes.len().min(WAL_MAGIC.len());
+        let is_ours = matches!(
+            (bytes.get(..head_len), WAL_MAGIC.get(..head_len)),
+            (Some(head), Some(magic)) if head == magic
+        );
+        if !is_ours {
             return Err(format!(
                 "'{}' is not a snapshot_wal log (bad magic)",
                 path.display()
@@ -135,7 +139,8 @@ impl Wal {
                 .map_err(|e| format!("cannot initialize WAL '{}': {e}", path.display()))?;
             (Vec::new(), Vec::new(), WAL_MAGIC.len() as u64)
         } else {
-            let (records, starts, valid_len) = scan_frames(&bytes[WAL_MAGIC.len()..]);
+            let (records, starts, valid_len) =
+                scan_frames(bytes.get(WAL_MAGIC.len()..).unwrap_or(&[]));
             let starts = starts
                 .into_iter()
                 .map(|s| WAL_MAGIC.len() as u64 + s)
@@ -324,6 +329,12 @@ impl Drop for Wal {
     }
 }
 
+/// Reads a little-endian `u32` at `pos`, `None` when out of bounds.
+fn le_u32_at(bytes: &[u8], pos: usize) -> Option<u32> {
+    let word: [u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(word))
+}
+
 /// Parses frames from `body` (the file minus its magic header). Returns
 /// the valid records, each record's start offset *within* `body`, and the
 /// byte length of the valid prefix; parsing stops at the first truncated
@@ -333,9 +344,7 @@ fn scan_frames(body: &[u8]) -> (Vec<WalRecord>, Vec<u64>, u64) {
     let mut starts = Vec::new();
     let mut pos = 0usize;
     let mut last_lsn: Option<u64> = None;
-    while let Some(header) = body.get(pos..pos + 8) {
-        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    while let (Some(len), Some(crc)) = (le_u32_at(body, pos), le_u32_at(body, pos + 4)) {
         if len > MAX_PAYLOAD {
             break; // corrupt length field
         }

@@ -216,9 +216,10 @@ impl Persistence {
                 _ => {}
             }
         }
-        let discarded_uncommitted = match open_begin {
-            Some(i) => {
-                let offset = record_starts[skipped + i];
+        let discarded_uncommitted = match open_begin
+            .and_then(|i| record_starts.get(skipped + i).map(|&offset| (i, offset)))
+        {
+            Some((i, offset)) => {
                 wal.truncate_to(offset)?;
                 let discarded = replay.split_off(i);
                 discarded.len()

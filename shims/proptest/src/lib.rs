@@ -2,8 +2,8 @@
 //!
 //! The build environment has no crates.io access, so this vendored crate
 //! provides the subset of the proptest API the workspace's property tests
-//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and
-//! tuple strategies, [`Just`], [`prop_oneof!`], and the
+//! use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with `prop_map`, range and
+//! tuple strategies, [`Just`](strategy::Just), [`prop_oneof!`], and the
 //! `collection::{vec, btree_map, btree_set}` strategies.
 //!
 //! Unlike real proptest there is no shrinking: each test runs a fixed
@@ -205,7 +205,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
